@@ -1,0 +1,66 @@
+// Ablation: where does index cache-consciousness pay? Sweeps the B-tree
+// node size from cache-line-scale to disk-page-scale over a large key
+// set and reports the simulated memory behavior of random probes —
+// the design-space behind Shore-MT's 8KB nodes vs VoltDB's 512B nodes
+// vs DBMS M's KB-scale pages (paper Sections 4.1.3 and 6.1).
+
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "index/btree.h"
+#include "mcsim/machine.h"
+
+using namespace imoltp;
+
+int main() {
+  constexpr uint64_t kKeys = 2'000'000;
+  constexpr int kProbes = 50000;
+  const uint32_t kNodeSizes[] = {256, 512, 1024, 2048, 4096, 8192};
+
+  std::printf("B-tree node-size sweep: %llu keys, %d random probes\n",
+              static_cast<unsigned long long>(kKeys), kProbes);
+  std::printf("%8s %7s %12s %14s %14s %12s\n", "node", "height",
+              "lines/probe", "LLCmiss/probe", "L1Dmiss/probe",
+              "instr/probe");
+
+  for (uint32_t node_bytes : kNodeSizes) {
+    mcsim::MachineSim machine;  // Table 1 geometry, TLB on
+    mcsim::CoreSim& core = machine.core(0);
+    index::BTree tree(node_bytes, 8, index::IndexKind::kBTreeCc);
+
+    core.set_enabled(false);  // bulk build untraced
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      tree.Insert(&core, index::Key::FromUint64(i), i);
+    }
+    core.set_enabled(true);
+
+    // Warm pass over all keys (steady-state cache contents).
+    Rng warm_rng(1);
+    uint64_t v;
+    for (uint64_t i = 0; i < kKeys; i += 3) {
+      tree.Lookup(&core, index::Key::FromUint64(i), &v);
+    }
+
+    const auto before = core.counters();
+    Rng rng(2);
+    for (int i = 0; i < kProbes; ++i) {
+      tree.Lookup(&core, index::Key::FromUint64(rng.Uniform(kKeys)), &v);
+    }
+    const auto delta = core.counters() - before;
+    std::printf("%7uB %7u %12.1f %14.2f %14.2f %12.0f\n", node_bytes,
+                tree.height(),
+                static_cast<double>(delta.data_accesses) / kProbes,
+                static_cast<double>(delta.misses.llc_d) / kProbes,
+                static_cast<double>(delta.misses.l1d) / kProbes,
+                static_cast<double>(delta.instructions) / kProbes);
+  }
+  std::printf(
+      "\nTwo forces trade off: small nodes deepen the tree (more\n"
+      "uncached levels per probe once the index outgrows the LLC), while\n"
+      "disk-page nodes spend extra lines searching inside each node. At\n"
+      "this scale the LLC-miss minimum sits at KB-scale nodes — the\n"
+      "Bw-tree/solidDB-style pages the paper's DBMS M uses — while 8KB\n"
+      "disk pages pay again inside the node, as Shore-MT/DBMS D do.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: the L2 stream prefetcher (off in the calibrated baseline,
+// whose effective penalties fold production prefetching in). Explicitly
+// modeling it shows WHERE prefetching helps OLTP: scan-heavy TPC-C
+// transactions gain; random-probe micro-benchmarks gain almost nothing —
+// one reason the paper's Section 8 calls for caching mechanisms tailored
+// to OLTP's access patterns rather than generic beefy cores.
+
+#include "bench/bench_common.h"
+#include "core/tpcc.h"
+
+using namespace imoltp;
+
+namespace {
+
+struct CellResult {
+  double llc_d_per_kinstr;
+  double ipc;
+  uint64_t prefetches;
+};
+
+CellResult RunMicroCell(bool prefetch) {
+  core::MicroConfig mcfg;
+  mcfg.nominal_bytes = 100ULL << 30;
+  mcfg.max_resident_rows = 1'000'000;
+  core::MicroBenchmark wl(mcfg);
+  core::ExperimentConfig cfg =
+      bench::DefaultConfig(engine::EngineKind::kVoltDb);
+  cfg.machine_config.model_prefetcher = prefetch;
+  core::ExperimentRunner runner(cfg, &wl);
+  const auto r = runner.Run(&wl);
+  return {r.stalls_per_kinstr.stalls[5], r.ipc,
+          runner.machine()->core(0).prefetches_issued()};
+}
+
+CellResult RunTpccCell(bool prefetch) {
+  core::TpccConfig tcfg;
+  core::TpccBenchmark wl(tcfg);
+  core::ExperimentConfig cfg =
+      bench::HeavyTxnConfig(engine::EngineKind::kVoltDb);
+  cfg.measure_txns = 2000;
+  cfg.machine_config.model_prefetcher = prefetch;
+  core::ExperimentRunner runner(cfg, &wl);
+  const auto r = runner.Run(&wl);
+  return {r.stalls_per_kinstr.stalls[5], r.ipc,
+          runner.machine()->core(0).prefetches_issued()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation",
+                     "L2 stream prefetcher: scans vs random probes");
+  std::printf("%-26s %14s %8s %12s\n", "workload (VoltDB)", "LLC-D/kI",
+              "IPC", "prefetches");
+
+  std::fprintf(stderr, "  micro, prefetcher off...\n");
+  const CellResult micro_off = RunMicroCell(false);
+  std::fprintf(stderr, "  micro, prefetcher on...\n");
+  const CellResult micro_on = RunMicroCell(true);
+  std::fprintf(stderr, "  tpcc, prefetcher off...\n");
+  const CellResult tpcc_off = RunTpccCell(false);
+  std::fprintf(stderr, "  tpcc, prefetcher on...\n");
+  const CellResult tpcc_on = RunTpccCell(true);
+
+  std::printf("%-26s %14.1f %8.2f %12s\n", "micro 100GB, pf off",
+              micro_off.llc_d_per_kinstr, micro_off.ipc, "-");
+  std::printf("%-26s %14.1f %8.2f %12llu\n", "micro 100GB, pf on",
+              micro_on.llc_d_per_kinstr, micro_on.ipc,
+              static_cast<unsigned long long>(micro_on.prefetches));
+  std::printf("%-26s %14.1f %8.2f %12s\n", "TPC-C, pf off",
+              tpcc_off.llc_d_per_kinstr, tpcc_off.ipc, "-");
+  std::printf("%-26s %14.1f %8.2f %12llu\n", "TPC-C, pf on",
+              tpcc_on.llc_d_per_kinstr, tpcc_on.ipc,
+              static_cast<unsigned long long>(tpcc_on.prefetches));
+
+  std::printf(
+      "\nTPC-C's index scans and sequential inserts feed the streamer;\n"
+      "the micro-benchmark's dependent random probes give it nothing to\n"
+      "predict. Generic prefetching cannot fix OLTP's data stalls.\n");
+  return 0;
+}

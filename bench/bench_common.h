@@ -1,0 +1,76 @@
+#ifndef IMOLTP_BENCH_BENCH_COMMON_H_
+#define IMOLTP_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/microbench.h"
+#include "core/report.h"
+
+namespace imoltp::bench {
+
+/// All five analyzed systems, in the paper's figure order.
+inline const std::vector<engine::EngineKind>& AllEngines() {
+  static const std::vector<engine::EngineKind> kEngines = {
+      engine::EngineKind::kShoreMt, engine::EngineKind::kDbmsD,
+      engine::EngineKind::kVoltDb, engine::EngineKind::kHyPer,
+      engine::EngineKind::kDbmsM};
+  return kEngines;
+}
+
+/// The paper's database-size x-axis. The 10GB/100GB points use sparse
+/// address-space tables (DESIGN.md, Substitutions); their resident-row
+/// caps keep populate time reasonable while the working set stays far
+/// beyond the 20MB LLC.
+struct DbSizePoint {
+  const char* label;
+  uint64_t nominal_bytes;
+  uint64_t max_resident_rows;
+};
+
+inline const std::vector<DbSizePoint>& DbSizes() {
+  static const std::vector<DbSizePoint> kSizes = {
+      {"1MB", 1ULL << 20, 2'000'000},
+      {"10MB", 10ULL << 20, 2'000'000},
+      {"10GB", 10ULL << 30, 1'000'000},
+      {"100GB", 100ULL << 30, 2'000'000},
+  };
+  return kSizes;
+}
+
+inline core::ExperimentConfig DefaultConfig(engine::EngineKind kind) {
+  core::ExperimentConfig cfg;
+  cfg.engine = kind;
+  cfg.warmup_txns = 2000;
+  cfg.measure_txns = 6000;
+  return cfg;
+}
+
+/// Smaller windows for heavy (100-row / TPC-C-scale) transactions.
+inline core::ExperimentConfig HeavyTxnConfig(engine::EngineKind kind) {
+  core::ExperimentConfig cfg = DefaultConfig(kind);
+  cfg.warmup_txns = 400;
+  cfg.measure_txns = 1500;
+  return cfg;
+}
+
+inline std::string Label(engine::EngineKind kind, const std::string& sub) {
+  return std::string(engine::EngineKindName(kind)) + " " + sub;
+}
+
+inline void PrintHeader(const char* figure, const char* caption) {
+  std::printf("\n");
+  std::printf(
+      "==========================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf(
+      "==========================================================\n");
+}
+
+}  // namespace imoltp::bench
+
+#endif  // IMOLTP_BENCH_BENCH_COMMON_H_

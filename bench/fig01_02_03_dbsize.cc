@@ -1,0 +1,74 @@
+// Figures 1-3 (and their read-write appendix twins, Figures 20-22):
+// the micro-benchmark's sensitivity to database size.
+//
+//   Fig 1 / 20: IPC vs database size (read-only / read-write)
+//   Fig 2 / 21: stall cycles per 1000 instructions vs database size
+//   Fig 3 / 22: stall cycles per transaction at 100GB
+//
+// One transaction reads (or updates) one random row after an index
+// probe. Each engine populates each database size once; the read-only
+// and read-write variants run as two measurement windows on the same
+// populated database, mirroring the paper's methodology.
+
+#include "bench/bench_common.h"
+
+using namespace imoltp;
+using bench::DbSizePoint;
+
+int main() {
+  std::vector<core::ReportRow> ipc_ro, ipc_rw;
+  std::vector<core::ReportRow> stalls_ro, stalls_rw;
+  std::vector<core::ReportRow> per_txn_ro, per_txn_rw;
+
+  for (engine::EngineKind kind : bench::AllEngines()) {
+    for (const DbSizePoint& size : bench::DbSizes()) {
+      core::MicroConfig ro_cfg;
+      ro_cfg.nominal_bytes = size.nominal_bytes;
+      ro_cfg.max_resident_rows = size.max_resident_rows;
+      core::MicroBenchmark ro(ro_cfg);
+
+      core::MicroConfig rw_cfg = ro_cfg;
+      rw_cfg.read_write = true;
+      core::MicroBenchmark rw(rw_cfg);
+
+      core::ExperimentRunner runner(bench::DefaultConfig(kind), &ro);
+      const std::string label = bench::Label(kind, size.label);
+      std::fprintf(stderr, "  running %s...\n", label.c_str());
+
+      const mcsim::WindowReport ro_report = runner.Run(&ro);
+      ipc_ro.push_back({label, ro_report});
+      stalls_ro.push_back({label, ro_report});
+      if (std::string(size.label) == "100GB") {
+        per_txn_ro.push_back({label, ro_report});
+      }
+
+      const mcsim::WindowReport rw_report = runner.Run(&rw);
+      ipc_rw.push_back({label, rw_report});
+      stalls_rw.push_back({label, rw_report});
+      if (std::string(size.label) == "100GB") {
+        per_txn_rw.push_back({label, rw_report});
+      }
+    }
+  }
+
+  bench::PrintHeader("Figure 1", "IPC vs database size (read-only)");
+  core::PrintIpc("Read-only micro-benchmark, 1 row/txn", ipc_ro);
+  bench::PrintHeader("Figure 2",
+                     "Stall cycles per k-instruction (read-only)");
+  core::PrintStallsPerKInstr("Read-only micro-benchmark", stalls_ro);
+  bench::PrintHeader("Figure 3",
+                     "Stall cycles per transaction, 100GB (read-only)");
+  core::PrintStallsPerTxn("Read-only micro-benchmark, 100GB", per_txn_ro);
+
+  bench::PrintHeader("Figure 20 (appendix)",
+                     "IPC vs database size (read-write)");
+  core::PrintIpc("Read-write micro-benchmark, 1 row/txn", ipc_rw);
+  bench::PrintHeader("Figure 21 (appendix)",
+                     "Stall cycles per k-instruction (read-write)");
+  core::PrintStallsPerKInstr("Read-write micro-benchmark", stalls_rw);
+  bench::PrintHeader("Figure 22 (appendix)",
+                     "Stall cycles per transaction, 100GB (read-write)");
+  core::PrintStallsPerTxn("Read-write micro-benchmark, 100GB",
+                          per_txn_rw);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figures 4-6 (and appendix twins 23-25): sensitivity to the amount of
+// work per transaction at 100GB. The number of rows read (updated) per
+// transaction grows 1 → 10 → 100.
+//
+//   Fig 4 / 23: IPC vs rows per transaction
+//   Fig 5 / 24: stall cycles per 1000 instructions
+//   Fig 6 / 25: stall cycles per transaction
+
+#include "bench/bench_common.h"
+
+using namespace imoltp;
+
+int main() {
+  constexpr uint64_t kNominal = 100ULL << 30;
+  constexpr uint64_t kResidentRows = 2'000'000;
+  const int kRowCounts[] = {1, 10, 100};
+
+  std::vector<core::ReportRow> ipc_ro, ipc_rw;
+  std::vector<core::ReportRow> stalls_ro, stalls_rw;
+  std::vector<core::ReportRow> txn_ro, txn_rw;
+
+  for (engine::EngineKind kind : bench::AllEngines()) {
+    // One populated 100GB database per engine; six windows on it.
+    core::MicroConfig base;
+    base.nominal_bytes = kNominal;
+    base.max_resident_rows = kResidentRows;
+    core::MicroBenchmark schema_source(base);
+    core::ExperimentRunner runner(bench::HeavyTxnConfig(kind),
+                                  &schema_source);
+
+    for (int rows : kRowCounts) {
+      std::fprintf(stderr, "  running %s, %d rows...\n",
+                   engine::EngineKindName(kind), rows);
+      core::MicroConfig cfg = base;
+      cfg.rows_per_txn = rows;
+      core::MicroBenchmark ro(cfg);
+      cfg.read_write = true;
+      core::MicroBenchmark rw(cfg);
+
+      const std::string label =
+          bench::Label(kind, std::to_string(rows) + " rows");
+      const mcsim::WindowReport ro_report = runner.Run(&ro);
+      ipc_ro.push_back({label, ro_report});
+      stalls_ro.push_back({label, ro_report});
+      txn_ro.push_back({label, ro_report});
+
+      const mcsim::WindowReport rw_report = runner.Run(&rw);
+      ipc_rw.push_back({label, rw_report});
+      stalls_rw.push_back({label, rw_report});
+      txn_rw.push_back({label, rw_report});
+    }
+  }
+
+  bench::PrintHeader("Figure 4",
+                     "IPC vs rows read per transaction (100GB)");
+  core::PrintIpc("Read-only micro-benchmark", ipc_ro);
+  bench::PrintHeader("Figure 5",
+                     "Stall cycles per k-instruction vs rows read");
+  core::PrintStallsPerKInstr("Read-only micro-benchmark", stalls_ro);
+  bench::PrintHeader("Figure 6",
+                     "Stall cycles per transaction vs rows read");
+  core::PrintStallsPerTxn("Read-only micro-benchmark", txn_ro);
+
+  bench::PrintHeader("Figure 23 (appendix)",
+                     "IPC vs rows updated per transaction (100GB)");
+  core::PrintIpc("Read-write micro-benchmark", ipc_rw);
+  bench::PrintHeader("Figure 24 (appendix)",
+                     "Stall cycles per k-instruction vs rows updated");
+  core::PrintStallsPerKInstr("Read-write micro-benchmark", stalls_rw);
+  bench::PrintHeader("Figure 25 (appendix)",
+                     "Stall cycles per transaction vs rows updated");
+  core::PrintStallsPerTxn("Read-write micro-benchmark", txn_rw);
+  return 0;
+}

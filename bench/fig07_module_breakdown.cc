@@ -1,0 +1,49 @@
+// Figure 7: the percentage of execution time spent inside the OLTP
+// engine (storage manager) as work per transaction grows, for the three
+// systems the paper breaks down: DBMS D, VoltDB, and DBMS M.
+
+#include "bench/bench_common.h"
+
+using namespace imoltp;
+
+int main() {
+  constexpr uint64_t kNominal = 100ULL << 30;
+  const engine::EngineKind kEngines[] = {engine::EngineKind::kDbmsD,
+                                         engine::EngineKind::kVoltDb,
+                                         engine::EngineKind::kDbmsM};
+  const int kRowCounts[] = {1, 10, 100};
+
+  std::vector<core::ReportRow> shares;
+  std::vector<core::ReportRow> details;
+
+  for (engine::EngineKind kind : kEngines) {
+    core::MicroConfig base;
+    base.nominal_bytes = kNominal;
+    base.max_resident_rows = 2'000'000;
+    core::MicroBenchmark schema_source(base);
+    core::ExperimentRunner runner(bench::HeavyTxnConfig(kind),
+                                  &schema_source);
+    for (int rows : kRowCounts) {
+      std::fprintf(stderr, "  running %s, %d rows...\n",
+                   engine::EngineKindName(kind), rows);
+      core::MicroConfig cfg = base;
+      cfg.rows_per_txn = rows;
+      core::MicroBenchmark wl(cfg);
+      const mcsim::WindowReport report = runner.Run(&wl);
+      const std::string label =
+          bench::Label(kind, std::to_string(rows) + " rows");
+      shares.push_back({label, report});
+      if (rows == 10) details.push_back({label, report});
+    }
+  }
+
+  bench::PrintHeader("Figure 7",
+                     "% of time inside the OLTP engine vs rows read");
+  core::PrintEngineShare("Read-only micro-benchmark, 100GB", shares);
+
+  // Supporting detail: the full per-module breakdown at 10 rows.
+  for (const core::ReportRow& row : details) {
+    core::PrintModuleBreakdown("Module detail", row);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figures 10-12: TPC-C (full five-transaction mix) at the 100GB scale.
+//
+//   Fig 10: IPC per system
+//   Fig 11: stall cycles per 1000 instructions
+//   Fig 12: stall cycles per transaction
+//
+// DBMS M runs its cache-conscious B-tree for TPC-C, as in the paper
+// (Section 3: hash for micro/TPC-B, B-tree for TPC-C).
+
+#include "bench/bench_common.h"
+#include "core/tpcc.h"
+
+using namespace imoltp;
+
+int main() {
+  std::vector<core::ReportRow> ipc, stalls, per_txn;
+
+  for (engine::EngineKind kind : bench::AllEngines()) {
+    std::fprintf(stderr, "  running %s...\n",
+                 engine::EngineKindName(kind));
+    core::TpccConfig tcfg;  // 8 warehouses, spread to full-scale density
+    core::TpccBenchmark wl(tcfg);
+    core::ExperimentConfig cfg = bench::HeavyTxnConfig(kind);
+    cfg.measure_txns = 2500;
+    cfg.engine_options.dbms_m_index = index::IndexKind::kBTreeCc;
+    const mcsim::WindowReport report = core::RunExperiment(cfg, &wl);
+    const std::string label(engine::EngineKindName(kind));
+    ipc.push_back({label, report});
+    stalls.push_back({label, report});
+    per_txn.push_back({label, report});
+  }
+
+  bench::PrintHeader("Figure 10", "TPC-C IPC (100GB-scale)");
+  core::PrintIpc("TPC-C standard mix", ipc);
+  bench::PrintHeader("Figure 11",
+                     "TPC-C stall cycles per 1000 instructions");
+  core::PrintStallsPerKInstr("TPC-C standard mix", stalls);
+  bench::PrintHeader("Figure 12", "TPC-C stall cycles per transaction");
+  core::PrintStallsPerTxn("TPC-C standard mix", per_txn);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 13 (and appendix twin Figure 26): the impact of index structure
+// and transaction compilation on DBMS M — the one system where both can
+// be toggled. Micro-benchmark, 10 rows per transaction, 100GB.
+//
+// Four configurations: {hash, B-tree} x {with, without compilation},
+// read-only (Fig 13) and read-write (Fig 26).
+
+#include "bench/bench_common.h"
+
+using namespace imoltp;
+
+int main() {
+  constexpr uint64_t kNominal = 100ULL << 30;
+  struct Cell {
+    const char* label;
+    index::IndexKind index;
+    bool compilation;
+  };
+  const Cell kCells[] = {
+      {"Hash w/ compilation", index::IndexKind::kHash, true},
+      {"Hash w/o compilation", index::IndexKind::kHash, false},
+      {"B-tree w/ compilation", index::IndexKind::kBTreeCc, true},
+      {"B-tree w/o compilation", index::IndexKind::kBTreeCc, false},
+  };
+
+  std::vector<core::ReportRow> ro_rows, rw_rows;
+  for (const Cell& cell : kCells) {
+    std::fprintf(stderr, "  running %s...\n", cell.label);
+    core::MicroConfig mcfg;
+    mcfg.nominal_bytes = kNominal;
+    mcfg.max_resident_rows = 2'000'000;
+    mcfg.rows_per_txn = 10;
+    core::MicroBenchmark ro(mcfg);
+    mcfg.read_write = true;
+    core::MicroBenchmark rw(mcfg);
+
+    core::ExperimentConfig cfg =
+        bench::HeavyTxnConfig(engine::EngineKind::kDbmsM);
+    cfg.engine_options.dbms_m_index = cell.index;
+    cfg.engine_options.compilation = cell.compilation;
+    core::ExperimentRunner runner(cfg, &ro);
+    ro_rows.push_back({cell.label, runner.Run(&ro)});
+    rw_rows.push_back({cell.label, runner.Run(&rw)});
+  }
+
+  bench::PrintHeader(
+      "Figure 13",
+      "DBMS M index x compilation, micro 10 rows 100GB (read-only)");
+  core::PrintStallsPerKInstr("Read-only", ro_rows);
+  bench::PrintHeader(
+      "Figure 26 (appendix)",
+      "DBMS M index x compilation, micro 10 rows 100GB (read-write)");
+  core::PrintStallsPerKInstr("Read-write", rw_rows);
+  return 0;
+}

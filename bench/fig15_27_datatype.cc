@@ -1,0 +1,46 @@
+// Figure 15 (and appendix twin Figure 27): the impact of the column data
+// type — two 50-byte Strings vs two 8-byte Longs — on the in-memory
+// systems. Larger items give better spatial locality per comparison, so
+// LLC data stalls per k-instruction drop for the tree-indexed engines
+// (Section 6.2).
+
+#include "bench/bench_common.h"
+
+using namespace imoltp;
+
+int main() {
+  constexpr uint64_t kNominal = 100ULL << 30;
+  const engine::EngineKind kEngines[] = {engine::EngineKind::kVoltDb,
+                                         engine::EngineKind::kHyPer,
+                                         engine::EngineKind::kDbmsM};
+
+  std::vector<core::ReportRow> ro_rows, rw_rows;
+  for (engine::EngineKind kind : kEngines) {
+    for (bool strings : {true, false}) {
+      std::fprintf(stderr, "  running %s %s...\n",
+                   engine::EngineKindName(kind),
+                   strings ? "String" : "Long");
+      core::MicroConfig mcfg;
+      mcfg.nominal_bytes = kNominal;
+      mcfg.max_resident_rows = 2'000'000;
+      mcfg.string_columns = strings;
+      core::MicroBenchmark ro(mcfg);
+      mcfg.read_write = true;
+      core::MicroBenchmark rw(mcfg);
+
+      core::ExperimentRunner runner(bench::DefaultConfig(kind), &ro);
+      const std::string label =
+          bench::Label(kind, strings ? "String" : "Long");
+      ro_rows.push_back({label, runner.Run(&ro)});
+      rw_rows.push_back({label, runner.Run(&rw)});
+    }
+  }
+
+  bench::PrintHeader("Figure 15",
+                     "String vs Long data types (read-only, 100GB)");
+  core::PrintStallsPerKInstr("Read-only micro-benchmark", ro_rows);
+  bench::PrintHeader("Figure 27 (appendix)",
+                     "String vs Long data types (read-write, 100GB)");
+  core::PrintStallsPerKInstr("Read-write micro-benchmark", rw_rows);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figures 16 and 18: the multi-threaded micro-benchmark (read-only,
+// 1 row, 100GB). Four workers per system; VoltDB gets four single-site
+// partitions. HyPer is omitted as in the paper (its demo version only
+// supports single-threaded execution, Section 3).
+//
+//   Fig 16: IPC
+//   Fig 18: stall cycles per 1000 instructions
+
+#include "bench/bench_common.h"
+
+using namespace imoltp;
+
+int main() {
+  const engine::EngineKind kEngines[] = {
+      engine::EngineKind::kShoreMt, engine::EngineKind::kDbmsD,
+      engine::EngineKind::kVoltDb, engine::EngineKind::kDbmsM};
+  constexpr int kWorkers = 4;
+
+  std::vector<core::ReportRow> rows;
+  for (engine::EngineKind kind : kEngines) {
+    std::fprintf(stderr, "  running %s x%d workers...\n",
+                 engine::EngineKindName(kind), kWorkers);
+    core::MicroConfig mcfg;
+    mcfg.nominal_bytes = 100ULL << 30;
+    mcfg.max_resident_rows = 2'000'000;
+    mcfg.num_partitions = kWorkers;
+    core::MicroBenchmark wl(mcfg);
+    core::ExperimentConfig cfg = bench::DefaultConfig(kind);
+    cfg.num_workers = kWorkers;
+    cfg.measure_txns = 3000;  // per worker
+    rows.push_back({engine::EngineKindName(kind),
+                    core::RunExperiment(cfg, &wl)});
+  }
+
+  bench::PrintHeader("Figure 16",
+                     "Multi-threaded micro-benchmark IPC (4 workers)");
+  core::PrintIpc("Read-only, 1 row, 100GB", rows);
+  bench::PrintHeader(
+      "Figure 18",
+      "Multi-threaded micro-benchmark stalls per k-instruction");
+  core::PrintStallsPerKInstr("Read-only, 1 row, 100GB", rows);
+  return 0;
+}

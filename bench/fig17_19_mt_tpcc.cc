@@ -1,0 +1,40 @@
+// Figures 17 and 19: multi-threaded TPC-C. Four workers per system
+// (VoltDB: four partitions, warehouses divided among them); HyPer
+// omitted as in the paper.
+//
+//   Fig 17: IPC
+//   Fig 19: stall cycles per 1000 instructions
+
+#include "bench/bench_common.h"
+#include "core/tpcc.h"
+
+using namespace imoltp;
+
+int main() {
+  const engine::EngineKind kEngines[] = {
+      engine::EngineKind::kShoreMt, engine::EngineKind::kDbmsD,
+      engine::EngineKind::kVoltDb, engine::EngineKind::kDbmsM};
+  constexpr int kWorkers = 4;
+
+  std::vector<core::ReportRow> rows;
+  for (engine::EngineKind kind : kEngines) {
+    std::fprintf(stderr, "  running %s x%d workers...\n",
+                 engine::EngineKindName(kind), kWorkers);
+    core::TpccConfig tcfg;
+    tcfg.num_partitions = kWorkers;  // 8 warehouses over 4 partitions
+    core::TpccBenchmark wl(tcfg);
+    core::ExperimentConfig cfg = bench::HeavyTxnConfig(kind);
+    cfg.num_workers = kWorkers;
+    cfg.measure_txns = 1200;  // per worker
+    cfg.engine_options.dbms_m_index = index::IndexKind::kBTreeCc;
+    rows.push_back({engine::EngineKindName(kind),
+                    core::RunExperiment(cfg, &wl)});
+  }
+
+  bench::PrintHeader("Figure 17", "Multi-threaded TPC-C IPC (4 workers)");
+  core::PrintIpc("TPC-C standard mix", rows);
+  bench::PrintHeader("Figure 19",
+                     "Multi-threaded TPC-C stalls per k-instruction");
+  core::PrintStallsPerKInstr("TPC-C standard mix", rows);
+  return 0;
+}

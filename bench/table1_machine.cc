@@ -1,0 +1,50 @@
+// Table 1: the simulated server parameters — the exact geometry of the
+// paper's Intel Xeon E5-2640 v2 (Ivy Bridge) testbed, plus the cycle
+// model constants this reproduction layers on top (see DESIGN.md).
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "mcsim/config.h"
+
+int main() {
+  using imoltp::FormatBytes;
+  const imoltp::mcsim::MachineConfig c;
+
+  std::printf("Table 1: Server Parameters (simulated)\n");
+  std::printf("---------------------------------------------------\n");
+  std::printf("%-28s %s\n", "Processor",
+              "Intel Xeon E5-2640 v2 (Ivy Bridge), simulated");
+  std::printf("%-28s %d\n", "#Simulated cores (default)", c.num_cores);
+  std::printf("%-28s %d-wide\n", "Issue width", c.issue_width);
+  std::printf("%-28s %.2fGHz\n", "Clock speed", c.clock_ghz);
+  std::printf("%-28s %s / %s, %u-way, %.0f-cycle miss\n", "L1I / L1D",
+              FormatBytes(c.l1i.size_bytes).c_str(),
+              FormatBytes(c.l1d.size_bytes).c_str(), c.l1i.associativity,
+              c.cycle.l1_miss_penalty);
+  std::printf("%-28s %s, %u-way, %.0f-cycle miss\n", "L2 (per core)",
+              FormatBytes(c.l2.size_bytes).c_str(), c.l2.associativity,
+              c.cycle.l2_miss_penalty);
+  std::printf("%-28s %s, %u-way, %.0f-cycle miss\n", "LLC (shared)",
+              FormatBytes(c.llc.size_bytes).c_str(), c.llc.associativity,
+              c.cycle.llc_miss_penalty);
+  std::printf("%-28s %s lines, %u pages + %u STLB entries\n", "dTLB",
+              c.model_tlb ? "modeled" : "off",
+              static_cast<unsigned>(c.dtlb.size_bytes / 64),
+              static_cast<unsigned>(c.stlb.size_bytes / 64));
+
+  std::printf("\nCycle model (see DESIGN.md)\n");
+  std::printf("---------------------------------------------------\n");
+  std::printf("%-28s %.3f\n", "Base CPI (substrate code)",
+              c.cycle.base_cpi);
+  std::printf("%-28s %.2fx\n", "Frontend miss amplification",
+              c.cycle.frontend_amplification);
+  std::printf("%-28s %.2f / %.2f / %.2f\n",
+              "Data miss multipliers L1/L2/LLC", c.cycle.data_amp_l1,
+              c.cycle.data_amp_l2, c.cycle.data_amp_llc);
+  std::printf("%-28s %.0f cycles\n", "Branch mispredict penalty",
+              c.cycle.mispredict_penalty);
+  std::printf("%-28s %.0f cycles + PTE load\n", "dTLB walk",
+              c.cycle.tlb_walk_cycles);
+  return 0;
+}

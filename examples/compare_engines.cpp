@@ -1,0 +1,55 @@
+// The paper's headline experiment as a short program: run the same
+// micro-benchmark on all five engine archetypes at two database sizes
+// and watch the crossover — the compiled in-memory engine is ~2x faster
+// per instruction when data fits in the LLC and the slowest when it
+// doesn't, while no engine comes close to the 4-wide issue width.
+//
+//   ./compare_engines [small-mb] [huge-gb]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "core/microbench.h"
+#include "common/format.h"
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  using namespace imoltp;
+
+  const uint64_t small_mb =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
+  const uint64_t huge_gb =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100;
+
+  const engine::EngineKind kEngines[] = {
+      engine::EngineKind::kShoreMt, engine::EngineKind::kDbmsD,
+      engine::EngineKind::kVoltDb, engine::EngineKind::kHyPer,
+      engine::EngineKind::kDbmsM};
+
+  for (uint64_t nominal :
+       {small_mb << 20, huge_gb << 30}) {
+    std::vector<core::ReportRow> rows;
+    for (engine::EngineKind kind : kEngines) {
+      core::MicroConfig mcfg;
+      mcfg.nominal_bytes = nominal;
+      core::MicroBenchmark workload(mcfg);
+
+      core::ExperimentConfig cfg;
+      cfg.engine = kind;
+      rows.push_back({engine::EngineKindName(kind),
+                      core::RunExperiment(cfg, &workload)});
+    }
+    std::printf("\n########## database size: %s ##########\n",
+                imoltp::FormatBytes(nominal).c_str());
+    core::PrintIpc("All engines, micro-benchmark (read-only, 1 row)",
+                   rows);
+    core::PrintStallsPerKInstr("Where the cycles go", rows);
+  }
+
+  std::printf(
+      "\nThe paper's conclusion, reproduced: despite lighter storage\n"
+      "managers, in-memory OLTP under-utilizes the core just like\n"
+      "disk-based OLTP — the stalls only move from the L1I to the LLC.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: profile one OLTP engine archetype on the paper's
+// micro-benchmark and print the metrics the paper reports — IPC and the
+// memory-stall breakdown per level of the cache hierarchy.
+//
+//   ./quickstart [engine] [db-size-mb] [rows-per-txn]
+//
+// engine: shore-mt | dbms-d | voltdb | hyper | dbms-m   (default hyper)
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.h"
+#include "core/microbench.h"
+#include "core/report.h"
+
+namespace {
+
+imoltp::engine::EngineKind ParseEngine(const char* s) {
+  using imoltp::engine::EngineKind;
+  if (std::strcmp(s, "shore-mt") == 0) return EngineKind::kShoreMt;
+  if (std::strcmp(s, "dbms-d") == 0) return EngineKind::kDbmsD;
+  if (std::strcmp(s, "voltdb") == 0) return EngineKind::kVoltDb;
+  if (std::strcmp(s, "dbms-m") == 0) return EngineKind::kDbmsM;
+  return EngineKind::kHyPer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace imoltp;
+
+  const engine::EngineKind kind =
+      ParseEngine(argc > 1 ? argv[1] : "hyper");
+  const uint64_t mb = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10;
+  const int rows = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  // 1. Describe the workload: the paper's two-column micro-benchmark.
+  core::MicroConfig mcfg;
+  mcfg.nominal_bytes = mb << 20;
+  mcfg.rows_per_txn = rows;
+  core::MicroBenchmark workload(mcfg);
+
+  // 2. Pick the engine archetype and run: populate, warm up, measure.
+  core::ExperimentConfig cfg;
+  cfg.engine = kind;
+  core::ExperimentRunner runner(cfg, &workload);
+  const mcsim::WindowReport report = runner.Run(&workload);
+
+  // 3. Read the counters like a VTune session.
+  std::printf("engine           : %s\n", runner.engine()->name());
+  std::printf("database         : %lluMB (%llu rows)\n",
+              static_cast<unsigned long long>(mb),
+              static_cast<unsigned long long>(workload.num_rows()));
+  std::printf("transactions     : %.0f\n", report.transactions);
+  std::printf("IPC              : %.2f  (4-wide core)\n", report.ipc);
+  std::printf("instructions/txn : %.0f\n", report.instructions_per_txn);
+  std::printf("cycles/txn       : %.0f\n", report.cycles_per_txn);
+
+  core::ReportRow row{"micro-benchmark", report};
+  core::PrintStallsPerKInstr("Stalls", {row});
+  core::PrintStallsPerTxn("Stalls", {row});
+  core::PrintCycleAccounting("Top-down view", {row});
+  core::PrintModuleBreakdown("Where cycles go", row);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// TPC-C end to end: populate a wholesale-supplier database, run the
+// standard five-transaction mix on a disk-based and an in-memory engine,
+// verify the TPC-C consistency conditions, and compare the profiles.
+//
+//   ./tpcc_demo [warehouses]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/tpcc.h"
+
+using namespace imoltp;
+
+namespace {
+
+// TPC-C consistency condition (clause 3.3.2.1): for every warehouse,
+// W_YTD equals the sum of its districts' D_YTD.
+bool CheckConsistency(engine::Engine* engine,
+                      const core::TpccConfig& cfg) {
+  using core::TpccBenchmark;
+  engine::TxnRequest req;
+  req.key_space = cfg.warehouses;
+  bool ok = true;
+  const Status s = engine->Execute(0, req, [&](engine::TxnContext& ctx) {
+    const storage::Schema wsch({storage::ColumnType::kLong,
+                                storage::ColumnType::kLong,
+                                storage::ColumnType::kString});
+    const storage::Schema dsch(
+        {storage::ColumnType::kLong, storage::ColumnType::kLong,
+         storage::ColumnType::kLong, storage::ColumnType::kString});
+    uint8_t row[160];
+    for (int w = 0; w < cfg.warehouses; ++w) {
+      storage::RowId rid;
+      Status st = ctx.Probe(TpccBenchmark::kWarehouse,
+                            index::Key::FromUint64(w), &rid);
+      if (!st.ok()) return st;
+      st = ctx.Read(TpccBenchmark::kWarehouse, rid, row);
+      if (!st.ok()) return st;
+      const int64_t w_ytd = wsch.GetLong(row, 1);
+      int64_t d_sum = 0;
+      for (uint64_t d = 0; d < TpccBenchmark::kDistrictsPerWarehouse;
+           ++d) {
+        st = ctx.Probe(
+            TpccBenchmark::kDistrict,
+            index::Key::FromUint64(TpccBenchmark::DistrictKey(w, d)),
+            &rid);
+        if (!st.ok()) return st;
+        st = ctx.Read(TpccBenchmark::kDistrict, rid, row);
+        if (!st.ok()) return st;
+        d_sum += dsch.GetLong(row, 1);
+      }
+      if (w_ytd != d_sum) ok = false;
+    }
+    return Status::Ok();
+  });
+  return s.ok() && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::TpccConfig tcfg;
+  tcfg.warehouses = argc > 1 ? std::atoi(argv[1]) : 4;
+  tcfg.orders_per_district = 300;
+
+  std::vector<core::ReportRow> rows;
+  for (engine::EngineKind kind :
+       {engine::EngineKind::kShoreMt, engine::EngineKind::kHyPer}) {
+    core::TpccBenchmark workload(tcfg);
+    core::ExperimentConfig cfg;
+    cfg.engine = kind;
+    cfg.warmup_txns = 300;
+    cfg.measure_txns = 1500;
+    cfg.engine_options.dbms_m_index = index::IndexKind::kBTreeCc;
+
+    std::printf("populating %d warehouses on %s...\n", tcfg.warehouses,
+                engine::EngineKindName(kind));
+    core::ExperimentRunner runner(cfg, &workload);
+    const mcsim::WindowReport report = runner.Run(&workload);
+    rows.push_back({engine::EngineKindName(kind), report});
+
+    const auto& mix = workload.mix_counts();
+    std::printf(
+        "  mix: %llu new-order, %llu payment, %llu order-status, "
+        "%llu delivery, %llu stock-level\n",
+        static_cast<unsigned long long>(mix.new_order),
+        static_cast<unsigned long long>(mix.payment),
+        static_cast<unsigned long long>(mix.order_status),
+        static_cast<unsigned long long>(mix.delivery),
+        static_cast<unsigned long long>(mix.stock_level));
+    std::printf("  consistency (W_YTD == sum D_YTD): %s\n",
+                CheckConsistency(runner.engine(), tcfg) ? "PASS"
+                                                        : "FAIL");
+  }
+
+  core::PrintIpc("TPC-C standard mix", rows);
+  core::PrintStallsPerKInstr("TPC-C standard mix", rows);
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Address/UB-sanitized build and test run (slow; use for changes to the
+# index/storage/engine internals).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build-asan -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -O1"
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, regenerate
+# every figure, and leave the outputs next to the sources.
+#
+#   scripts/check.sh [build-dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $(basename "$b") ====="
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,65 @@
+#ifndef IMOLTP_COMMON_RNG_H_
+#define IMOLTP_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace imoltp {
+
+/// Deterministic xoshiro256** PRNG. Every experiment in the harness is
+/// seeded explicitly so runs are exactly reproducible (the paper averaged
+/// three noisy hardware runs; the simulator needs no such averaging).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// TPC-C style non-uniform random (NURand), clause 2.1.6.
+  uint64_t NonUniform(uint64_t a, uint64_t c, uint64_t lo, uint64_t hi) {
+    return (((Range(0, a) | Range(lo, hi)) + c) % (hi - lo + 1)) + lo;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace imoltp
+
+#endif  // IMOLTP_COMMON_RNG_H_

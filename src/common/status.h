@@ -1,0 +1,102 @@
+#ifndef IMOLTP_COMMON_STATUS_H_
+#define IMOLTP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace imoltp {
+
+/// Error codes used across the library. The project does not use C++
+/// exceptions on any path that executes during simulation; fallible
+/// operations return Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kAborted,          // transaction aborted (conflict, deadlock, validation)
+  kInvalidArgument,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// A lightweight absl::Status-style result type.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Aborted(std::string m = "aborted") {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = "invalid argument") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m = "resource exhausted") {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m = "internal error") {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kAborted: return "ABORTED";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Minimal StatusOr: either an error Status or a value.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T& operator*() { return value_; }
+  const T& operator*() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace imoltp
+
+#endif  // IMOLTP_COMMON_STATUS_H_

@@ -1,0 +1,64 @@
+#include "core/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace imoltp::core {
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig& config,
+                                   Workload* schema_source)
+    : config_(config) {
+  mcsim::MachineConfig mc = config.machine_config;
+  mc.num_cores = config.num_workers;
+  machine_ = std::make_unique<mcsim::MachineSim>(mc);
+
+  engine::EngineOptions opts = config.engine_options;
+  opts.num_partitions = config.num_workers;
+  engine_ = engine::CreateEngine(config.engine, machine_.get(), opts);
+
+  const Status s = engine_->CreateDatabase(schema_source->Tables());
+  if (!s.ok()) {
+    std::fprintf(stderr, "CreateDatabase(%s) failed: %s\n",
+                 engine_->name(), s.ToString().c_str());
+    std::abort();
+  }
+}
+
+mcsim::WindowReport ExperimentRunner::Run(Workload* workload) {
+  const int workers = config_.num_workers;
+  std::vector<Rng> rngs;
+  rngs.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    rngs.emplace_back(config_.seed * 7919 + runs_ * 104729 + i);
+  }
+  ++runs_;
+
+  // Warm-up: simulation on (caches fill), profiler not yet attached.
+  for (uint64_t t = 0; t < config_.warmup_txns; ++t) {
+    for (int w = 0; w < workers; ++w) {
+      (void)workload->RunTransaction(engine_.get(), w, &rngs[w]);
+    }
+  }
+
+  // Measurement window, filtered to the worker cores.
+  mcsim::Profiler profiler(machine_.get());
+  std::vector<int> cores;
+  for (int w = 0; w < workers; ++w) cores.push_back(w);
+  profiler.BeginWindow(cores);
+  for (uint64_t t = 0; t < config_.measure_txns; ++t) {
+    for (int w = 0; w < workers; ++w) {
+      const Status s =
+          workload->RunTransaction(engine_.get(), w, &rngs[w]);
+      if (!s.ok()) ++aborts_;
+    }
+  }
+  return profiler.EndWindow();
+}
+
+mcsim::WindowReport RunExperiment(const ExperimentConfig& config,
+                                  Workload* workload) {
+  ExperimentRunner runner(config, workload);
+  return runner.Run(workload);
+}
+
+}  // namespace imoltp::core

@@ -1,0 +1,64 @@
+#ifndef IMOLTP_CORE_EXPERIMENT_H_
+#define IMOLTP_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/workload.h"
+#include "engine/engine.h"
+#include "mcsim/machine.h"
+#include "mcsim/profiler.h"
+
+namespace imoltp::core {
+
+/// Everything that parameterizes one measured run: the engine archetype,
+/// worker count (== simulated cores == partitions for the partitioned
+/// engines), warm-up and measurement windows (per worker), and the
+/// engine/machine options.
+struct ExperimentConfig {
+  engine::EngineKind engine = engine::EngineKind::kShoreMt;
+  int num_workers = 1;
+  uint64_t warmup_txns = 2000;   // per worker, profiler detached
+  uint64_t measure_txns = 6000;  // per worker, profiler attached
+  uint64_t seed = 42;
+  engine::EngineOptions engine_options;
+  mcsim::MachineConfig machine_config;
+};
+
+/// Builds a machine + engine + populated database once and runs measured
+/// windows against it — the paper's populate → warm up → attach VTune →
+/// measure methodology (Section 3). Multiple windows may run on one
+/// runner (e.g., the read-only and read-write micro-benchmark variants
+/// share a populated database).
+class ExperimentRunner {
+ public:
+  /// Creates the engine and populates the database from `schema_source`'s
+  /// table definitions.
+  ExperimentRunner(const ExperimentConfig& config, Workload* schema_source);
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// Warm-up (profiler detached) then measurement window (attached).
+  /// Returns the paper's per-worker-averaged metrics.
+  mcsim::WindowReport Run(Workload* workload);
+
+  engine::Engine* engine() { return engine_.get(); }
+  mcsim::MachineSim* machine() { return machine_.get(); }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<mcsim::MachineSim> machine_;
+  std::unique_ptr<engine::Engine> engine_;
+  uint64_t aborts_ = 0;
+  uint64_t runs_ = 0;
+};
+
+/// One-shot convenience: build, populate, run.
+mcsim::WindowReport RunExperiment(const ExperimentConfig& config,
+                                  Workload* workload);
+
+}  // namespace imoltp::core
+
+#endif  // IMOLTP_CORE_EXPERIMENT_H_

@@ -1,0 +1,53 @@
+#ifndef IMOLTP_CORE_MICROBENCH_H_
+#define IMOLTP_CORE_MICROBENCH_H_
+
+#include "core/workload.h"
+
+namespace imoltp::core {
+
+/// The paper's micro-benchmark (Section 3, "Benchmarks"): one randomly
+/// generated two-column table (key, value), both Long — or both 50-byte
+/// String for the data-type experiment. The read-only variant reads N
+/// random rows per transaction after an index probe; the read-write
+/// variant updates them.
+struct MicroConfig {
+  /// Nominal database size ("1MB" … "100GB"). Row count and address
+  /// spreading are derived; see DESIGN.md, Substitutions.
+  uint64_t nominal_bytes = 1 << 20;
+
+  /// Resident-row cap for the sparse configurations.
+  uint64_t max_resident_rows = 2'000'000;
+
+  int rows_per_txn = 1;
+  bool read_write = false;
+  bool string_columns = false;
+  int num_partitions = 1;
+};
+
+class MicroBenchmark final : public Workload {
+ public:
+  explicit MicroBenchmark(const MicroConfig& config);
+
+  const char* name() const override {
+    return config_.read_write ? "micro-rw" : "micro-ro";
+  }
+  std::vector<engine::TableDef> Tables() const override;
+  Status RunTransaction(engine::Engine* engine, int worker,
+                        Rng* rng) override;
+
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Transaction-type ids (for compiled engines).
+  static constexpr int kTxnRead = 1;
+  static constexpr int kTxnUpdate = 2;
+
+ private:
+  index::Key MakeKey(uint64_t id) const;
+
+  MicroConfig config_;
+  uint64_t num_rows_;
+};
+
+}  // namespace imoltp::core
+
+#endif  // IMOLTP_CORE_MICROBENCH_H_

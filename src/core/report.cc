@@ -1,0 +1,113 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+namespace imoltp::core {
+
+namespace {
+
+void PrintTitle(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void PrintStallTable(const std::string& title,
+                     const std::vector<ReportRow>& rows, bool per_txn) {
+  PrintTitle(title);
+  std::printf("%-28s %9s %9s %9s %9s %9s %9s %10s\n", "config", "L1I",
+              "L2I", "LLC-I", "L1D", "L2D", "LLC-D", "total");
+  for (const ReportRow& r : rows) {
+    const mcsim::StallBreakdown& b =
+        per_txn ? r.report.stalls_per_txn : r.report.stalls_per_kinstr;
+    std::printf("%-28s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %10.1f\n",
+                r.label.c_str(), b.stalls[0], b.stalls[1], b.stalls[2],
+                b.stalls[3], b.stalls[4], b.stalls[5], b.total());
+  }
+}
+
+}  // namespace
+
+void PrintIpc(const std::string& title,
+              const std::vector<ReportRow>& rows) {
+  PrintTitle(title);
+  std::printf("%-28s %6s %14s %14s\n", "config", "IPC", "instr/txn",
+              "cycles/txn");
+  for (const ReportRow& r : rows) {
+    std::printf("%-28s %6.2f %14.0f %14.0f\n", r.label.c_str(),
+                r.report.ipc, r.report.instructions_per_txn,
+                r.report.cycles_per_txn);
+  }
+}
+
+void PrintStallsPerKInstr(const std::string& title,
+                          const std::vector<ReportRow>& rows) {
+  PrintStallTable(title + " [stall cycles per 1000 instructions]", rows,
+                  /*per_txn=*/false);
+}
+
+void PrintStallsPerTxn(const std::string& title,
+                       const std::vector<ReportRow>& rows) {
+  PrintStallTable(title + " [stall cycles per transaction]", rows,
+                  /*per_txn=*/true);
+}
+
+void PrintEngineShare(const std::string& title,
+                      const std::vector<ReportRow>& rows) {
+  PrintTitle(title);
+  std::printf("%-28s %22s\n", "config", "%% inside OLTP engine");
+  for (const ReportRow& r : rows) {
+    std::printf("%-28s %21.1f%%\n", r.label.c_str(),
+                r.report.engine_cycle_fraction * 100.0);
+  }
+}
+
+void PrintModuleBreakdown(const std::string& title, const ReportRow& row) {
+  PrintTitle(title + " — " + row.label);
+  std::printf("%-20s %8s %12s %8s\n", "module", "side", "cycles", "share");
+  for (const mcsim::ModuleShare& m : row.report.module_breakdown) {
+    std::printf("%-20s %8s %12.0f %7.1f%%\n", m.name.c_str(),
+                m.inside_engine ? "engine" : "outside", m.cycles,
+                m.fraction * 100.0);
+  }
+}
+
+void PrintCycleAccounting(const std::string& title,
+                          const std::vector<ReportRow>& rows,
+                          const mcsim::CycleModelParams& params) {
+  PrintTitle(title + " [share of modeled cycles]");
+  std::printf("%-28s %9s %9s %9s %9s %9s\n", "config", "retiring",
+              "frontend", "memory", "badspec", "cyc/txn");
+  for (const ReportRow& r : rows) {
+    const auto& rep = r.report;
+    const double workers = rep.num_workers > 0 ? rep.num_workers : 1;
+    const mcsim::LevelMisses& m = rep.misses;  // summed over workers
+    const double frontend =
+        (static_cast<double>(m.l1i) * params.l1_miss_penalty +
+         static_cast<double>(m.l2i) * params.l2_miss_penalty +
+         static_cast<double>(m.llc_i) * params.llc_miss_penalty) *
+        params.frontend_amplification / workers;
+    const double memory =
+        (static_cast<double>(m.l1d) * params.l1_miss_penalty *
+             params.data_amp_l1 +
+         static_cast<double>(m.l2d) * params.l2_miss_penalty *
+             params.data_amp_l2 +
+         static_cast<double>(m.llc_d) * params.llc_miss_penalty *
+             mcsim::EffectiveLlcAmp(
+                 m.llc_d,
+                 static_cast<uint64_t>(rep.instructions * workers),
+                 params)) /
+            workers +
+        rep.tlb_misses * params.tlb_walk_cycles;
+    const double badspec =
+        rep.mispredictions * params.mispredict_penalty;
+    const double retiring = rep.base_cycles;
+    const double total = retiring + frontend + memory + badspec;
+    if (total <= 0) continue;
+    std::printf("%-28s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %9.0f\n",
+                r.label.c_str(), 100 * retiring / total,
+                100 * frontend / total, 100 * memory / total,
+                100 * badspec / total,
+                rep.transactions > 0 ? total / rep.transactions : 0.0);
+  }
+}
+
+}  // namespace imoltp::core

@@ -1,0 +1,41 @@
+#ifndef IMOLTP_CORE_REPORT_H_
+#define IMOLTP_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "mcsim/profiler.h"
+
+namespace imoltp::core {
+
+/// One figure cell: a label ("Shore-MT 1MB") plus its window report.
+struct ReportRow {
+  std::string label;
+  mcsim::WindowReport report;
+};
+
+/// Plain-text renderers matching the paper's figure formats: IPC bars,
+/// stall cycles per 1000 instructions, stall cycles per transaction
+/// (each broken down L1I / L2I / LLC I / L1D / L2D / LLC D), and the
+/// Figure 7 module breakdown.
+void PrintIpc(const std::string& title, const std::vector<ReportRow>& rows);
+void PrintStallsPerKInstr(const std::string& title,
+                          const std::vector<ReportRow>& rows);
+void PrintStallsPerTxn(const std::string& title,
+                       const std::vector<ReportRow>& rows);
+void PrintEngineShare(const std::string& title,
+                      const std::vector<ReportRow>& rows);
+void PrintModuleBreakdown(const std::string& title,
+                          const ReportRow& row);
+
+/// Top-Down-style accounting of the modeled cycles: retiring (inherent
+/// CPI work), frontend (instruction-miss refill), memory (data misses +
+/// TLB walks), and bad speculation (branch mispredictions) — the same
+/// lens the paper's VTune methodology ultimately rests on.
+void PrintCycleAccounting(const std::string& title,
+                          const std::vector<ReportRow>& rows,
+                          const mcsim::CycleModelParams& params = {});
+
+}  // namespace imoltp::core
+
+#endif  // IMOLTP_CORE_REPORT_H_

@@ -1,0 +1,129 @@
+#ifndef IMOLTP_CORE_TPCC_H_
+#define IMOLTP_CORE_TPCC_H_
+
+#include "core/workload.h"
+
+namespace imoltp::core {
+
+/// TPC-C (paper Section 5.2): a wholesale supplier with nine tables and
+/// five transaction types, two of them read-only. Compared to TPC-B it
+/// has longer transactions, index scans (instruction/data locality), and
+/// richer operations: probes, inserts, updates, deletes, joins.
+///
+/// Standard mix: New-Order 45%, Payment 43%, Order-Status 4%,
+/// Delivery 4%, Stock-Level 4% (the read-only pair is 8%, as the paper
+/// notes).
+struct TpccConfig {
+  int warehouses = 8;
+  int orders_per_district = 1000;  // initial orders (spec: 3000)
+  int num_partitions = 1;          // must divide warehouses
+};
+
+class TpccBenchmark final : public Workload {
+ public:
+  explicit TpccBenchmark(const TpccConfig& config);
+
+  const char* name() const override { return "tpcc"; }
+  std::vector<engine::TableDef> Tables() const override;
+  Status RunTransaction(engine::Engine* engine, int worker,
+                        Rng* rng) override;
+
+  // Table ids.
+  static constexpr int kWarehouse = 0;
+  static constexpr int kDistrict = 1;
+  static constexpr int kCustomer = 2;
+  static constexpr int kHistory = 3;
+  static constexpr int kOrder = 4;
+  static constexpr int kNewOrder = 5;
+  static constexpr int kOrderLine = 6;
+  static constexpr int kItem = 7;
+  static constexpr int kStock = 8;
+
+  // Transaction-type ids.
+  static constexpr int kTxnNewOrder = 20;
+  static constexpr int kTxnPayment = 21;
+  static constexpr int kTxnOrderStatus = 22;
+  static constexpr int kTxnDelivery = 23;
+  static constexpr int kTxnStockLevel = 24;
+
+  // Cardinality constants (TPC-C clause 1.2, scaled).
+  static constexpr uint64_t kDistrictsPerWarehouse = 10;
+  static constexpr uint64_t kCustomersPerDistrict = 3000;
+  static constexpr uint64_t kItems = 100000;
+  static constexpr uint64_t kStockPerWarehouse = 100000;
+
+  // Composite-key packing (ordered: warehouse in the most significant
+  // bits so range partitioning by key range == partitioning by
+  // warehouse).
+  static uint64_t DistrictKey(uint64_t w, uint64_t d) {
+    return (w << 4) | d;
+  }
+  static uint64_t CustomerKey(uint64_t w, uint64_t d, uint64_t c) {
+    return (w << 20) | (d << 16) | c;
+  }
+  static uint64_t OrderKey(uint64_t w, uint64_t d, uint64_t o) {
+    return (w << 28) | (d << 24) | o;
+  }
+  static uint64_t OrderLineKey(uint64_t w, uint64_t d, uint64_t o,
+                               uint64_t l) {
+    return (w << 36) | (d << 32) | (o << 8) | l;
+  }
+  static uint64_t StockKey(uint64_t w, uint64_t i) {
+    return (w << 20) | i;
+  }
+
+  // Secondary-index keys (unique: the discriminator rides the low bits).
+  // Customer-by-last-name (secondary 0 of Customer): last names are the
+  // spec's 1000 syllable combinations; here bucket = c mod 1000, giving
+  // exactly three customers per (district, name) as at scale factor 1.
+  static uint64_t LastNameBucket(uint64_t c) { return c % 1000; }
+  static uint64_t CustomerNameKey(uint64_t w, uint64_t d, uint64_t bucket,
+                                  uint64_t c) {
+    return (((((w << 4) | d) << 10) | bucket) << 16) | c;
+  }
+  // Order-by-customer (secondary 0 of Order): ascending order id in the
+  // low bits, so a prefix scan's last hit is the customer's most recent
+  // order.
+  static uint64_t OrderCustomerKey(uint64_t w, uint64_t d, uint64_t c,
+                                   uint64_t o) {
+    return (((((w << 4) | d) << 12) | c) << 24) | o;
+  }
+
+  static constexpr int kCustomerByName = 0;  // secondary id on Customer
+  static constexpr int kOrderByCustomer = 0;  // secondary id on Order
+
+  /// Counters for mix accounting (testing/reporting hook).
+  struct MixCounts {
+    uint64_t new_order = 0;
+    uint64_t payment = 0;
+    uint64_t order_status = 0;
+    uint64_t delivery = 0;
+    uint64_t stock_level = 0;
+  };
+  const MixCounts& mix_counts() const { return mix_; }
+
+ private:
+  Status RunNewOrder(engine::Engine* engine, int worker, Rng* rng,
+                     uint64_t w);
+  Status RunPayment(engine::Engine* engine, int worker, Rng* rng,
+                    uint64_t w);
+  Status RunOrderStatus(engine::Engine* engine, int worker, Rng* rng,
+                        uint64_t w);
+  Status RunDelivery(engine::Engine* engine, int worker, Rng* rng,
+                     uint64_t w);
+  Status RunStockLevel(engine::Engine* engine, int worker, Rng* rng,
+                       uint64_t w);
+  Status SelectCustomerByName(engine::TxnContext& ctx, uint64_t w,
+                              uint64_t d, uint64_t bucket,
+                              storage::RowId* rid);
+
+  engine::TxnRequest Request(int type, uint64_t w) const;
+
+  TpccConfig config_;
+  uint64_t history_counter_ = 0;
+  MixCounts mix_;
+};
+
+}  // namespace imoltp::core
+
+#endif  // IMOLTP_CORE_TPCC_H_

@@ -1,0 +1,35 @@
+#ifndef IMOLTP_CORE_WORKLOAD_H_
+#define IMOLTP_CORE_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace imoltp::core {
+
+/// A benchmark: table definitions plus a transaction generator. Bodies
+/// are written once against engine::TxnContext and run unchanged on all
+/// five engine archetypes (the paper implements each benchmark in every
+/// system's frontend; the archetypes share one stored-procedure API).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Table definitions for Engine::CreateDatabase.
+  virtual std::vector<engine::TableDef> Tables() const = 0;
+
+  /// Generates and executes one transaction on `worker`. Workers draw
+  /// their keys from their own partition's range so that partitioned
+  /// engines run single-site transactions (paper Section 7 ensures all
+  /// VoltDB transactions access a single partition).
+  virtual Status RunTransaction(engine::Engine* engine, int worker,
+                                Rng* rng) = 0;
+};
+
+}  // namespace imoltp::core
+
+#endif  // IMOLTP_CORE_WORKLOAD_H_

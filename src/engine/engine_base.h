@@ -1,0 +1,130 @@
+#ifndef IMOLTP_ENGINE_ENGINE_BASE_H_
+#define IMOLTP_ENGINE_ENGINE_BASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/profiles.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_heap_file.h"
+#include "txn/log_manager.h"
+
+namespace imoltp::engine {
+
+/// Shared machinery for the engine archetypes: table slices (one per
+/// partition for the partitioned engines, one total otherwise), bulk
+/// population, code-region instantiation, and per-worker logging.
+class EngineBase : public Engine {
+ public:
+  EngineBase(mcsim::MachineSim* machine, const EngineOptions& options);
+  ~EngineBase() override = default;
+
+  mcsim::MachineSim* machine() override { return machine_; }
+
+  Status CreateDatabase(const std::vector<TableDef>& defs) override;
+  std::vector<txn::LogRecord> StableLog() const override;
+  Status Replay(const std::vector<txn::LogRecord>& log) override;
+
+ protected:
+  /// One partition's share of one table. In-memory engines fill `mem`;
+  /// disk engines fill `disk` (always a single slice).
+  struct Slice {
+    std::unique_ptr<storage::Table> mem;
+    std::unique_ptr<storage::DiskHeapFile> disk;
+    std::unique_ptr<index::Index> primary;
+    std::vector<std::unique_ptr<index::Index>> secondaries;
+    uint64_t first_global_row = 0;
+    uint64_t num_initial_rows = 0;
+    /// Disk engines: initial global row r → heap RowId.
+    std::vector<storage::RowId> rowid_of;
+  };
+
+  struct TableRt {
+    TableDef def;
+    std::vector<Slice> slices;
+  };
+
+  /// How many slices this engine splits tables into (partitioned
+  /// engines: one per worker; others: 1).
+  virtual int num_slices() const { return 1; }
+
+  /// True for the disk-based archetypes (rows in slotted pages behind
+  /// the buffer pool).
+  virtual bool disk_based() const { return false; }
+
+  /// Hook: engines may pre-create code regions after the database is
+  /// loaded (compiled engines create per-transaction-type regions lazily
+  /// in Execute instead).
+  virtual void OnDatabaseReady() {}
+
+  mcsim::CodeRegion DefineRegion(const RegionSpec& spec);
+
+  /// Streams all index paths and rows once after population (steady-state
+  /// cache warm-up; see CreateDatabase).
+  void WarmCaches();
+
+  void Exec(mcsim::CoreSim* core, const mcsim::CodeRegion& region) const {
+    core->ExecuteRegion(region);
+  }
+
+  index::IndexKind PrimaryIndexKind(const TableDef& def) const;
+
+  /// Default key derivation for initial rows when TableDef::key_of is
+  /// unset: the global row id, encoded per key width.
+  static index::Key DefaultKeyOf(const storage::Schema& schema,
+                                 storage::RowId r, uint64_t seed);
+  static index::Key KeyForRow(const TableDef& def, storage::RowId r);
+
+  /// Per-engine default index kind.
+  virtual index::IndexKind default_index_kind(
+      const TableDef& def) const = 0;
+
+  /// Storage-agnostic row operations on a slice (disk heap or memory
+  /// table), used by recovery replay and the engines' undo paths.
+  bool SliceRead(mcsim::CoreSim* core, Slice& slice, storage::RowId row,
+                 uint8_t* out);
+  bool SliceWriteColumn(mcsim::CoreSim* core, Slice& slice,
+                        storage::RowId row, uint32_t column,
+                        const void* value, const storage::Schema& schema);
+  void SliceWriteRow(mcsim::CoreSim* core, Slice& slice,
+                     storage::RowId row, const uint8_t* image,
+                     const storage::Schema& schema);
+  storage::RowId SliceAppend(mcsim::CoreSim* core, Slice& slice,
+                             const uint8_t* row);
+  bool SliceDelete(mcsim::CoreSim* core, Slice& slice,
+                   storage::RowId row);
+
+  /// Per-transaction undo record (before-images / structural inverses)
+  /// for engines that modify state in place before commit.
+  struct UndoEntry {
+    enum class Kind { kColumnImage, kInsertedRow, kDeletedRow };
+    Kind kind;
+    int table;
+    int slice;
+    storage::RowId row;
+    uint32_t column = 0;
+    std::vector<uint8_t> image;  // before-image (column or full row)
+    index::Key key;
+  };
+
+  /// Rolls a failed transaction back: applies `undo` in reverse order.
+  void ApplyUndo(mcsim::CoreSim* core, std::vector<UndoEntry>& undo);
+
+  /// Secondary-index maintenance from a row image.
+  void InsertSecondaries(mcsim::CoreSim* core, TableRt& rt, Slice& slice,
+                         const uint8_t* row, storage::RowId rid);
+  void RemoveSecondaries(mcsim::CoreSim* core, TableRt& rt, Slice& slice,
+                         const uint8_t* row);
+
+  mcsim::MachineSim* machine_;
+  EngineOptions options_;
+  std::vector<TableRt> tables_;
+  std::unique_ptr<storage::BufferPool> bufferpool_;  // disk engines
+  std::vector<std::unique_ptr<txn::LogManager>> logs_;  // per worker
+  uint32_t next_file_id_ = 1;
+};
+
+}  // namespace imoltp::engine
+
+#endif  // IMOLTP_ENGINE_ENGINE_BASE_H_

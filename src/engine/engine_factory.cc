@@ -1,0 +1,24 @@
+#include "engine/disk_engine.h"
+#include "engine/engine.h"
+#include "engine/mvcc_engine.h"
+#include "engine/partitioned_engine.h"
+
+namespace imoltp::engine {
+
+std::unique_ptr<Engine> CreateEngine(EngineKind kind,
+                                     mcsim::MachineSim* machine,
+                                     const EngineOptions& options) {
+  switch (kind) {
+    case EngineKind::kShoreMt:
+    case EngineKind::kDbmsD:
+      return std::make_unique<DiskEngine>(kind, machine, options);
+    case EngineKind::kVoltDb:
+    case EngineKind::kHyPer:
+      return std::make_unique<PartitionedEngine>(kind, machine, options);
+    case EngineKind::kDbmsM:
+      return std::make_unique<MvccEngine>(machine, options);
+  }
+  return nullptr;
+}
+
+}  // namespace imoltp::engine

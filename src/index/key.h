@@ -1,0 +1,89 @@
+#ifndef IMOLTP_INDEX_KEY_H_
+#define IMOLTP_INDEX_KEY_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace imoltp::index {
+
+/// Maximum key length any index must handle: the paper's String
+/// micro-benchmark uses 50-byte keys; composite TPC-C keys fit in 8.
+inline constexpr uint32_t kMaxKeyBytes = 56;
+
+/// A fixed-capacity, memcmp-comparable key. Long keys are stored
+/// big-endian so byte order equals numeric order; String keys are used
+/// as-is. Comparison cost scales with key length, which is exactly the
+/// spatial-locality effect the paper's data-type experiment measures
+/// (Section 6.2).
+class Key {
+ public:
+  Key() : size_(0) {}
+
+  static Key FromUint64(uint64_t v) {
+    Key k;
+    k.size_ = 8;
+    for (int i = 7; i >= 0; --i) {
+      k.bytes_[i] = static_cast<uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    return k;
+  }
+
+  static Key FromBytes(const void* data, uint32_t size) {
+    Key k;
+    k.size_ = size > kMaxKeyBytes ? kMaxKeyBytes : size;
+    std::memcpy(k.bytes_, data, k.size_);
+    return k;
+  }
+
+  const uint8_t* data() const { return bytes_; }
+  uint32_t size() const { return size_; }
+
+  uint64_t AsUint64() const {
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < 8 && i < size_; ++i) {
+      v = (v << 8) | bytes_[i];
+    }
+    return v;
+  }
+
+  /// memcmp semantics over the shorter common prefix, then by length.
+  int Compare(const Key& other) const {
+    const uint32_t n = size_ < other.size_ ? size_ : other.size_;
+    const int c = std::memcmp(bytes_, other.bytes_, n);
+    if (c != 0) return c;
+    if (size_ == other.size_) return 0;
+    return size_ < other.size_ ? -1 : 1;
+  }
+
+  bool operator==(const Key& other) const { return Compare(other) == 0; }
+  bool operator<(const Key& other) const { return Compare(other) < 0; }
+
+  uint64_t Hash() const {
+    // FNV-1a over the key bytes.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t i = 0; i < size_; ++i) {
+      h ^= bytes_[i];
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+ private:
+  uint8_t bytes_[kMaxKeyBytes];
+  uint32_t size_;
+};
+
+/// Packs TPC-style composite ids into one ordered uint64 key:
+/// each component gets a fixed bit width, most-significant first.
+inline uint64_t Compose2(uint64_t a, uint64_t b, int b_bits) {
+  return (a << b_bits) | b;
+}
+inline uint64_t Compose3(uint64_t a, uint64_t b, int b_bits, uint64_t c,
+                         int c_bits) {
+  return (((a << b_bits) | b) << c_bits) | c;
+}
+
+}  // namespace imoltp::index
+
+#endif  // IMOLTP_INDEX_KEY_H_

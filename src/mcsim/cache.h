@@ -1,0 +1,95 @@
+#ifndef IMOLTP_MCSIM_CACHE_H_
+#define IMOLTP_MCSIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcsim/config.h"
+
+namespace imoltp::mcsim {
+
+/// A set-associative cache with true-LRU replacement, operating on line
+/// addresses (byte address >> log2(line size)). This is the only data
+/// structure on the simulation hot path, so lookups are a linear tag scan
+/// over one set (associativity is 8–20).
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Looks up a line; inserts it (evicting LRU) on miss.
+  /// Returns true on hit.
+  bool Access(uint64_t line_addr) {
+    const uint64_t set = SetIndex(line_addr);
+    const uint64_t tag = line_addr | kValidBit;
+    uint64_t* tags = &tags_[set * assoc_];
+    uint64_t* stamps = &stamps_[set * assoc_];
+    const uint64_t now = ++tick_;
+    uint32_t victim = 0;
+    uint64_t victim_stamp = UINT64_MAX;
+    for (uint32_t way = 0; way < assoc_; ++way) {
+      if (tags[way] == tag) {
+        stamps[way] = now;
+        ++hits_;
+        return true;
+      }
+      if (stamps[way] < victim_stamp) {
+        victim_stamp = stamps[way];
+        victim = way;
+      }
+    }
+    tags[victim] = tag;
+    stamps[victim] = now;
+    ++misses_;
+    return false;
+  }
+
+  /// Returns true if the line is present (no replacement state change).
+  bool Contains(uint64_t line_addr) const {
+    const uint64_t set = SetIndex(line_addr);
+    const uint64_t tag = line_addr | kValidBit;
+    const uint64_t* tags = &tags_[set * assoc_];
+    for (uint32_t way = 0; way < assoc_; ++way) {
+      if (tags[way] == tag) return true;
+    }
+    return false;
+  }
+
+  /// Removes a line if present (cross-core write invalidation).
+  void Invalidate(uint64_t line_addr);
+
+  /// Drops all lines and zeroes hit/miss counters.
+  void Reset();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t num_sets() const { return num_sets_; }
+  uint32_t associativity() const { return assoc_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  // Tag 0 must not alias an empty way; real line addresses can be 0 after
+  // shifting, so every valid tag has this bit set (bit 63 is never used by
+  // line addresses derived from 48-bit virtual addresses).
+  static constexpr uint64_t kValidBit = 1ULL << 63;
+
+  uint64_t SetIndex(uint64_t line_addr) const {
+    return line_addr & set_mask_;
+  }
+
+  CacheConfig config_;
+  uint32_t assoc_;
+  uint64_t num_sets_;
+  uint64_t set_mask_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::vector<uint64_t> tags_;
+  std::vector<uint64_t> stamps_;
+};
+
+}  // namespace imoltp::mcsim
+
+#endif  // IMOLTP_MCSIM_CACHE_H_

@@ -1,0 +1,195 @@
+#ifndef IMOLTP_MCSIM_COUNTERS_H_
+#define IMOLTP_MCSIM_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsim/config.h"
+
+namespace imoltp::mcsim {
+
+/// Identifier of a code module (parser, lock manager, B-tree, ...) used
+/// for the per-module breakdowns (paper Figure 7).
+using ModuleId = uint16_t;
+inline constexpr ModuleId kNoModule = 0;
+inline constexpr int kMaxModules = 64;
+
+/// Miss counts per level, split by instruction vs data — the six bars of
+/// the paper's stall plots (L1I, L2I, LLC I, L1D, L2D, LLC D).
+struct LevelMisses {
+  uint64_t l1i = 0;
+  uint64_t l2i = 0;
+  uint64_t llc_i = 0;
+  uint64_t l1d = 0;
+  uint64_t l2d = 0;
+  uint64_t llc_d = 0;
+
+  LevelMisses& operator+=(const LevelMisses& o) {
+    l1i += o.l1i;
+    l2i += o.l2i;
+    llc_i += o.llc_i;
+    l1d += o.l1d;
+    l2d += o.l2d;
+    llc_d += o.llc_d;
+    return *this;
+  }
+  LevelMisses operator-(const LevelMisses& o) const {
+    LevelMisses r;
+    r.l1i = l1i - o.l1i;
+    r.l2i = l2i - o.l2i;
+    r.llc_i = llc_i - o.llc_i;
+    r.l1d = l1d - o.l1d;
+    r.l2d = l2d - o.l2d;
+    r.llc_d = llc_d - o.llc_d;
+    return r;
+  }
+};
+
+/// Raw hardware-event counters attributed to one code module.
+struct ModuleCounters {
+  uint64_t instructions = 0;
+  uint64_t mispredictions = 0;
+  uint64_t tlb_misses = 0;
+  double base_cycles = 0;  // instructions x their code's inherent CPI
+  LevelMisses misses;
+
+  ModuleCounters& operator+=(const ModuleCounters& o) {
+    instructions += o.instructions;
+    mispredictions += o.mispredictions;
+    tlb_misses += o.tlb_misses;
+    base_cycles += o.base_cycles;
+    misses += o.misses;
+    return *this;
+  }
+  ModuleCounters operator-(const ModuleCounters& o) const {
+    ModuleCounters r;
+    r.instructions = instructions - o.instructions;
+    r.mispredictions = mispredictions - o.mispredictions;
+    r.tlb_misses = tlb_misses - o.tlb_misses;
+    r.base_cycles = base_cycles - o.base_cycles;
+    r.misses = misses - o.misses;
+    return r;
+  }
+};
+
+/// Raw counters for one simulated core. Monotonically increasing; the
+/// profiler reports deltas between window boundaries.
+struct CoreCounters {
+  uint64_t instructions = 0;
+  uint64_t mispredictions = 0;
+  uint64_t transactions = 0;
+  uint64_t code_line_fetches = 0;
+  uint64_t data_accesses = 0;
+  uint64_t tlb_misses = 0;
+  double base_cycles = 0;
+  LevelMisses misses;
+  std::array<ModuleCounters, kMaxModules> per_module{};
+
+  CoreCounters operator-(const CoreCounters& o) const {
+    CoreCounters r;
+    r.instructions = instructions - o.instructions;
+    r.mispredictions = mispredictions - o.mispredictions;
+    r.transactions = transactions - o.transactions;
+    r.code_line_fetches = code_line_fetches - o.code_line_fetches;
+    r.data_accesses = data_accesses - o.data_accesses;
+    r.tlb_misses = tlb_misses - o.tlb_misses;
+    r.base_cycles = base_cycles - o.base_cycles;
+    r.misses = misses - o.misses;
+    for (int i = 0; i < kMaxModules; ++i) {
+      r.per_module[i] = per_module[i] - o.per_module[i];
+    }
+    return r;
+  }
+};
+
+/// Total simulated cycles for a set of counters under the cycle model
+/// documented in DESIGN.md.
+/// Density-dependent effective LLC-miss multiplier (see
+/// CycleModelParams): ramps between the floor (isolated, overlapped
+/// misses) and the maximum (dense dependent chains).
+inline double EffectiveLlcAmp(uint64_t llc_d_misses,
+                              uint64_t instructions,
+                              const CycleModelParams& p) {
+  if (instructions == 0) return p.llc_amp_floor;
+  const double density = static_cast<double>(llc_d_misses) * 1000.0 /
+                         static_cast<double>(instructions);
+  if (density <= p.llc_density_lo) return p.llc_amp_floor;
+  if (density >= p.llc_density_hi) return p.data_amp_llc;
+  const double t = (density - p.llc_density_lo) /
+                   (p.llc_density_hi - p.llc_density_lo);
+  return p.llc_amp_floor + t * (p.data_amp_llc - p.llc_amp_floor);
+}
+
+inline double SimulatedCycles(const ModuleCounters& c,
+                              const CycleModelParams& p) {
+  const LevelMisses& m = c.misses;
+  double cycles = c.base_cycles;
+  cycles += (static_cast<double>(m.l1i) * p.l1_miss_penalty +
+             static_cast<double>(m.l2i) * p.l2_miss_penalty +
+             static_cast<double>(m.llc_i) * p.llc_miss_penalty) *
+            p.frontend_amplification;
+  cycles += static_cast<double>(m.l1d) * p.l1_miss_penalty *
+            p.data_amp_l1;
+  cycles += static_cast<double>(m.l2d) * p.l2_miss_penalty *
+            p.data_amp_l2;
+  cycles += static_cast<double>(m.llc_d) * p.llc_miss_penalty *
+            EffectiveLlcAmp(m.llc_d, c.instructions, p);
+  cycles += static_cast<double>(c.mispredictions) * p.mispredict_penalty;
+  cycles += static_cast<double>(c.tlb_misses) * p.tlb_walk_cycles;
+  return cycles;
+}
+
+inline double SimulatedCycles(const CoreCounters& c,
+                              const CycleModelParams& p) {
+  ModuleCounters total;
+  total.instructions = c.instructions;
+  total.mispredictions = c.mispredictions;
+  total.tlb_misses = c.tlb_misses;
+  total.base_cycles = c.base_cycles;
+  total.misses = c.misses;
+  return SimulatedCycles(total, p);
+}
+
+/// Reported stall cycles per the paper's convention (misses × Table 1
+/// penalty, per level per type, side-by-side). Index order matches the
+/// figure legends: L1I, L2I, LLC I, L1D, L2D, LLC D.
+struct StallBreakdown {
+  std::array<double, 6> stalls{};
+
+  static constexpr std::array<const char*, 6> kNames = {
+      "L1I", "L2I", "LLC I", "L1D", "L2D", "LLC D"};
+
+  double total() const {
+    double s = 0;
+    for (double v : stalls) s += v;
+    return s;
+  }
+  double instruction_total() const {
+    return stalls[0] + stalls[1] + stalls[2];
+  }
+  double data_total() const { return stalls[3] + stalls[4] + stalls[5]; }
+
+  StallBreakdown Scaled(double factor) const {
+    StallBreakdown r;
+    for (int i = 0; i < 6; ++i) r.stalls[i] = stalls[i] * factor;
+    return r;
+  }
+};
+
+inline StallBreakdown ReportedStalls(const LevelMisses& m,
+                                     const CycleModelParams& p) {
+  StallBreakdown b;
+  b.stalls[0] = static_cast<double>(m.l1i) * p.l1_miss_penalty;
+  b.stalls[1] = static_cast<double>(m.l2i) * p.l2_miss_penalty;
+  b.stalls[2] = static_cast<double>(m.llc_i) * p.llc_miss_penalty;
+  b.stalls[3] = static_cast<double>(m.l1d) * p.l1_miss_penalty;
+  b.stalls[4] = static_cast<double>(m.l2d) * p.l2_miss_penalty;
+  b.stalls[5] = static_cast<double>(m.llc_d) * p.llc_miss_penalty;
+  return b;
+}
+
+}  // namespace imoltp::mcsim
+
+#endif  // IMOLTP_MCSIM_COUNTERS_H_

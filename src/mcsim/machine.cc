@@ -1,0 +1,35 @@
+#include "mcsim/machine.h"
+
+namespace imoltp::mcsim {
+
+MachineSim::MachineSim(const MachineConfig& config)
+    : config_(config), llc_(config.llc) {
+  cores_.reserve(config.num_cores);
+  for (int i = 0; i < config.num_cores; ++i) {
+    cores_.push_back(std::make_unique<CoreSim>(config, this, i));
+  }
+}
+
+CoreCounters MachineSim::TotalCounters() const {
+  CoreCounters total;
+  for (const auto& core : cores_) {
+    const CoreCounters& c = core->counters();
+    total.instructions += c.instructions;
+    total.mispredictions += c.mispredictions;
+    total.transactions += c.transactions;
+    total.code_line_fetches += c.code_line_fetches;
+    total.data_accesses += c.data_accesses;
+    total.misses += c.misses;
+    for (int m = 0; m < kMaxModules; ++m) {
+      total.per_module[m] += c.per_module[m];
+    }
+  }
+  return total;
+}
+
+void MachineSim::Reset() {
+  llc_.Reset();
+  for (auto& core : cores_) core->Reset();
+}
+
+}  // namespace imoltp::mcsim

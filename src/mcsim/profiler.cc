@@ -1,0 +1,83 @@
+#include "mcsim/profiler.h"
+
+#include <utility>
+
+namespace imoltp::mcsim {
+
+void Profiler::BeginWindow(std::vector<int> worker_cores) {
+  worker_cores_ = std::move(worker_cores);
+  window_start_.clear();
+  window_start_.reserve(worker_cores_.size());
+  for (int c : worker_cores_) {
+    window_start_.push_back(machine_->core(c).counters());
+  }
+  window_open_ = true;
+}
+
+WindowReport Profiler::EndWindow() {
+  WindowReport r;
+  if (!window_open_ || worker_cores_.empty()) return r;
+  window_open_ = false;
+
+  const CycleModelParams& params = machine_->config().cycle;
+  const ModuleRegistry& modules = machine_->modules();
+
+  r.num_workers = static_cast<int>(worker_cores_.size());
+  std::vector<double> module_cycles(modules.size(), 0.0);
+
+  double total_cycles = 0.0;
+  for (size_t i = 0; i < worker_cores_.size(); ++i) {
+    const CoreCounters delta =
+        machine_->core(worker_cores_[i]).counters() - window_start_[i];
+    r.instructions += static_cast<double>(delta.instructions);
+    r.transactions += static_cast<double>(delta.transactions);
+    r.mispredictions += static_cast<double>(delta.mispredictions);
+    r.base_cycles += delta.base_cycles;
+    r.tlb_misses += static_cast<double>(delta.tlb_misses);
+    r.misses += delta.misses;
+    total_cycles += SimulatedCycles(delta, params);
+    for (int m = 0; m < modules.size() && m < kMaxModules; ++m) {
+      module_cycles[m] += SimulatedCycles(delta.per_module[m], params);
+    }
+  }
+
+  const double workers = static_cast<double>(r.num_workers);
+  r.instructions /= workers;
+  r.transactions /= workers;
+  r.mispredictions /= workers;
+  r.base_cycles /= workers;
+  r.tlb_misses /= workers;
+  r.cycles = total_cycles / workers;
+
+  if (r.cycles > 0) r.ipc = r.instructions / r.cycles;
+  if (r.transactions > 0) {
+    r.instructions_per_txn = r.instructions / r.transactions;
+    r.cycles_per_txn = r.cycles / r.transactions;
+  }
+
+  const StallBreakdown total = ReportedStalls(r.misses, params);
+  const double kinstr = r.instructions * workers / 1000.0;
+  if (kinstr > 0) r.stalls_per_kinstr = total.Scaled(1.0 / kinstr);
+  const double txns = r.transactions * workers;
+  if (txns > 0) r.stalls_per_txn = total.Scaled(1.0 / txns);
+
+  double attributed = 0.0;
+  double engine = 0.0;
+  for (int m = 0; m < modules.size(); ++m) {
+    if (module_cycles[m] <= 0) continue;
+    ModuleShare share;
+    share.name = modules.info(m).name;
+    share.inside_engine = modules.info(m).inside_engine;
+    share.cycles = module_cycles[m];
+    attributed += module_cycles[m];
+    if (share.inside_engine) engine += module_cycles[m];
+    r.module_breakdown.push_back(std::move(share));
+  }
+  for (auto& share : r.module_breakdown) {
+    share.fraction = attributed > 0 ? share.cycles / attributed : 0.0;
+  }
+  r.engine_cycle_fraction = attributed > 0 ? engine / attributed : 0.0;
+  return r;
+}
+
+}  // namespace imoltp::mcsim

@@ -1,0 +1,67 @@
+#ifndef IMOLTP_MCSIM_PROFILER_H_
+#define IMOLTP_MCSIM_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "mcsim/counters.h"
+#include "mcsim/machine.h"
+
+namespace imoltp::mcsim {
+
+/// Cycle share of one code module inside a measurement window.
+struct ModuleShare {
+  std::string name;
+  bool inside_engine = false;
+  double cycles = 0.0;
+  double fraction = 0.0;
+};
+
+/// Everything the paper reports for one measurement window, filtered to
+/// the worker threads and averaged across them (Section 3,
+/// "Measurements"): IPC, stall cycles per 1000 instructions and per
+/// transaction from each level of the hierarchy, and the per-module cycle
+/// breakdown behind Figure 7.
+struct WindowReport {
+  int num_workers = 0;
+  double instructions = 0.0;  // average per worker
+  double cycles = 0.0;        // average per worker (cycle model)
+  double transactions = 0.0;  // average per worker
+  double mispredictions = 0.0;
+  double base_cycles = 0.0;   // average per worker (instr x inherent CPI)
+  double tlb_misses = 0.0;    // average per worker
+  LevelMisses misses;  // summed over workers (raw counts)
+
+  double ipc = 0.0;
+  double instructions_per_txn = 0.0;
+  double cycles_per_txn = 0.0;
+  StallBreakdown stalls_per_kinstr;
+  StallBreakdown stalls_per_txn;
+
+  /// Fraction of modeled cycles spent in modules flagged inside_engine.
+  double engine_cycle_fraction = 0.0;
+  std::vector<ModuleShare> module_breakdown;
+};
+
+/// VTune-lookalike sampling facade. Usage mirrors the paper's
+/// methodology: populate and warm up with the profiler detached, then
+/// `BeginWindow()` … run the measured transactions … `EndWindow()`, and
+/// read `Report()`. Counter filtering to the identified worker threads is
+/// the `worker_cores` argument.
+class Profiler {
+ public:
+  explicit Profiler(MachineSim* machine) : machine_(machine) {}
+
+  void BeginWindow(std::vector<int> worker_cores);
+  WindowReport EndWindow();
+
+ private:
+  MachineSim* machine_;
+  std::vector<int> worker_cores_;
+  std::vector<CoreCounters> window_start_;
+  bool window_open_ = false;
+};
+
+}  // namespace imoltp::mcsim
+
+#endif  // IMOLTP_MCSIM_PROFILER_H_

@@ -1,0 +1,92 @@
+#include "storage/disk_heap_file.h"
+
+#include <cstring>
+
+namespace imoltp::storage {
+
+DiskHeapFile::DiskHeapFile(BufferPool* pool, uint32_t file_id,
+                           Schema schema)
+    : pool_(pool), file_id_(file_id), schema_(std::move(schema)) {
+  // 8 bytes of slotted-page overhead per row (slot entry + share of the
+  // header); conservative but only used for the append cursor heuristic.
+  const uint32_t per_row = schema_.row_bytes() + 8;
+  rows_per_page_ = (pool_->page_bytes() - 16) / per_row;
+  if (rows_per_page_ == 0) rows_per_page_ = 1;
+}
+
+RowId DiskHeapFile::Append(mcsim::CoreSim* core, const uint8_t* row) {
+  for (;;) {
+    const PageId pid = GlobalPage(append_page_);
+    uint8_t* page = pool_->FixPage(core, pid);
+    if (page == nullptr) return kInvalidRow;
+    SlottedPage::Header* header =
+        reinterpret_cast<SlottedPage::Header*>(page);
+    if (header->page_bytes == 0) {
+      SlottedPage::Format(page,
+                          static_cast<uint16_t>(pool_->page_bytes()));
+    }
+    core->Read(reinterpret_cast<uint64_t>(page), 16);  // header
+    const uint16_t slot =
+        SlottedPage::Insert(page, row,
+                            static_cast<uint16_t>(schema_.row_bytes()));
+    if (slot != SlottedPage::kInvalidSlot) {
+      const uint8_t* rec = SlottedPage::Get(page, slot);
+      core->Write(reinterpret_cast<uint64_t>(rec), schema_.row_bytes());
+      pool_->UnfixPage(core, pid, /*dirty=*/true);
+      ++num_rows_;
+      return (append_page_ << 16) | slot;
+    }
+    pool_->UnfixPage(core, pid, /*dirty=*/false);
+    ++append_page_;
+  }
+}
+
+bool DiskHeapFile::Read(mcsim::CoreSim* core, RowId row, uint8_t* out) {
+  const PageId pid = GlobalPage(PageNo(row));
+  uint8_t* page = pool_->FixPage(core, pid);
+  if (page == nullptr) return false;
+  core->Read(reinterpret_cast<uint64_t>(page), 16);  // header + slot dir
+  const uint8_t* rec = SlottedPage::Get(page, Slot(row));
+  bool ok = rec != nullptr;
+  if (ok) {
+    core->Read(reinterpret_cast<uint64_t>(rec), schema_.row_bytes());
+    std::memcpy(out, rec, schema_.row_bytes());
+  }
+  pool_->UnfixPage(core, pid, /*dirty=*/false);
+  return ok;
+}
+
+bool DiskHeapFile::WriteColumn(mcsim::CoreSim* core, RowId row,
+                               uint32_t col, const void* value) {
+  const PageId pid = GlobalPage(PageNo(row));
+  uint8_t* page = pool_->FixPage(core, pid);
+  if (page == nullptr) return false;
+  core->Read(reinterpret_cast<uint64_t>(page), 16);
+  uint8_t* rec = SlottedPage::GetMutable(page, Slot(row));
+  bool ok = rec != nullptr;
+  if (ok) {
+    uint8_t* dst = schema_.ColumnPtr(rec, col);
+    core->Write(reinterpret_cast<uint64_t>(dst),
+                schema_.column_width(col));
+    std::memcpy(dst, value, schema_.column_width(col));
+  }
+  pool_->UnfixPage(core, pid, /*dirty=*/ok);
+  return ok;
+}
+
+bool DiskHeapFile::Delete(mcsim::CoreSim* core, RowId row) {
+  const PageId pid = GlobalPage(PageNo(row));
+  uint8_t* page = pool_->FixPage(core, pid);
+  if (page == nullptr) return false;
+  core->Read(reinterpret_cast<uint64_t>(page), 16);
+  const bool ok = SlottedPage::Delete(page, Slot(row));
+  if (ok) {
+    core->Write(reinterpret_cast<uint64_t>(page), 16);
+    --num_rows_;
+    if (PageNo(row) < append_page_) append_page_ = PageNo(row);
+  }
+  pool_->UnfixPage(core, pid, /*dirty=*/ok);
+  return ok;
+}
+
+}  // namespace imoltp::storage

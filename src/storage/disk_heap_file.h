@@ -1,0 +1,59 @@
+#ifndef IMOLTP_STORAGE_DISK_HEAP_FILE_H_
+#define IMOLTP_STORAGE_DISK_HEAP_FILE_H_
+
+#include <cstdint>
+
+#include "mcsim/core.h"
+#include "storage/buffer_pool.h"
+#include "storage/schema.h"
+#include "storage/slotted_page.h"
+#include "storage/table.h"
+
+namespace imoltp::storage {
+
+/// Heap file of fixed-size rows in slotted pages behind a BufferPool —
+/// the disk-based engine archetypes' row storage. Every row access costs
+/// a page fix (page-table probe, latch, pin), a slot-directory read, the
+/// row bytes, and an unfix, exactly the access path whose overhead the
+/// in-memory systems eliminate.
+///
+/// RowIds encode (page_no << 16 | slot).
+class DiskHeapFile {
+ public:
+  DiskHeapFile(BufferPool* pool, uint32_t file_id, Schema schema);
+
+  /// Appends a row; returns its RowId.
+  RowId Append(mcsim::CoreSim* core, const uint8_t* row);
+
+  /// Copies the row into `out`; false if deleted/absent.
+  bool Read(mcsim::CoreSim* core, RowId row, uint8_t* out);
+
+  /// Overwrites one column in place; false if deleted/absent.
+  bool WriteColumn(mcsim::CoreSim* core, RowId row, uint32_t col,
+                   const void* value);
+
+  bool Delete(mcsim::CoreSim* core, RowId row);
+
+  uint64_t num_rows() const { return num_rows_; }
+  const Schema& schema() const { return schema_; }
+  uint32_t rows_per_page() const { return rows_per_page_; }
+
+  static uint64_t PageNo(RowId row) { return row >> 16; }
+  static uint16_t Slot(RowId row) { return static_cast<uint16_t>(row); }
+
+ private:
+  PageId GlobalPage(uint64_t page_no) const {
+    return (static_cast<uint64_t>(file_id_) << 40) | page_no;
+  }
+
+  BufferPool* pool_;
+  uint32_t file_id_;
+  Schema schema_;
+  uint32_t rows_per_page_;
+  uint64_t num_rows_ = 0;
+  uint64_t append_page_ = 0;  // first page with free space
+};
+
+}  // namespace imoltp::storage
+
+#endif  // IMOLTP_STORAGE_DISK_HEAP_FILE_H_

@@ -1,0 +1,87 @@
+#ifndef IMOLTP_STORAGE_SCHEMA_H_
+#define IMOLTP_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace imoltp::storage {
+
+/// Column types used by the paper's workloads. `kLong` is an 8-byte
+/// integer; `kString` is a fixed 50-byte character field (the paper's
+/// String micro-benchmark variant uses two 50-byte String columns).
+enum class ColumnType : uint8_t {
+  kLong,
+  kString,
+};
+
+inline constexpr uint32_t kLongBytes = 8;
+inline constexpr uint32_t kStringBytes = 50;
+
+inline uint32_t ColumnWidth(ColumnType t) {
+  return t == ColumnType::kLong ? kLongBytes : kStringBytes;
+}
+
+/// A fixed-layout row schema: column offsets are computed once; rows are
+/// flat byte buffers of `row_bytes()` with no per-row indirection.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnType> columns)
+      : columns_(std::move(columns)) {
+    offsets_.reserve(columns_.size());
+    uint32_t off = 0;
+    for (ColumnType t : columns_) {
+      offsets_.push_back(off);
+      off += ColumnWidth(t);
+    }
+    row_bytes_ = off;
+  }
+
+  uint32_t num_columns() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+  ColumnType column_type(uint32_t i) const { return columns_[i]; }
+  uint32_t column_offset(uint32_t i) const { return offsets_[i]; }
+  uint32_t column_width(uint32_t i) const {
+    return ColumnWidth(columns_[i]);
+  }
+  uint32_t row_bytes() const { return row_bytes_; }
+
+  /// Reads column `i` of a row buffer as a Long.
+  int64_t GetLong(const uint8_t* row, uint32_t i) const {
+    int64_t v;
+    std::memcpy(&v, row + offsets_[i], sizeof(v));
+    return v;
+  }
+  /// Writes column `i` of a row buffer as a Long.
+  void SetLong(uint8_t* row, uint32_t i, int64_t v) const {
+    std::memcpy(row + offsets_[i], &v, sizeof(v));
+  }
+
+  const uint8_t* ColumnPtr(const uint8_t* row, uint32_t i) const {
+    return row + offsets_[i];
+  }
+  uint8_t* ColumnPtr(uint8_t* row, uint32_t i) const {
+    return row + offsets_[i];
+  }
+
+ private:
+  std::vector<ColumnType> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t row_bytes_ = 0;
+};
+
+/// Convenience builders for the paper's micro-benchmark table: two
+/// columns (key, value), both Long or both String.
+inline Schema TwoLongColumns() {
+  return Schema({ColumnType::kLong, ColumnType::kLong});
+}
+inline Schema TwoStringColumns() {
+  return Schema({ColumnType::kString, ColumnType::kString});
+}
+
+}  // namespace imoltp::storage
+
+#endif  // IMOLTP_STORAGE_SCHEMA_H_

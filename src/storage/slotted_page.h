@@ -1,0 +1,87 @@
+#ifndef IMOLTP_STORAGE_SLOTTED_PAGE_H_
+#define IMOLTP_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace imoltp::storage {
+
+/// Classic slotted page layout for the disk-based engine archetypes
+/// (8KB pages, the paper's DBMS D / Shore-MT configuration):
+///
+///   [ header | slot directory → ...free... ← record data ]
+///
+/// The slot directory grows forward from the header; record payloads grow
+/// backward from the end of the page. Deleting a record frees its slot
+/// (records are not compacted; freed slots are reused for same-size
+/// records, which is all the fixed-row heap files here need).
+///
+/// All functions are static and operate on an externally owned page
+/// buffer, so pages can live in buffer-pool frames.
+class SlottedPage {
+ public:
+  static constexpr uint16_t kInvalidSlot = UINT16_MAX;
+
+  struct Header {
+    uint16_t num_slots;      // size of the slot directory
+    uint16_t free_slots;     // directory entries marked free
+    uint16_t data_start;     // lowest byte offset used by record data
+    uint16_t page_bytes;
+  };
+
+  /// Initializes an empty page of `page_bytes` bytes.
+  static void Format(uint8_t* page, uint16_t page_bytes) {
+    Header* h = HeaderOf(page);
+    h->num_slots = 0;
+    h->free_slots = 0;
+    h->data_start = page_bytes;
+    h->page_bytes = page_bytes;
+  }
+
+  /// Inserts a record; returns its slot number or kInvalidSlot if the
+  /// page cannot hold it.
+  static uint16_t Insert(uint8_t* page, const uint8_t* record,
+                         uint16_t length);
+
+  /// Returns a pointer to the record in `slot`, or nullptr if the slot is
+  /// invalid or free. `length` (optional) receives the record length.
+  static const uint8_t* Get(const uint8_t* page, uint16_t slot,
+                            uint16_t* length = nullptr);
+  static uint8_t* GetMutable(uint8_t* page, uint16_t slot,
+                             uint16_t* length = nullptr);
+
+  /// Frees a slot. Returns false if it was not occupied.
+  static bool Delete(uint8_t* page, uint16_t slot);
+
+  static uint16_t NumSlots(const uint8_t* page) {
+    return HeaderOf(page)->num_slots;
+  }
+  static uint16_t NumRecords(const uint8_t* page) {
+    const Header* h = HeaderOf(page);
+    return h->num_slots - h->free_slots;
+  }
+  static uint16_t FreeBytes(const uint8_t* page);
+
+ private:
+  struct Slot {
+    uint16_t offset;  // 0 = free
+    uint16_t length;
+  };
+
+  static Header* HeaderOf(uint8_t* page) {
+    return reinterpret_cast<Header*>(page);
+  }
+  static const Header* HeaderOf(const uint8_t* page) {
+    return reinterpret_cast<const Header*>(page);
+  }
+  static Slot* Slots(uint8_t* page) {
+    return reinterpret_cast<Slot*>(page + sizeof(Header));
+  }
+  static const Slot* Slots(const uint8_t* page) {
+    return reinterpret_cast<const Slot*>(page + sizeof(Header));
+  }
+};
+
+}  // namespace imoltp::storage
+
+#endif  // IMOLTP_STORAGE_SLOTTED_PAGE_H_

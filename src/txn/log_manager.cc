@@ -1,0 +1,55 @@
+#include "txn/log_manager.h"
+
+namespace imoltp::txn {
+
+uint64_t LogManager::Append(mcsim::CoreSim* core, LogOp op,
+                            uint64_t txn_id, int16_t table, uint64_t row,
+                            int16_t column, const void* payload,
+                            uint32_t payload_bytes, const void* key,
+                            uint32_t key_bytes, int16_t slice) {
+  const uint32_t record_bytes = kHeaderBytes + payload_bytes + key_bytes;
+  Reserve(record_bytes);
+
+  // Critical-path work: format the record into the sequential buffer.
+  uint8_t* dst = buffer_.get() + offset_;
+  std::memcpy(dst, &txn_id, 8);
+  std::memcpy(dst + 8, &row, 8);
+  std::memcpy(dst + 16, &payload_bytes, 4);
+  std::memcpy(dst + 20, &key_bytes, 4);
+  std::memcpy(dst + 24, &table, 2);
+  std::memcpy(dst + 26, &column, 2);
+  dst[28] = static_cast<uint8_t>(op);
+  if (payload != nullptr && payload_bytes > 0) {
+    std::memcpy(dst + kHeaderBytes, payload, payload_bytes);
+  }
+  if (key != nullptr && key_bytes > 0) {
+    std::memcpy(dst + kHeaderBytes + payload_bytes, key, key_bytes);
+  }
+  core->Write(reinterpret_cast<uint64_t>(dst), record_bytes);
+  core->Retire(18 + (payload_bytes + key_bytes) / 16);
+  offset_ += Align8(record_bytes);
+  bytes_logged_ += record_bytes;
+
+  // Durable side (the simulated log device).
+  LogRecord rec;
+  rec.lsn = NextLsn();
+  rec.txn_id = txn_id;
+  rec.op = op;
+  rec.table = table;
+  rec.column = column;
+  rec.slice = slice;
+  rec.row = row;
+  if (payload != nullptr && payload_bytes > 0) {
+    rec.payload.assign(static_cast<const uint8_t*>(payload),
+                       static_cast<const uint8_t*>(payload) +
+                           payload_bytes);
+  }
+  if (key != nullptr && key_bytes > 0) {
+    rec.key.assign(static_cast<const uint8_t*>(key),
+                   static_cast<const uint8_t*>(key) + key_bytes);
+  }
+  stable_.push_back(std::move(rec));
+  return stable_.back().lsn;
+}
+
+}  // namespace imoltp::txn

@@ -1,0 +1,151 @@
+#include "mcsim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace imoltp::mcsim {
+namespace {
+
+CacheConfig Small(uint32_t size, uint32_t assoc) {
+  return CacheConfig{size, 64, assoc};
+}
+
+TEST(CacheTest, FirstAccessMissesSecondHits) {
+  Cache c(Small(4096, 4));
+  EXPECT_FALSE(c.Access(100));
+  EXPECT_TRUE(c.Access(100));
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(CacheTest, LineZeroIsCacheable) {
+  Cache c(Small(4096, 4));
+  EXPECT_FALSE(c.Access(0));
+  EXPECT_TRUE(c.Access(0));
+  EXPECT_TRUE(c.Contains(0));
+}
+
+TEST(CacheTest, DistinctLinesDoNotAlias) {
+  Cache c(Small(4096, 4));
+  c.Access(1);
+  EXPECT_FALSE(c.Access(2));
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_TRUE(c.Contains(2));
+}
+
+TEST(CacheTest, CapacityEvictsLeastRecentlyUsed) {
+  // 4 sets x 2 ways; lines with the same low bits map to one set.
+  Cache c(CacheConfig{512, 64, 2});
+  ASSERT_EQ(c.num_sets(), 4u);
+  const uint64_t set0[] = {0, 4, 8};  // all map to set 0
+  c.Access(set0[0]);
+  c.Access(set0[1]);
+  c.Access(set0[2]);  // evicts line 0 (LRU)
+  EXPECT_FALSE(c.Contains(set0[0]));
+  EXPECT_TRUE(c.Contains(set0[1]));
+  EXPECT_TRUE(c.Contains(set0[2]));
+}
+
+TEST(CacheTest, AccessRefreshesLruOrder) {
+  Cache c(CacheConfig{512, 64, 2});
+  c.Access(0);
+  c.Access(4);
+  c.Access(0);  // 4 becomes LRU
+  c.Access(8);  // evicts 4
+  EXPECT_TRUE(c.Contains(0));
+  EXPECT_FALSE(c.Contains(4));
+  EXPECT_TRUE(c.Contains(8));
+}
+
+TEST(CacheTest, InvalidateRemovesLine) {
+  Cache c(Small(4096, 4));
+  c.Access(7);
+  EXPECT_TRUE(c.Contains(7));
+  c.Invalidate(7);
+  EXPECT_FALSE(c.Contains(7));
+  EXPECT_FALSE(c.Access(7));  // miss again
+}
+
+TEST(CacheTest, InvalidateAbsentLineIsNoop) {
+  Cache c(Small(4096, 4));
+  c.Access(7);
+  c.Invalidate(9999);
+  EXPECT_TRUE(c.Contains(7));
+}
+
+TEST(CacheTest, ResetDropsContentsAndCounters) {
+  Cache c(Small(4096, 4));
+  c.Access(1);
+  c.Access(1);
+  c.Reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.Contains(1));
+}
+
+TEST(CacheTest, ContainsDoesNotPerturbLru) {
+  Cache c(CacheConfig{512, 64, 2});
+  c.Access(0);
+  c.Access(4);
+  // Touch 0 via Contains only; 0 must remain the LRU victim.
+  EXPECT_TRUE(c.Contains(0));
+  c.Access(8);
+  EXPECT_FALSE(c.Contains(0));
+}
+
+TEST(CacheTest, HighAddressBitsDifferentiateTags) {
+  Cache c(Small(4096, 4));
+  const uint64_t a = 5;
+  const uint64_t b = 5 | (1ULL << 40);  // same set, different tag
+  c.Access(a);
+  EXPECT_FALSE(c.Access(b));
+  EXPECT_TRUE(c.Contains(a));
+  EXPECT_TRUE(c.Contains(b));
+}
+
+// Property sweep: for any geometry, a working set no larger than the
+// cache must fully hit on the second pass, and a working set twice the
+// capacity cycled sequentially must keep missing (LRU worst case).
+struct Geometry {
+  uint32_t size_bytes;
+  uint32_t assoc;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometryTest, ResidentWorkingSetHitsOnSecondPass) {
+  const Geometry g = GetParam();
+  Cache c(CacheConfig{g.size_bytes, 64, g.assoc});
+  const uint64_t lines = g.size_bytes / 64;
+  for (uint64_t i = 0; i < lines; ++i) c.Access(i);
+  const uint64_t misses_before = c.misses();
+  for (uint64_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(c.Access(i)) << "line " << i;
+  }
+  EXPECT_EQ(c.misses(), misses_before);
+}
+
+TEST_P(CacheGeometryTest, OversizedCyclicSweepKeepsMissing) {
+  const Geometry g = GetParam();
+  Cache c(CacheConfig{g.size_bytes, 64, g.assoc});
+  const uint64_t lines = 2 * g.size_bytes / 64;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t i = 0; i < lines; ++i) c.Access(i);
+  }
+  // Sequential cyclic reuse at 2x capacity defeats LRU entirely.
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(Geometry{1024, 1}, Geometry{4096, 2},
+                      Geometry{32 * 1024, 8}, Geometry{256 * 1024, 8},
+                      Geometry{1024 * 1024, 16}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return std::to_string(info.param.size_bytes) + "b" +
+             std::to_string(info.param.assoc) + "w";
+    });
+
+}  // namespace
+}  // namespace imoltp::mcsim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace imoltp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Aborted("conflict").IsAborted());
+  EXPECT_EQ(Status::Aborted("conflict").message(), "conflict");
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Internal().code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::AlreadyExists().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, ToStringNamesTheCode) {
+  EXPECT_EQ(Status::NotFound("row 5").ToString(), "NOT_FOUND: row 5");
+  EXPECT_EQ(Status::Aborted("x").ToString(), "ABORTED: x");
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  StatusOr<int> bad(Status::NotFound());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Range(5, 8));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(5));
+  EXPECT_TRUE(seen.count(8));
+}
+
+TEST(RngTest, UniformCoversTheDomainRoughlyEvenly) {
+  Rng rng(11);
+  std::map<uint64_t, int> histogram;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.Uniform(10)];
+  for (const auto& [bucket, count] : histogram) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 50) << "bucket " << bucket;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NonUniformStaysInRangeAndSkews) {
+  // TPC-C NURand: values must stay in [lo, hi]; the distribution is
+  // non-uniform but covers the range.
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.NonUniform(1023, 259, 0, 2999);
+    ASSERT_LE(v, 2999u);
+    seen.insert(v);
+  }
+  EXPECT_GT(seen.size(), 2000u);
+}
+
+// ---------------------------------------------------------------------------
+// Format
+// ---------------------------------------------------------------------------
+
+TEST(FormatTest, BytesPickTheLargestExactUnit) {
+  EXPECT_EQ(FormatBytes(1ULL << 20), "1MB");
+  EXPECT_EQ(FormatBytes(10ULL << 20), "10MB");
+  EXPECT_EQ(FormatBytes(100ULL << 30), "100GB");
+  EXPECT_EQ(FormatBytes(8ULL << 10), "8KB");
+  EXPECT_EQ(FormatBytes(100), "100B");
+}
+
+TEST(FormatTest, CellRespectsWidthAndPrecision) {
+  EXPECT_EQ(FormatCell(1.5, 6, 2), "  1.50");
+  EXPECT_EQ(FormatCell(123.456, 8, 1), "   123.5");
+}
+
+}  // namespace
+}  // namespace imoltp

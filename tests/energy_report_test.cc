@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "mcsim/energy.h"
+
+namespace imoltp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Energy model (Section 8 extension)
+// ---------------------------------------------------------------------------
+
+TEST(EnergyModelTest, ZeroCountersZeroDynamicEnergy) {
+  mcsim::CoreCounters c;
+  const auto r = mcsim::ComputeEnergy(c, 0.0, mcsim::EnergyParams());
+  EXPECT_DOUBLE_EQ(r.dynamic_nj, 0.0);
+  EXPECT_DOUBLE_EQ(r.static_nj, 0.0);
+}
+
+TEST(EnergyModelTest, ComposesDynamicAndStatic) {
+  mcsim::EnergyParams p;
+  mcsim::CoreCounters c;
+  c.instructions = 1000;
+  c.data_accesses = 100;
+  c.misses.l1d = 10;
+  c.misses.l2d = 5;
+  c.misses.llc_d = 2;
+  c.mispredictions = 3;
+  const auto r = mcsim::ComputeEnergy(c, 500.0, p);
+  const double expected_dynamic =
+      (1000 * p.instruction_pj + 100 * p.l1_access_pj +
+       10 * p.l2_access_pj + 5 * p.llc_access_pj + 2 * p.dram_access_pj +
+       3 * p.mispredict_pj) /
+      1000.0;
+  EXPECT_NEAR(r.dynamic_nj, expected_dynamic, 1e-9);
+  EXPECT_NEAR(r.static_nj, 500.0 * p.static_pj_per_cycle / 1000.0, 1e-9);
+  EXPECT_NEAR(r.total_nj, r.dynamic_nj + r.static_nj, 1e-12);
+}
+
+TEST(EnergyModelTest, LittleCoreSpendsLessPerInstruction) {
+  const mcsim::EnergyParams big;
+  const mcsim::EnergyParams little = mcsim::LittleCoreEnergy();
+  EXPECT_LT(little.instruction_pj, big.instruction_pj / 2);
+  EXPECT_LT(little.static_pj_per_cycle, big.static_pj_per_cycle / 2);
+  // Memory events cost the same: DRAM is DRAM on either core.
+  EXPECT_DOUBLE_EQ(little.dram_access_pj, big.dram_access_pj);
+}
+
+TEST(EnergyModelTest, DramDominatesMissHeavyProfiles) {
+  mcsim::EnergyParams p;
+  mcsim::CoreCounters lean, missy;
+  lean.instructions = missy.instructions = 10000;
+  lean.data_accesses = missy.data_accesses = 1000;
+  missy.misses.llc_d = 200;
+  const auto e_lean = mcsim::ComputeEnergy(lean, 4000, p);
+  const auto e_missy = mcsim::ComputeEnergy(missy, 4000, p);
+  EXPECT_GT(e_missy.dynamic_nj, 2 * e_lean.dynamic_nj);
+}
+
+// ---------------------------------------------------------------------------
+// Report printers: smoke (they render to stdout; the test asserts they
+// survive empty, single-row, and module-heavy inputs).
+// ---------------------------------------------------------------------------
+
+TEST(ReportTest, PrintersHandleEmptyAndPopulatedRows) {
+  core::PrintIpc("empty", {});
+  core::PrintStallsPerKInstr("empty", {});
+
+  mcsim::WindowReport r;
+  r.num_workers = 1;
+  r.ipc = 0.5;
+  r.instructions_per_txn = 1000;
+  r.cycles_per_txn = 2000;
+  r.stalls_per_kinstr.stalls = {100, 10, 0, 5, 8, 120};
+  r.stalls_per_txn.stalls = {200, 20, 0, 10, 16, 240};
+  r.engine_cycle_fraction = 0.42;
+  r.module_breakdown.push_back({"parser", false, 1000.0, 0.6});
+  r.module_breakdown.push_back({"btree", true, 700.0, 0.4});
+
+  core::ReportRow row{"test-engine", r};
+  core::PrintIpc("one row", {row});
+  core::PrintStallsPerKInstr("one row", {row});
+  core::PrintStallsPerTxn("one row", {row});
+  core::PrintEngineShare("one row", {row});
+  core::PrintModuleBreakdown("one row", row);
+  SUCCEED();
+}
+
+TEST(StallBreakdownTest, TotalsAndScaling) {
+  mcsim::StallBreakdown b;
+  b.stalls = {10, 20, 30, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(b.total(), 66.0);
+  EXPECT_DOUBLE_EQ(b.instruction_total(), 60.0);
+  EXPECT_DOUBLE_EQ(b.data_total(), 6.0);
+  const auto scaled = b.Scaled(0.5);
+  EXPECT_DOUBLE_EQ(scaled.total(), 33.0);
+}
+
+}  // namespace
+}  // namespace imoltp

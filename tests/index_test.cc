@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/art.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "index/index.h"
+#include "mcsim/machine.h"
+
+namespace imoltp::index {
+namespace {
+
+mcsim::MachineConfig NoTlb() {
+  mcsim::MachineConfig c;
+  c.model_tlb = false;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Key
+// ---------------------------------------------------------------------------
+
+TEST(KeyTest, Uint64RoundTrip) {
+  const Key k = Key::FromUint64(0x0123456789abcdefULL);
+  EXPECT_EQ(k.size(), 8u);
+  EXPECT_EQ(k.AsUint64(), 0x0123456789abcdefULL);
+}
+
+TEST(KeyTest, BigEndianEncodingPreservesNumericOrder) {
+  for (uint64_t a : {0ULL, 1ULL, 255ULL, 256ULL, 1ULL << 32, ~0ULL}) {
+    for (uint64_t b : {0ULL, 2ULL, 257ULL, 1ULL << 33}) {
+      const int cmp = Key::FromUint64(a).Compare(Key::FromUint64(b));
+      if (a < b) {
+        EXPECT_LT(cmp, 0) << a << " vs " << b;
+      } else if (a == b) {
+        EXPECT_EQ(cmp, 0);
+      } else {
+        EXPECT_GT(cmp, 0) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(KeyTest, ByteKeysCompareLikeMemcmpThenLength) {
+  const Key ab = Key::FromBytes("ab", 2);
+  const Key abc = Key::FromBytes("abc", 3);
+  const Key b = Key::FromBytes("b", 1);
+  EXPECT_LT(ab.Compare(abc), 0);
+  EXPECT_LT(abc.Compare(b), 0);
+  EXPECT_EQ(ab.Compare(Key::FromBytes("ab", 2)), 0);
+}
+
+TEST(KeyTest, HashIsStable) {
+  EXPECT_EQ(Key::FromUint64(42).Hash(), Key::FromUint64(42).Hash());
+  EXPECT_NE(Key::FromUint64(42).Hash(), Key::FromUint64(43).Hash());
+}
+
+TEST(KeyTest, ComposeOrdersByLeadingComponent) {
+  EXPECT_LT(Compose2(1, 500, 16), Compose2(2, 0, 16));
+  EXPECT_LT(Compose3(1, 9, 4, 100, 24), Compose3(1, 10, 4, 0, 24));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-structure conformance: every index obeys the same contract.
+// ---------------------------------------------------------------------------
+
+struct IndexCase {
+  IndexKind kind;
+  uint32_t key_bytes;
+};
+
+class IndexConformanceTest : public ::testing::TestWithParam<IndexCase> {
+ protected:
+  IndexConformanceTest()
+      : machine_(NoTlb()),
+        core_(&machine_.core(0)),
+        index_(CreateIndex(GetParam().kind, GetParam().key_bytes)) {}
+
+  Key K(uint64_t id) const {
+    if (GetParam().key_bytes == 8) return Key::FromUint64(id);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%049llu",
+                  static_cast<unsigned long long>(id));
+    return Key::FromBytes(buf, 50);
+  }
+
+  mcsim::MachineSim machine_;
+  mcsim::CoreSim* core_;
+  std::unique_ptr<Index> index_;
+};
+
+TEST_P(IndexConformanceTest, EmptyLookupFails) {
+  uint64_t v;
+  EXPECT_FALSE(index_->Lookup(core_, K(1), &v));
+  EXPECT_EQ(index_->size(), 0u);
+}
+
+TEST_P(IndexConformanceTest, InsertLookupRoundTrip) {
+  ASSERT_TRUE(index_->Insert(core_, K(10), 100).ok());
+  uint64_t v = 0;
+  ASSERT_TRUE(index_->Lookup(core_, K(10), &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_FALSE(index_->Lookup(core_, K(11), &v));
+  EXPECT_EQ(index_->size(), 1u);
+}
+
+TEST_P(IndexConformanceTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(index_->Insert(core_, K(5), 1).ok());
+  const Status s = index_->Insert(core_, K(5), 2);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  uint64_t v = 0;
+  ASSERT_TRUE(index_->Lookup(core_, K(5), &v));
+  EXPECT_EQ(v, 1u);  // original value kept
+  EXPECT_EQ(index_->size(), 1u);
+}
+
+TEST_P(IndexConformanceTest, RemoveThenLookupFails) {
+  ASSERT_TRUE(index_->Insert(core_, K(5), 1).ok());
+  EXPECT_TRUE(index_->Remove(core_, K(5)));
+  uint64_t v;
+  EXPECT_FALSE(index_->Lookup(core_, K(5), &v));
+  EXPECT_FALSE(index_->Remove(core_, K(5)));
+  EXPECT_EQ(index_->size(), 0u);
+}
+
+TEST_P(IndexConformanceTest, SequentialBulkThenProbeAll) {
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(index_->Insert(core_, K(i), i * 2).ok()) << i;
+  }
+  EXPECT_EQ(index_->size(), kN);
+  uint64_t v = 0;
+  for (uint64_t i = 0; i < kN; i += 37) {
+    ASSERT_TRUE(index_->Lookup(core_, K(i), &v)) << i;
+    ASSERT_EQ(v, i * 2);
+  }
+  EXPECT_FALSE(index_->Lookup(core_, K(kN), &v));
+}
+
+TEST_P(IndexConformanceTest, RandomizedOpsMatchStdMapOracle) {
+  std::map<uint64_t, uint64_t> oracle;
+  Rng rng(GetParam().key_bytes * 1000 +
+          static_cast<uint64_t>(GetParam().kind));
+  for (int step = 0; step < 30000; ++step) {
+    const uint64_t id = rng.Uniform(4000);
+    const int op = static_cast<int>(rng.Uniform(10));
+    if (op < 5) {  // insert
+      const uint64_t value = rng.Next() >> 1;
+      const bool existed = oracle.count(id) > 0;
+      const Status s = index_->Insert(core_, K(id), value);
+      ASSERT_EQ(s.ok(), !existed) << "step " << step << " id " << id;
+      if (!existed) oracle[id] = value;
+    } else if (op < 8) {  // lookup
+      uint64_t v = 0;
+      const bool found = index_->Lookup(core_, K(id), &v);
+      auto it = oracle.find(id);
+      ASSERT_EQ(found, it != oracle.end()) << "step " << step;
+      if (found) {
+        ASSERT_EQ(v, it->second);
+      }
+    } else {  // remove
+      const bool removed = index_->Remove(core_, K(id));
+      ASSERT_EQ(removed, oracle.erase(id) > 0) << "step " << step;
+    }
+    ASSERT_EQ(index_->size(), oracle.size());
+  }
+}
+
+TEST_P(IndexConformanceTest, OrderedScanMatchesOracle) {
+  if (!index_->ordered()) GTEST_SKIP() << "unordered structure";
+  std::map<uint64_t, uint64_t> oracle;
+  Rng rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t id = rng.Uniform(100000);
+    if (index_->Insert(core_, K(id), id + 7).ok()) oracle[id] = id + 7;
+  }
+  for (uint64_t from : {0ULL, 777ULL, 50000ULL, 99999ULL}) {
+    std::vector<uint64_t> got;
+    index_->Scan(core_, K(from), 100, &got);
+    std::vector<uint64_t> want;
+    for (auto it = oracle.lower_bound(from);
+         it != oracle.end() && want.size() < 100; ++it) {
+      want.push_back(it->second);
+    }
+    ASSERT_EQ(got, want) << "scan from " << from;
+  }
+}
+
+TEST_P(IndexConformanceTest, ScanAfterRemovalsSkipsDeleted) {
+  if (!index_->ordered()) GTEST_SKIP() << "unordered structure";
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(index_->Insert(core_, K(i), i).ok());
+  }
+  for (uint64_t i = 0; i < 100; i += 2) {
+    ASSERT_TRUE(index_->Remove(core_, K(i)));
+  }
+  std::vector<uint64_t> got;
+  index_->Scan(core_, K(0), 1000, &got);
+  ASSERT_EQ(got.size(), 50u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], 2 * i + 1);
+  }
+}
+
+TEST_P(IndexConformanceTest, TracesMemoryThroughTheCore) {
+  const uint64_t before = core_->counters().data_accesses;
+  ASSERT_TRUE(index_->Insert(core_, K(1), 1).ok());
+  uint64_t v;
+  index_->Lookup(core_, K(1), &v);
+  EXPECT_GT(core_->counters().data_accesses, before);
+  EXPECT_GT(core_->counters().instructions, 0u);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<IndexCase>& info) {
+  std::string name = std::string(IndexKindName(info.param.kind)) + "_" +
+                     std::to_string(info.param.key_bytes) + "b";
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, IndexConformanceTest,
+    ::testing::Values(IndexCase{IndexKind::kBTree8K, 8},
+                      IndexCase{IndexKind::kBTreeCacheline, 8},
+                      IndexCase{IndexKind::kBTreeCc, 8},
+                      IndexCase{IndexKind::kArt, 8},
+                      IndexCase{IndexKind::kHash, 8},
+                      IndexCase{IndexKind::kBTree8K, 50},
+                      IndexCase{IndexKind::kBTreeCacheline, 50},
+                      IndexCase{IndexKind::kArt, 50},
+                      IndexCase{IndexKind::kHash, 50}),
+    CaseName);
+
+// ---------------------------------------------------------------------------
+// Structure-specific behavior
+// ---------------------------------------------------------------------------
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  mcsim::MachineSim m(NoTlb());
+  BTree t(256, 8, IndexKind::kBTreeCc);
+  EXPECT_EQ(t.height(), 1u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(t.Insert(&m.core(0), Key::FromUint64(i), i).ok());
+  }
+  EXPECT_GE(t.height(), 3u);
+  EXPECT_LE(t.height(), 8u);
+}
+
+TEST(BTreeTest, LargeNodesMakeShallowTrees) {
+  mcsim::MachineSim m(NoTlb());
+  BTree big(8192, 8, IndexKind::kBTree8K);
+  BTree small(256, 8, IndexKind::kBTreeCc);
+  for (uint64_t i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(big.Insert(&m.core(0), Key::FromUint64(i), i).ok());
+    ASSERT_TRUE(small.Insert(&m.core(0), Key::FromUint64(i), i).ok());
+  }
+  EXPECT_LT(big.height(), small.height());
+}
+
+TEST(BTreeTest, ReverseInsertionOrderWorks) {
+  mcsim::MachineSim m(NoTlb());
+  BTree t(512, 8, IndexKind::kBTreeCacheline);
+  for (uint64_t i = 5000; i > 0; --i) {
+    ASSERT_TRUE(t.Insert(&m.core(0), Key::FromUint64(i), i).ok());
+  }
+  std::vector<uint64_t> got;
+  t.Scan(&m.core(0), Key::FromUint64(0), 10, &got);
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(got.front(), 1u);
+}
+
+TEST(ArtTest, DensePrefixesCompress) {
+  mcsim::MachineSim m(NoTlb());
+  Art art(8);
+  // Dense low keys share a long common prefix (high bytes are zero).
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(art.Insert(&m.core(0), Key::FromUint64(i), i).ok());
+  }
+  uint64_t v;
+  ASSERT_TRUE(art.Lookup(&m.core(0), Key::FromUint64(999), &v));
+  EXPECT_EQ(v, 999u);
+}
+
+TEST(ArtTest, SparseKeysSplitPrefixes) {
+  mcsim::MachineSim m(NoTlb());
+  Art art(8);
+  Rng rng(5);
+  std::map<uint64_t, uint64_t> oracle;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = rng.Next();
+    if (art.Insert(&m.core(0), Key::FromUint64(k), i).ok()) {
+      oracle[k] = i;
+    }
+  }
+  for (const auto& [k, val] : oracle) {
+    uint64_t v;
+    ASSERT_TRUE(art.Lookup(&m.core(0), Key::FromUint64(k), &v));
+    ASSERT_EQ(v, val);
+  }
+}
+
+TEST(ArtTest, NodeGrowthThroughAllArities) {
+  mcsim::MachineSim m(NoTlb());
+  Art art(8);
+  // 256 children under one byte position forces 4 -> 16 -> 48 -> 256.
+  for (uint64_t b = 0; b < 256; ++b) {
+    ASSERT_TRUE(art.Insert(&m.core(0), Key::FromUint64(b << 8), b).ok());
+  }
+  uint64_t v;
+  for (uint64_t b = 0; b < 256; ++b) {
+    ASSERT_TRUE(art.Lookup(&m.core(0), Key::FromUint64(b << 8), &v));
+    ASSERT_EQ(v, b);
+  }
+}
+
+TEST(HashIndexTest, DirectoryGrowsWithLoad) {
+  mcsim::MachineSim m(NoTlb());
+  HashIndex h(8, 16);
+  const uint64_t buckets_before = h.num_buckets();
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(h.Insert(&m.core(0), Key::FromUint64(i), i).ok());
+  }
+  EXPECT_GT(h.num_buckets(), buckets_before);
+  uint64_t v;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(h.Lookup(&m.core(0), Key::FromUint64(i), &v));
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST(HashIndexTest, ScanReturnsNothing) {
+  mcsim::MachineSim m(NoTlb());
+  HashIndex h(8);
+  h.Insert(&m.core(0), Key::FromUint64(1), 1);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(h.Scan(&m.core(0), Key::FromUint64(0), 10, &out), 0u);
+  EXPECT_FALSE(h.ordered());
+}
+
+TEST(IndexDataLocalityTest, BTreeTouchesMoreLinesPerProbeThanHash) {
+  // The paper's Section 6.1 mechanism: B-trees traverse the whole index
+  // per probe; the hash index goes straight to one bucket.
+  mcsim::MachineSim mb(NoTlb()), mh(NoTlb());
+  BTree btree(8192, 8, IndexKind::kBTree8K);
+  HashIndex hash(8);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(btree.Insert(&mb.core(0), Key::FromUint64(i), i).ok());
+    ASSERT_TRUE(hash.Insert(&mh.core(0), Key::FromUint64(i), i).ok());
+  }
+  const uint64_t b0 = mb.core(0).counters().data_accesses;
+  const uint64_t h0 = mh.core(0).counters().data_accesses;
+  Rng rng(3);
+  uint64_t v;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t k = rng.Uniform(100000);
+    btree.Lookup(&mb.core(0), Key::FromUint64(k), &v);
+    hash.Lookup(&mh.core(0), Key::FromUint64(k), &v);
+  }
+  const uint64_t btree_lines = mb.core(0).counters().data_accesses - b0;
+  const uint64_t hash_lines = mh.core(0).counters().data_accesses - h0;
+  EXPECT_GT(btree_lines, 2 * hash_lines);
+}
+
+}  // namespace
+}  // namespace imoltp::index

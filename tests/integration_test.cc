@@ -1,0 +1,216 @@
+// Cross-engine integration tests: the qualitative findings of the paper
+// must hold on the simulated apparatus end to end. These run scaled-down
+// experiments (small databases, short windows) — the full-scale numbers
+// live in bench/.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/microbench.h"
+#include "core/tpcb.h"
+
+namespace imoltp::core {
+namespace {
+
+using engine::EngineKind;
+
+ExperimentConfig Fast(EngineKind kind) {
+  ExperimentConfig cfg;
+  cfg.engine = kind;
+  cfg.warmup_txns = 300;
+  cfg.measure_txns = 1500;
+  return cfg;
+}
+
+mcsim::WindowReport RunMicro(EngineKind kind, uint64_t nominal_bytes,
+                             int rows = 1,
+                             engine::EngineOptions opts = {},
+                             uint64_t max_rows = 400000) {
+  MicroConfig mcfg;
+  mcfg.nominal_bytes = nominal_bytes;
+  mcfg.rows_per_txn = rows;
+  mcfg.max_resident_rows = max_rows;  // default keeps tests quick
+  MicroBenchmark wl(mcfg);
+  ExperimentConfig cfg = Fast(kind);
+  cfg.engine_options = opts;
+  return RunExperiment(cfg, &wl);
+}
+
+constexpr uint64_t kSmall = 4ULL << 20;    // fits in the 20MB LLC
+constexpr uint64_t kHuge = 100ULL << 30;   // far beyond it
+
+TEST(PaperFindingsTest, NoEngineReachesIssueWidth) {
+  // Headline result: IPC barely reaches 1 on a 4-wide machine.
+  for (EngineKind kind :
+       {EngineKind::kShoreMt, EngineKind::kDbmsD, EngineKind::kVoltDb,
+        EngineKind::kDbmsM}) {
+    const auto r = RunMicro(kind, kHuge);
+    EXPECT_LT(r.ipc, 1.2) << engine::EngineKindName(kind);
+  }
+}
+
+TEST(PaperFindingsTest, CompiledEngineDoublesIpcWhenDataFits) {
+  // Section 4.1.1: HyPer reaches about twice the IPC of the others when
+  // the working set fits in the LLC.
+  const auto hyper = RunMicro(EngineKind::kHyPer, kSmall);
+  const auto volt = RunMicro(EngineKind::kVoltDb, kSmall);
+  const auto shore = RunMicro(EngineKind::kShoreMt, kSmall);
+  EXPECT_GT(hyper.ipc, 1.4);
+  EXPECT_GT(hyper.ipc, 1.5 * volt.ipc);
+  EXPECT_GT(hyper.ipc, 2.0 * shore.ipc);
+}
+
+TEST(PaperFindingsTest, CompiledEngineHasLowestIpcBeyondLlc) {
+  // Section 4.1: when data exceeds the LLC, HyPer's long-latency data
+  // misses make it the slowest per instruction. The collapse deepens
+  // with working-set size, so this check runs at the larger resident
+  // scale the figures use.
+  const auto hyper =
+      RunMicro(EngineKind::kHyPer, kHuge, 1, {}, 1'000'000);
+  for (EngineKind kind :
+       {EngineKind::kShoreMt, EngineKind::kDbmsD, EngineKind::kVoltDb,
+        EngineKind::kDbmsM}) {
+    EXPECT_LT(hyper.ipc, RunMicro(kind, kHuge, 1, {}, 1'000'000).ipc)
+        << engine::EngineKindName(kind);
+  }
+}
+
+TEST(PaperFindingsTest, InstructionStallsDominateExceptForHyper) {
+  // Section 4.1.2: L1I stalls are the largest component for every
+  // system except HyPer, whose compilation eliminates them.
+  for (EngineKind kind :
+       {EngineKind::kShoreMt, EngineKind::kDbmsD, EngineKind::kVoltDb,
+        EngineKind::kDbmsM}) {
+    const auto r = RunMicro(kind, kHuge);
+    EXPECT_GT(r.stalls_per_kinstr.instruction_total(),
+              r.stalls_per_kinstr.data_total())
+        << engine::EngineKindName(kind);
+  }
+  const auto hyper = RunMicro(EngineKind::kHyPer, kHuge);
+  EXPECT_LT(hyper.stalls_per_kinstr.stalls[0], 10.0);
+  EXPECT_GT(hyper.stalls_per_kinstr.data_total(),
+            hyper.stalls_per_kinstr.instruction_total());
+}
+
+TEST(PaperFindingsTest, MemoryStallsExceedHalfTheCycles) {
+  // The abstract's claim: more than half of execution time goes to
+  // memory stalls. Cycle shares here use the model's effective costs.
+  const auto r = RunMicro(EngineKind::kDbmsD, kHuge);
+  const double stall_share =
+      1.0 - (r.instructions / 3.0) / r.cycles;  // base-work share removed
+  EXPECT_GT(stall_share, 0.5);
+}
+
+TEST(PaperFindingsTest, FrontendFootprintSeparatesDiskEngines) {
+  // DBMS D runs parser/optimizer layers per transaction; Shore-MT has
+  // hard-coded plans. Instruction counts and stalls must reflect it.
+  const auto shore = RunMicro(EngineKind::kShoreMt, kHuge);
+  const auto dbmsd = RunMicro(EngineKind::kDbmsD, kHuge);
+  EXPECT_GT(dbmsd.instructions_per_txn, 1.5 * shore.instructions_per_txn);
+  EXPECT_GT(dbmsd.stalls_per_txn.instruction_total(),
+            1.5 * shore.stalls_per_txn.instruction_total());
+}
+
+TEST(PaperFindingsTest, WorkPerTransactionMovesIpcOppositeWays) {
+  // Section 4.2.1: more rows per transaction raises the disk engines'
+  // IPC (better instruction locality) and lowers the in-memory ones'
+  // (more random data misses per instruction).
+  const auto shore1 = RunMicro(EngineKind::kShoreMt, kHuge, 1);
+  const auto shore100 = RunMicro(EngineKind::kShoreMt, kHuge, 100);
+  EXPECT_GT(shore100.ipc, shore1.ipc);
+
+  const auto hyper1 = RunMicro(EngineKind::kHyPer, kHuge, 1);
+  const auto hyper100 = RunMicro(EngineKind::kHyPer, kHuge, 100);
+  EXPECT_LT(hyper100.ipc, hyper1.ipc);
+}
+
+TEST(PaperFindingsTest, InstructionStallsPerKInstrFallWithMoreWork) {
+  // Section 4.2.2: repetitive per-row work amortizes the code outside
+  // the loop for every system.
+  for (EngineKind kind : {EngineKind::kShoreMt, EngineKind::kDbmsD,
+                          EngineKind::kVoltDb, EngineKind::kDbmsM}) {
+    const auto r1 = RunMicro(kind, kHuge, 1);
+    const auto r100 = RunMicro(kind, kHuge, 100);
+    EXPECT_LT(r100.stalls_per_kinstr.instruction_total(),
+              r1.stalls_per_kinstr.instruction_total())
+        << engine::EngineKindName(kind);
+  }
+}
+
+TEST(PaperFindingsTest, CompilationCutsInstructionStalls) {
+  // Section 6.1: DBMS M's compilation roughly halves instruction stalls.
+  engine::EngineOptions with, without;
+  with.compilation = true;
+  without.compilation = false;
+  const auto on = RunMicro(EngineKind::kDbmsM, kHuge, 10, with);
+  const auto off = RunMicro(EngineKind::kDbmsM, kHuge, 10, without);
+  EXPECT_LT(on.stalls_per_kinstr.instruction_total(),
+            0.75 * off.stalls_per_kinstr.instruction_total());
+}
+
+TEST(PaperFindingsTest, BTreeCausesMoreDataStallsThanHash) {
+  // Section 6.1: LLC data stalls are 2-4x larger with the B-tree index
+  // than with the hash index. The direction must hold here; the full
+  // magnitude needs the paper's 2-billion-row index (several uncached
+  // B-tree levels), which the scaled resident index cannot reproduce —
+  // see EXPERIMENTS.md, Fig 13 notes.
+  MicroConfig mcfg;
+  mcfg.nominal_bytes = kHuge;
+  mcfg.rows_per_txn = 10;
+  mcfg.max_resident_rows = 1'200'000;
+  ExperimentConfig cfg = Fast(EngineKind::kDbmsM);
+  cfg.engine_options.dbms_m_index = index::IndexKind::kHash;
+  MicroBenchmark wl1(mcfg);
+  const auto h = RunExperiment(cfg, &wl1);
+  cfg.engine_options.dbms_m_index = index::IndexKind::kBTreeCc;
+  MicroBenchmark wl2(mcfg);
+  const auto b = RunExperiment(cfg, &wl2);
+  EXPECT_GT(b.stalls_per_kinstr.stalls[5],
+            1.2 * h.stalls_per_kinstr.stalls[5]);
+}
+
+TEST(PaperFindingsTest, TpcbHasBetterDataLocalityThanMicro) {
+  // Section 5.1: TPC-B's small Branch/Teller tables and append-only
+  // History give it higher data locality than the random micro probes,
+  // so data stalls per k-instruction are lower.
+  TpcbConfig tcfg;
+  tcfg.nominal_bytes = kHuge;
+  tcfg.max_resident_accounts = 400000;
+  TpcbBenchmark tpcb(tcfg);
+  const auto tpcb_report =
+      RunExperiment(Fast(EngineKind::kVoltDb), &tpcb);
+
+  MicroConfig mcfg;
+  mcfg.nominal_bytes = kHuge;
+  mcfg.rows_per_txn = 3;  // comparable work: ~3 row touches
+  mcfg.read_write = true;
+  mcfg.max_resident_rows = 400000;
+  MicroBenchmark micro(mcfg);
+  const auto micro_report =
+      RunExperiment(Fast(EngineKind::kVoltDb), &micro);
+
+  EXPECT_LT(tpcb_report.stalls_per_kinstr.stalls[5],
+            micro_report.stalls_per_kinstr.stalls[5]);
+}
+
+TEST(PaperFindingsTest, MultiThreadedBehavesLikeSingleThreaded) {
+  // Section 7: multi-worker runs do not change the conclusions.
+  MicroConfig mcfg;
+  mcfg.nominal_bytes = kHuge;
+  mcfg.max_resident_rows = 400000;
+  MicroBenchmark single(mcfg);
+  const auto r1 = RunExperiment(Fast(EngineKind::kVoltDb), &single);
+
+  MicroConfig mt_cfg = mcfg;
+  mt_cfg.num_partitions = 4;
+  MicroBenchmark multi(mt_cfg);
+  ExperimentConfig cfg = Fast(EngineKind::kVoltDb);
+  cfg.num_workers = 4;
+  const auto r4 = RunExperiment(cfg, &multi);
+
+  EXPECT_LT(r4.ipc, 1.2);
+  EXPECT_NEAR(r4.ipc, r1.ipc, 0.25 * r1.ipc);
+}
+
+}  // namespace
+}  // namespace imoltp::core

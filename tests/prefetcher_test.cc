@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "mcsim/machine.h"
+
+namespace imoltp::mcsim {
+namespace {
+
+MachineConfig WithPrefetcher(bool on) {
+  MachineConfig c;
+  c.model_tlb = false;
+  c.model_prefetcher = on;
+  return c;
+}
+
+TEST(PrefetcherTest, SequentialStreamPrefetchesIntoL2) {
+  MachineSim m(WithPrefetcher(true));
+  CoreSim& core = m.core(0);
+  // A long sequential sweep: after the stream is detected, lines land
+  // in L2 before demand touches them, so L2D misses stay far below the
+  // line count.
+  for (uint64_t i = 0; i < 4096; ++i) {
+    core.Read((1ULL << 30) + i * 64, 8);
+  }
+  EXPECT_GT(core.prefetches_issued(), 1000u);
+  EXPECT_LT(core.counters().misses.l2d,
+            core.counters().misses.l1d / 2);
+}
+
+TEST(PrefetcherTest, RandomProbesGainNothing) {
+  MachineSim on(WithPrefetcher(true));
+  MachineSim off(WithPrefetcher(false));
+  uint64_t state = 12345;
+  auto next = [&] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return (1ULL << 30) + (state % (1ULL << 28));
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t addr = next();
+    on.core(0).Read(addr, 8);
+  }
+  state = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t addr = next();
+    off.core(0).Read(addr, 8);
+  }
+  // Random lines almost never extend a sequence: within a few percent.
+  const double a =
+      static_cast<double>(on.core(0).counters().misses.llc_d);
+  const double b =
+      static_cast<double>(off.core(0).counters().misses.llc_d);
+  EXPECT_NEAR(a, b, 0.05 * b);
+}
+
+TEST(PrefetcherTest, DisabledByDefault) {
+  MachineConfig c;
+  EXPECT_FALSE(c.model_prefetcher);
+  MachineSim m(c);
+  for (uint64_t i = 0; i < 256; ++i) {
+    m.core(0).Read((1ULL << 30) + i * 64, 8);
+  }
+  EXPECT_EQ(m.core(0).prefetches_issued(), 0u);
+}
+
+TEST(CpiFloorTest, RaisesCheapRegionsOnly) {
+  MachineConfig c;
+  c.model_tlb = false;
+  c.cycle.cpi_floor = 1.0;
+  MachineSim m(c);
+  CoreSim& core = m.core(0);
+  // Compiled-quality code (0.45 CPI) is floored to 1.0...
+  CodeRegion fast = m.code_space().Define(kNoModule, 64, 64, 1000, 0.0,
+                                          /*cpi=*/0.45);
+  core.ExecuteRegion(fast);
+  EXPECT_NEAR(core.counters().base_cycles, 1000.0, 0.5);
+  // ...and legacy code above the floor is unchanged.
+  CodeRegion slow = m.code_space().Define(kNoModule, 64, 64, 1000, 0.0,
+                                          /*cpi=*/1.2);
+  core.ExecuteRegion(slow);
+  EXPECT_NEAR(core.counters().base_cycles, 1000.0 + 1200.0, 0.5);
+}
+
+TEST(CpiFloorTest, ZeroFloorIsIdentity) {
+  MachineConfig c;
+  c.model_tlb = false;
+  MachineSim m(c);
+  CodeRegion fast = m.code_space().Define(kNoModule, 64, 64, 1000, 0.0,
+                                          /*cpi=*/0.45);
+  m.core(0).ExecuteRegion(fast);
+  EXPECT_NEAR(m.core(0).counters().base_cycles, 450.0, 0.5);
+}
+
+}  // namespace
+}  // namespace imoltp::mcsim

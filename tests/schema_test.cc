@@ -1,0 +1,89 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "mcsim/code_region.h"
+
+namespace imoltp::storage {
+namespace {
+
+TEST(SchemaTest, OffsetsArePacked) {
+  const Schema s({ColumnType::kLong, ColumnType::kString,
+                  ColumnType::kLong});
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.column_offset(0), 0u);
+  EXPECT_EQ(s.column_offset(1), 8u);
+  EXPECT_EQ(s.column_offset(2), 8u + kStringBytes);
+  EXPECT_EQ(s.row_bytes(), 16u + kStringBytes);
+}
+
+TEST(SchemaTest, LongRoundTrip) {
+  const Schema s = TwoLongColumns();
+  uint8_t row[16];
+  s.SetLong(row, 0, -12345);
+  s.SetLong(row, 1, INT64_MAX);
+  EXPECT_EQ(s.GetLong(row, 0), -12345);
+  EXPECT_EQ(s.GetLong(row, 1), INT64_MAX);
+}
+
+TEST(SchemaTest, ColumnWidths) {
+  EXPECT_EQ(ColumnWidth(ColumnType::kLong), 8u);
+  EXPECT_EQ(ColumnWidth(ColumnType::kString), 50u);
+  const Schema s = TwoStringColumns();
+  EXPECT_EQ(s.row_bytes(), 100u);
+  EXPECT_EQ(s.column_width(0), kStringBytes);
+}
+
+TEST(SchemaTest, ColumnPtrAddressesMatchOffsets) {
+  const Schema s({ColumnType::kString, ColumnType::kLong});
+  uint8_t row[64];
+  EXPECT_EQ(s.ColumnPtr(row, 0), row);
+  EXPECT_EQ(s.ColumnPtr(row, 1), row + kStringBytes);
+}
+
+}  // namespace
+}  // namespace imoltp::storage
+
+namespace imoltp::mcsim {
+namespace {
+
+TEST(CodeSpaceTest, RegionsDoNotOverlap) {
+  CodeSpace space;
+  const CodeRegion a = space.Define(kNoModule, 4096, 4096, 10, 0);
+  const CodeRegion b = space.Define(kNoModule, 8192, 8192, 10, 0);
+  EXPECT_GE(b.base_line, a.base_line + a.total_lines);
+}
+
+TEST(CodeSpaceTest, TouchedClampedToTotal) {
+  CodeSpace space;
+  const CodeRegion r = space.Define(kNoModule, 1024, 4096, 10, 0);
+  EXPECT_EQ(r.touched_lines, r.total_lines);
+}
+
+TEST(CodeSpaceTest, LineCountsRoundUp) {
+  CodeSpace space;
+  const CodeRegion r = space.Define(kNoModule, 65, 65, 10, 0);
+  EXPECT_EQ(r.total_lines, 2u);
+}
+
+TEST(CodeSpaceTest, CodeLivesAboveDataAddressSpace) {
+  CodeSpace space;
+  const CodeRegion r = space.Define(kNoModule, 64, 64, 1, 0);
+  // Code line addresses sit far above any byte address >> 6 a real
+  // pointer or sparse table (< 2^46) can produce.
+  EXPECT_GE(r.base_line, 1ULL << 40);
+}
+
+TEST(ModuleRegistryTest, RegistersAndDescribes) {
+  ModuleRegistry registry;
+  const ModuleId a = registry.Register("parser", false);
+  const ModuleId b = registry.Register("btree", true);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.info(a).name, "parser");
+  EXPECT_FALSE(registry.info(a).inside_engine);
+  EXPECT_TRUE(registry.info(b).inside_engine);
+  EXPECT_EQ(registry.info(kNoModule).name, "<none>");
+}
+
+}  // namespace
+}  // namespace imoltp::mcsim

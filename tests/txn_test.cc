@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mcsim/machine.h"
+#include "txn/lock_manager.h"
+#include "txn/log_manager.h"
+#include "txn/mvcc.h"
+#include "txn/partition.h"
+
+namespace imoltp::txn {
+namespace {
+
+mcsim::MachineConfig NoTlb() {
+  mcsim::MachineConfig c;
+  c.model_tlb = false;
+  return c;
+}
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest() : machine_(NoTlb()), core_(&machine_.core(0)) {}
+  mcsim::MachineSim machine_;
+  mcsim::CoreSim* core_;
+};
+
+// ---------------------------------------------------------------------------
+// LockManager
+// ---------------------------------------------------------------------------
+
+using LockTest = TxnTest;
+
+TEST_F(LockTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(core_, 2, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, 100));
+  EXPECT_TRUE(lm.Holds(2, 100));
+}
+
+TEST_F(LockTest, ExclusiveConflictsWithShared) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(core_, 2, 100, LockMode::kExclusive).IsAborted());
+}
+
+TEST_F(LockTest, SharedConflictsWithExclusive) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(core_, 2, 100, LockMode::kShared).IsAborted());
+}
+
+TEST_F(LockTest, ReacquisitionIsIdempotent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kShared).ok());
+  EXPECT_EQ(lm.ActiveLocks(), 1u);
+}
+
+TEST_F(LockTest, SoleHolderCanUpgrade) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kExclusive).ok());
+  // Now exclusive: another shared must conflict.
+  EXPECT_TRUE(lm.Acquire(core_, 2, 100, LockMode::kShared).IsAborted());
+}
+
+TEST_F(LockTest, UpgradeWithOtherSharersFails) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(core_, 2, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kExclusive).IsAborted());
+}
+
+TEST_F(LockTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  for (uint64_t obj = 0; obj < 20; ++obj) {
+    ASSERT_TRUE(lm.Acquire(core_, 1, obj, LockMode::kExclusive).ok());
+  }
+  EXPECT_EQ(lm.ActiveLocks(), 20u);
+  lm.ReleaseAll(core_, 1);
+  EXPECT_EQ(lm.ActiveLocks(), 0u);
+  EXPECT_TRUE(lm.Acquire(core_, 2, 5, LockMode::kExclusive).ok());
+}
+
+TEST_F(LockTest, ReleasePreservesOtherHoldersLocks) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(core_, 2, 100, LockMode::kShared).ok());
+  lm.ReleaseAll(core_, 1);
+  EXPECT_FALSE(lm.Holds(1, 100));
+  EXPECT_TRUE(lm.Holds(2, 100));
+  EXPECT_EQ(lm.ActiveLocks(), 1u);
+}
+
+TEST_F(LockTest, DistinctObjectsDoNotConflict) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(core_, 1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(core_, 2, 101, LockMode::kExclusive).ok());
+}
+
+TEST_F(LockTest, ManyObjectsAcrossBuckets) {
+  LockManager lm(16);  // tiny table: force chains
+  for (uint64_t obj = 0; obj < 500; ++obj) {
+    ASSERT_TRUE(lm.Acquire(core_, 1, obj * 7919, LockMode::kShared).ok());
+  }
+  EXPECT_EQ(lm.ActiveLocks(), 500u);
+  EXPECT_TRUE(lm.Holds(1, 499 * 7919));
+  lm.ReleaseAll(core_, 1);
+  EXPECT_EQ(lm.ActiveLocks(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MvccManager
+// ---------------------------------------------------------------------------
+
+using MvccTest = TxnTest;
+
+std::vector<uint8_t> Image(uint8_t fill) {
+  return std::vector<uint8_t>(16, fill);
+}
+
+TEST_F(MvccTest, CommitReturnsStagedWrites) {
+  MvccManager mvcc;
+  const uint64_t t = mvcc.Begin(core_);
+  auto next = Image(2);
+  auto prior = Image(1);
+  ASSERT_TRUE(mvcc.StageWrite(core_, t, 0, 5, next.data(), 16,
+                              prior.data())
+                  .ok());
+  std::vector<MvccManager::StagedWrite> installs;
+  ASSERT_TRUE(mvcc.Commit(core_, t, &installs).ok());
+  ASSERT_EQ(installs.size(), 1u);
+  EXPECT_EQ(installs[0].table_id, 0u);
+  EXPECT_EQ(installs[0].row, 5u);
+  EXPECT_EQ(installs[0].data, next);
+}
+
+TEST_F(MvccTest, WriteWriteConflictAborts) {
+  MvccManager mvcc;
+  const uint64_t t1 = mvcc.Begin(core_);
+  const uint64_t t2 = mvcc.Begin(core_);
+  auto img = Image(1);
+  ASSERT_TRUE(
+      mvcc.StageWrite(core_, t1, 0, 5, img.data(), 16, img.data()).ok());
+  EXPECT_TRUE(mvcc.StageWrite(core_, t2, 0, 5, img.data(), 16, img.data())
+                  .IsAborted());
+}
+
+TEST_F(MvccTest, AbortClearsPendingMarker) {
+  MvccManager mvcc;
+  const uint64_t t1 = mvcc.Begin(core_);
+  auto img = Image(1);
+  ASSERT_TRUE(
+      mvcc.StageWrite(core_, t1, 0, 5, img.data(), 16, img.data()).ok());
+  mvcc.Abort(core_, t1);
+  const uint64_t t2 = mvcc.Begin(core_);
+  EXPECT_TRUE(
+      mvcc.StageWrite(core_, t2, 0, 5, img.data(), 16, img.data()).ok());
+}
+
+TEST_F(MvccTest, ReaderValidationFailsWhenVersionMoves) {
+  MvccManager mvcc;
+  const uint64_t reader = mvcc.Begin(core_);
+  uint32_t len;
+  mvcc.Read(core_, reader, 0, 5, &len);  // observes version ts 0
+
+  const uint64_t writer = mvcc.Begin(core_);
+  auto next = Image(2);
+  auto prior = Image(1);
+  ASSERT_TRUE(mvcc.StageWrite(core_, writer, 0, 5, next.data(), 16,
+                              prior.data())
+                  .ok());
+  std::vector<MvccManager::StagedWrite> installs;
+  ASSERT_TRUE(mvcc.Commit(core_, writer, &installs).ok());
+
+  EXPECT_TRUE(mvcc.Commit(core_, reader, &installs).IsAborted());
+}
+
+TEST_F(MvccTest, SnapshotReaderSeesOldImage) {
+  MvccManager mvcc;
+  const uint64_t reader = mvcc.Begin(core_);  // snapshot before write
+
+  const uint64_t writer = mvcc.Begin(core_);
+  auto next = Image(2);
+  auto prior = Image(1);
+  ASSERT_TRUE(mvcc.StageWrite(core_, writer, 0, 5, next.data(), 16,
+                              prior.data())
+                  .ok());
+  std::vector<MvccManager::StagedWrite> installs;
+  ASSERT_TRUE(mvcc.Commit(core_, writer, &installs).ok());
+
+  uint32_t len = 0;
+  const uint8_t* image = mvcc.Read(core_, reader, 0, 5, &len);
+  ASSERT_NE(image, nullptr);  // served from the version chain
+  EXPECT_EQ(len, 16u);
+  EXPECT_EQ(image[0], 1);  // the prior image
+}
+
+TEST_F(MvccTest, FreshReaderSeesTableContent) {
+  MvccManager mvcc;
+  const uint64_t writer = mvcc.Begin(core_);
+  auto next = Image(2);
+  auto prior = Image(1);
+  ASSERT_TRUE(mvcc.StageWrite(core_, writer, 0, 5, next.data(), 16,
+                              prior.data())
+                  .ok());
+  std::vector<MvccManager::StagedWrite> installs;
+  ASSERT_TRUE(mvcc.Commit(core_, writer, &installs).ok());
+
+  const uint64_t reader = mvcc.Begin(core_);  // snapshot after commit
+  uint32_t len = 0;
+  EXPECT_EQ(mvcc.Read(core_, reader, 0, 5, &len), nullptr);
+}
+
+TEST_F(MvccTest, ReadOnlyTransactionCommits) {
+  MvccManager mvcc;
+  const uint64_t t = mvcc.Begin(core_);
+  uint32_t len;
+  mvcc.Read(core_, t, 0, 1, &len);
+  mvcc.Read(core_, t, 0, 2, &len);
+  std::vector<MvccManager::StagedWrite> installs;
+  EXPECT_TRUE(mvcc.Commit(core_, t, &installs).ok());
+  EXPECT_TRUE(installs.empty());
+}
+
+TEST_F(MvccTest, TimestampsAdvanceOnCommitOnly) {
+  MvccManager mvcc;
+  const uint64_t c0 = mvcc.clock();
+  const uint64_t t = mvcc.Begin(core_);
+  EXPECT_EQ(mvcc.clock(), c0);
+  auto img = Image(1);
+  ASSERT_TRUE(
+      mvcc.StageWrite(core_, t, 0, 1, img.data(), 16, img.data()).ok());
+  std::vector<MvccManager::StagedWrite> installs;
+  ASSERT_TRUE(mvcc.Commit(core_, t, &installs).ok());
+  EXPECT_EQ(mvcc.clock(), c0 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// LogManager
+// ---------------------------------------------------------------------------
+
+using LogTest = TxnTest;
+
+TEST_F(LogTest, CountsRecordsAndBytes) {
+  LogManager log;
+  const uint8_t payload[32] = {0};
+  log.LogUpdate(core_, 1, 0, 100, 1, payload, 32);
+  log.LogCommit(core_, 1);
+  EXPECT_EQ(log.records(), 2u);
+  EXPECT_EQ(log.bytes_logged(), (32u + 32u) + 32u);
+}
+
+TEST_F(LogTest, BufferWrapsViaAsynchronousFlush) {
+  LogManager log(1024);
+  const uint8_t payload[100] = {0};
+  for (int i = 0; i < 50; ++i) {
+    log.LogUpdate(core_, 1, 0, i, 1, payload, 100);
+  }
+  EXPECT_GT(log.flushes(), 0u);
+  EXPECT_EQ(log.records(), 50u);
+}
+
+TEST_F(LogTest, SequentialWritesHaveGoodLocality) {
+  LogManager log(1 << 20);
+  const uint8_t payload[28] = {0};
+  for (int i = 0; i < 100; ++i) {
+    log.LogUpdate(core_, 1, 0, i, 1, payload, 28);
+  }
+  // 100 records of 64 aligned bytes occupy 100 sequential lines; the
+  // compulsory-miss count is bounded by that footprint.
+  EXPECT_LE(core_->counters().misses.l1d, 101u);
+}
+
+TEST_F(LogTest, StableLogRetainsRecordsInLsnOrder) {
+  LogManager log;
+  const uint8_t payload[8] = {7};
+  const uint8_t key[8] = {9};
+  log.Append(core_, LogOp::kInsert, 42, 3, 17, -1, payload, 8, key, 8,
+             1);
+  log.LogCommit(core_, 42);
+  const auto& records = log.stable_log();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_LT(records[0].lsn, records[1].lsn);
+  EXPECT_EQ(records[0].op, LogOp::kInsert);
+  EXPECT_EQ(records[0].txn_id, 42u);
+  EXPECT_EQ(records[0].table, 3);
+  EXPECT_EQ(records[0].row, 17u);
+  EXPECT_EQ(records[0].slice, 1);
+  EXPECT_EQ(records[0].payload.size(), 8u);
+  EXPECT_EQ(records[0].key.size(), 8u);
+  EXPECT_EQ(records[1].op, LogOp::kCommit);
+}
+
+TEST_F(LogTest, TruncateDropsRetainedRecords) {
+  LogManager log;
+  log.LogCommit(core_, 1);
+  log.Truncate();
+  EXPECT_TRUE(log.stable_log().empty());
+}
+
+// ---------------------------------------------------------------------------
+// PartitionManager
+// ---------------------------------------------------------------------------
+
+using PartitionTest = TxnTest;
+
+TEST_F(PartitionTest, RangePartitioningCoversKeySpace) {
+  PartitionManager pm(4);
+  EXPECT_EQ(pm.PartitionOf(0, 1000), 0);
+  EXPECT_EQ(pm.PartitionOf(999, 1000), 3);
+  EXPECT_EQ(pm.PartitionOf(250, 1000), 1);
+  EXPECT_EQ(pm.PartitionOf(500, 1000), 2);
+}
+
+TEST_F(PartitionTest, SinglePartitionChecksOwnership) {
+  PartitionManager pm(2);
+  EXPECT_TRUE(pm.EnterSinglePartition(core_, 0, 0).ok());
+  EXPECT_TRUE(pm.EnterSinglePartition(core_, 1, 0).IsAborted());
+}
+
+TEST_F(PartitionTest, MultiPartitionClaimAndRelease) {
+  PartitionManager pm(4);
+  ASSERT_TRUE(pm.EnterMultiPartition(core_, 0, {0, 1, 2}).ok());
+  EXPECT_TRUE(pm.EnterMultiPartition(core_, 3, {2, 3}).IsAborted());
+  pm.ReleaseMultiPartition(core_, 0);
+  EXPECT_TRUE(pm.EnterMultiPartition(core_, 3, {2, 3}).ok());
+}
+
+TEST_F(PartitionTest, FailedClaimReleasesPartialAcquisitions) {
+  PartitionManager pm(4);
+  ASSERT_TRUE(pm.EnterMultiPartition(core_, 0, {2}).ok());
+  // Worker 1 claims {1, 2}: 2 is taken, so 1 must not stay claimed.
+  ASSERT_TRUE(pm.EnterMultiPartition(core_, 1, {1, 2}).IsAborted());
+  EXPECT_TRUE(pm.EnterMultiPartition(core_, 3, {1}).ok());
+}
+
+}  // namespace
+}  // namespace imoltp::txn

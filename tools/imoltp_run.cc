@@ -1,0 +1,208 @@
+// imoltp_run — command-line experiment driver. Runs any (engine,
+// workload, configuration) cell of the paper's design space and prints
+// either the human-readable tables or one machine-readable CSV row.
+//
+//   imoltp_run --engine=hyper --workload=micro --db=100GB --rows=10
+//   imoltp_run --engine=dbms-m --workload=tpcc --warehouses=8 --csv
+//   imoltp_run --list
+//
+// Flags:
+//   --engine=shore-mt|dbms-d|voltdb|hyper|dbms-m      (default voltdb)
+//   --workload=micro|micro-rw|micro-string|tpcb|tpcc  (default micro)
+//   --db=SIZE            nominal size, e.g. 10MB, 10GB, 100GB
+//   --rows=N             micro: rows per transaction
+//   --warehouses=N       tpcc only
+//   --workers=N          worker threads == partitions
+//   --txns=N             measured transactions per worker
+//   --warmup=N           warm-up transactions per worker
+//   --index=hash|btree   DBMS M index choice
+//   --no-compilation     disable DBMS M transaction compilation
+//   --seed=N
+//   --csv                one CSV row (+ header with --csv-header)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <strings.h>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/microbench.h"
+#include "core/report.h"
+#include "core/tpcb.h"
+#include "core/tpcc.h"
+
+using namespace imoltp;
+
+namespace {
+
+struct Flags {
+  std::string engine = "voltdb";
+  std::string workload = "micro";
+  uint64_t db_bytes = 10ULL << 20;
+  int rows = 1;
+  int warehouses = 4;
+  int workers = 1;
+  uint64_t txns = 6000;
+  uint64_t warmup = 2000;
+  std::string index = "hash";
+  bool compilation = true;
+  uint64_t seed = 42;
+  bool csv = false;
+  bool csv_header = false;
+};
+
+uint64_t ParseSize(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == nullptr || v <= 0) return 0;
+  if (strcasecmp(end, "GB") == 0) {
+    return static_cast<uint64_t>(v * (1ULL << 30));
+  }
+  if (strcasecmp(end, "KB") == 0) {
+    return static_cast<uint64_t>(v * (1ULL << 10));
+  }
+  if (strcasecmp(end, "MB") == 0 || *end == '\0') {
+    return static_cast<uint64_t>(v * (1ULL << 20));
+  }
+  return 0;
+}
+
+bool ParseEngine(const std::string& s, engine::EngineKind* out) {
+  using engine::EngineKind;
+  if (s == "shore-mt") return *out = EngineKind::kShoreMt, true;
+  if (s == "dbms-d") return *out = EngineKind::kDbmsD, true;
+  if (s == "voltdb") return *out = EngineKind::kVoltDb, true;
+  if (s == "hyper") return *out = EngineKind::kHyPer, true;
+  if (s == "dbms-m") return *out = EngineKind::kDbmsM, true;
+  return false;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--engine=E] [--workload=W] [--db=SIZE] "
+               "[--rows=N]\n"
+               "          [--warehouses=N] [--workers=N] [--txns=N] "
+               "[--warmup=N]\n"
+               "          [--index=hash|btree] [--no-compilation] "
+               "[--seed=N] [--csv]\n"
+               "engines: shore-mt dbms-d voltdb hyper dbms-m\n"
+               "workloads: micro micro-rw micro-string tpcb tpcc\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--engine=")) {
+      flags.engine = v;
+    } else if (const char* v = value("--workload=")) {
+      flags.workload = v;
+    } else if (const char* v = value("--db=")) {
+      flags.db_bytes = ParseSize(v);
+      if (flags.db_bytes == 0) return Usage(argv[0]);
+    } else if (const char* v = value("--rows=")) {
+      flags.rows = std::atoi(v);
+    } else if (const char* v = value("--warehouses=")) {
+      flags.warehouses = std::atoi(v);
+    } else if (const char* v = value("--workers=")) {
+      flags.workers = std::atoi(v);
+    } else if (const char* v = value("--txns=")) {
+      flags.txns = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--warmup=")) {
+      flags.warmup = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--index=")) {
+      flags.index = v;
+    } else if (const char* v = value("--seed=")) {
+      flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--no-compilation") {
+      flags.compilation = false;
+    } else if (arg == "--csv") {
+      flags.csv = true;
+    } else if (arg == "--csv-header") {
+      flags.csv = true;
+      flags.csv_header = true;
+    } else if (arg == "--list") {
+      return Usage(argv[0]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  engine::EngineKind kind;
+  if (!ParseEngine(flags.engine, &kind)) return Usage(argv[0]);
+
+  core::ExperimentConfig cfg;
+  cfg.engine = kind;
+  cfg.num_workers = flags.workers;
+  cfg.measure_txns = flags.txns;
+  cfg.warmup_txns = flags.warmup;
+  cfg.seed = flags.seed;
+  cfg.engine_options.compilation = flags.compilation;
+  cfg.engine_options.dbms_m_index = flags.index == "btree"
+                                        ? index::IndexKind::kBTreeCc
+                                        : index::IndexKind::kHash;
+
+  std::unique_ptr<core::Workload> workload;
+  if (flags.workload.rfind("micro", 0) == 0) {
+    core::MicroConfig mcfg;
+    mcfg.nominal_bytes = flags.db_bytes;
+    mcfg.rows_per_txn = flags.rows;
+    mcfg.read_write = flags.workload == "micro-rw";
+    mcfg.string_columns = flags.workload == "micro-string";
+    mcfg.num_partitions = flags.workers;
+    workload = std::make_unique<core::MicroBenchmark>(mcfg);
+  } else if (flags.workload == "tpcb") {
+    core::TpcbConfig tcfg;
+    tcfg.nominal_bytes = flags.db_bytes;
+    tcfg.num_partitions = flags.workers;
+    workload = std::make_unique<core::TpcbBenchmark>(tcfg);
+  } else if (flags.workload == "tpcc") {
+    core::TpccConfig tcfg;
+    tcfg.warehouses = flags.warehouses;
+    tcfg.num_partitions = flags.workers;
+    cfg.engine_options.dbms_m_index = flags.index == "hash"
+                                          ? index::IndexKind::kHash
+                                          : index::IndexKind::kBTreeCc;
+    workload = std::make_unique<core::TpccBenchmark>(tcfg);
+  } else {
+    return Usage(argv[0]);
+  }
+
+  std::fprintf(stderr, "running %s / %s ...\n", flags.engine.c_str(),
+               flags.workload.c_str());
+  const mcsim::WindowReport r = core::RunExperiment(cfg, workload.get());
+
+  if (flags.csv) {
+    if (flags.csv_header) {
+      std::printf(
+          "engine,workload,db_bytes,rows,workers,ipc,instr_per_txn,"
+          "cycles_per_txn,l1i_kI,l2i_kI,llci_kI,l1d_kI,l2d_kI,llcd_kI\n");
+    }
+    const auto& k = r.stalls_per_kinstr.stalls;
+    std::printf(
+        "%s,%s,%llu,%d,%d,%.4f,%.1f,%.1f,%.2f,%.2f,%.2f,%.2f,%.2f,"
+        "%.2f\n",
+        flags.engine.c_str(), flags.workload.c_str(),
+        static_cast<unsigned long long>(flags.db_bytes), flags.rows,
+        flags.workers, r.ipc, r.instructions_per_txn, r.cycles_per_txn,
+        k[0], k[1], k[2], k[3], k[4], k[5]);
+    return 0;
+  }
+
+  const std::string label = flags.engine + " / " + flags.workload;
+  core::ReportRow row{label, r};
+  core::PrintIpc("Result", {row});
+  core::PrintStallsPerKInstr("Result", {row});
+  core::PrintStallsPerTxn("Result", {row});
+  core::PrintCycleAccounting("Result", {row});
+  return 0;
+}
