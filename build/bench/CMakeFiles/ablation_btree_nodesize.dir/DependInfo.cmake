@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_btree_nodesize.cc" "bench/CMakeFiles/ablation_btree_nodesize.dir/ablation_btree_nodesize.cc.o" "gcc" "bench/CMakeFiles/ablation_btree_nodesize.dir/ablation_btree_nodesize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/imoltp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/imoltp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imoltp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/imoltp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/imoltp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcsim/CMakeFiles/imoltp_mcsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

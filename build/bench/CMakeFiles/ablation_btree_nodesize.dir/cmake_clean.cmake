@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_btree_nodesize.dir/ablation_btree_nodesize.cc.o"
+  "CMakeFiles/ablation_btree_nodesize.dir/ablation_btree_nodesize.cc.o.d"
+  "ablation_btree_nodesize"
+  "ablation_btree_nodesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_btree_nodesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

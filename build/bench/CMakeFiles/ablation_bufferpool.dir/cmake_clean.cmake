@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bufferpool.dir/ablation_bufferpool.cc.o"
+  "CMakeFiles/ablation_bufferpool.dir/ablation_bufferpool.cc.o.d"
+  "ablation_bufferpool"
+  "ablation_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

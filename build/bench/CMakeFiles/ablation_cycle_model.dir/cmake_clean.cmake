@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cycle_model.dir/ablation_cycle_model.cc.o"
+  "CMakeFiles/ablation_cycle_model.dir/ablation_cycle_model.cc.o.d"
+  "ablation_cycle_model"
+  "ablation_cycle_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cycle_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

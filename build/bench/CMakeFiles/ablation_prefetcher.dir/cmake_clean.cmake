@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefetcher.dir/ablation_prefetcher.cc.o"
+  "CMakeFiles/ablation_prefetcher.dir/ablation_prefetcher.cc.o.d"
+  "ablation_prefetcher"
+  "ablation_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

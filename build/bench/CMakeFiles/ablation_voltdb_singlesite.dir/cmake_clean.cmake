@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_voltdb_singlesite.dir/ablation_voltdb_singlesite.cc.o"
+  "CMakeFiles/ablation_voltdb_singlesite.dir/ablation_voltdb_singlesite.cc.o.d"
+  "ablation_voltdb_singlesite"
+  "ablation_voltdb_singlesite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_voltdb_singlesite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_02_03_dbsize.dir/fig01_02_03_dbsize.cc.o"
+  "CMakeFiles/fig01_02_03_dbsize.dir/fig01_02_03_dbsize.cc.o.d"
+  "fig01_02_03_dbsize"
+  "fig01_02_03_dbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_03_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

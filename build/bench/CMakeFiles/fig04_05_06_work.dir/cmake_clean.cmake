@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_05_06_work.dir/fig04_05_06_work.cc.o"
+  "CMakeFiles/fig04_05_06_work.dir/fig04_05_06_work.cc.o.d"
+  "fig04_05_06_work"
+  "fig04_05_06_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_05_06_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

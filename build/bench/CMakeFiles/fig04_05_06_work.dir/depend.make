@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_05_06_work.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_module_breakdown.dir/fig07_module_breakdown.cc.o"
+  "CMakeFiles/fig07_module_breakdown.dir/fig07_module_breakdown.cc.o.d"
+  "fig07_module_breakdown"
+  "fig07_module_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_module_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

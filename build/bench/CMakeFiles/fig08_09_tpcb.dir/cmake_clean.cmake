@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_tpcb.dir/fig08_09_tpcb.cc.o"
+  "CMakeFiles/fig08_09_tpcb.dir/fig08_09_tpcb.cc.o.d"
+  "fig08_09_tpcb"
+  "fig08_09_tpcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_tpcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

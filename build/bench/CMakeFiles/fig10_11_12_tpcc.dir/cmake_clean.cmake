@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_12_tpcc.dir/fig10_11_12_tpcc.cc.o"
+  "CMakeFiles/fig10_11_12_tpcc.dir/fig10_11_12_tpcc.cc.o.d"
+  "fig10_11_12_tpcc"
+  "fig10_11_12_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_12_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_26_index_compilation.dir/fig13_26_index_compilation.cc.o"
+  "CMakeFiles/fig13_26_index_compilation.dir/fig13_26_index_compilation.cc.o.d"
+  "fig13_26_index_compilation"
+  "fig13_26_index_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_26_index_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_index_compilation_tpcc.dir/fig14_index_compilation_tpcc.cc.o"
+  "CMakeFiles/fig14_index_compilation_tpcc.dir/fig14_index_compilation_tpcc.cc.o.d"
+  "fig14_index_compilation_tpcc"
+  "fig14_index_compilation_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_index_compilation_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

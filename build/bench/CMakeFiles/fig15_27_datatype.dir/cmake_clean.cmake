@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_27_datatype.dir/fig15_27_datatype.cc.o"
+  "CMakeFiles/fig15_27_datatype.dir/fig15_27_datatype.cc.o.d"
+  "fig15_27_datatype"
+  "fig15_27_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_27_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

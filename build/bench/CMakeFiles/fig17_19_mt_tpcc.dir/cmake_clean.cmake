@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_19_mt_tpcc.dir/fig17_19_mt_tpcc.cc.o"
+  "CMakeFiles/fig17_19_mt_tpcc.dir/fig17_19_mt_tpcc.cc.o.d"
+  "fig17_19_mt_tpcc"
+  "fig17_19_mt_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_19_mt_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

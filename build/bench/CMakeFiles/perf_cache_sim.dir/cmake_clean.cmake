@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_cache_sim.dir/perf_cache_sim.cc.o"
+  "CMakeFiles/perf_cache_sim.dir/perf_cache_sim.cc.o.d"
+  "perf_cache_sim"
+  "perf_cache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

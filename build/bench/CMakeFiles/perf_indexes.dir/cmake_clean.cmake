@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_indexes.dir/perf_indexes.cc.o"
+  "CMakeFiles/perf_indexes.dir/perf_indexes.cc.o.d"
+  "perf_indexes"
+  "perf_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

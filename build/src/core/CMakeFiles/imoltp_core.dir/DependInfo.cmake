@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/imoltp_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/imoltp_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/microbench.cc" "src/core/CMakeFiles/imoltp_core.dir/microbench.cc.o" "gcc" "src/core/CMakeFiles/imoltp_core.dir/microbench.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/imoltp_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/imoltp_core.dir/report.cc.o.d"
+  "/root/repo/src/core/tpcb.cc" "src/core/CMakeFiles/imoltp_core.dir/tpcb.cc.o" "gcc" "src/core/CMakeFiles/imoltp_core.dir/tpcb.cc.o.d"
+  "/root/repo/src/core/tpcc.cc" "src/core/CMakeFiles/imoltp_core.dir/tpcc.cc.o" "gcc" "src/core/CMakeFiles/imoltp_core.dir/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/imoltp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imoltp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/imoltp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/imoltp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcsim/CMakeFiles/imoltp_mcsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imoltp_core.dir/experiment.cc.o"
+  "CMakeFiles/imoltp_core.dir/experiment.cc.o.d"
+  "CMakeFiles/imoltp_core.dir/microbench.cc.o"
+  "CMakeFiles/imoltp_core.dir/microbench.cc.o.d"
+  "CMakeFiles/imoltp_core.dir/report.cc.o"
+  "CMakeFiles/imoltp_core.dir/report.cc.o.d"
+  "CMakeFiles/imoltp_core.dir/tpcb.cc.o"
+  "CMakeFiles/imoltp_core.dir/tpcb.cc.o.d"
+  "CMakeFiles/imoltp_core.dir/tpcc.cc.o"
+  "CMakeFiles/imoltp_core.dir/tpcc.cc.o.d"
+  "libimoltp_core.a"
+  "libimoltp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imoltp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

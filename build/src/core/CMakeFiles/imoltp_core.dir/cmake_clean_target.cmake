@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimoltp_core.a"
+)

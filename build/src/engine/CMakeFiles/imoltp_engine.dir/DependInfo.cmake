@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/disk_engine.cc" "src/engine/CMakeFiles/imoltp_engine.dir/disk_engine.cc.o" "gcc" "src/engine/CMakeFiles/imoltp_engine.dir/disk_engine.cc.o.d"
+  "/root/repo/src/engine/engine_base.cc" "src/engine/CMakeFiles/imoltp_engine.dir/engine_base.cc.o" "gcc" "src/engine/CMakeFiles/imoltp_engine.dir/engine_base.cc.o.d"
+  "/root/repo/src/engine/engine_factory.cc" "src/engine/CMakeFiles/imoltp_engine.dir/engine_factory.cc.o" "gcc" "src/engine/CMakeFiles/imoltp_engine.dir/engine_factory.cc.o.d"
+  "/root/repo/src/engine/mvcc_engine.cc" "src/engine/CMakeFiles/imoltp_engine.dir/mvcc_engine.cc.o" "gcc" "src/engine/CMakeFiles/imoltp_engine.dir/mvcc_engine.cc.o.d"
+  "/root/repo/src/engine/partitioned_engine.cc" "src/engine/CMakeFiles/imoltp_engine.dir/partitioned_engine.cc.o" "gcc" "src/engine/CMakeFiles/imoltp_engine.dir/partitioned_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcsim/CMakeFiles/imoltp_mcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imoltp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/imoltp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/imoltp_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

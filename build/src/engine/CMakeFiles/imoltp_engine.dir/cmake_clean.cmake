@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imoltp_engine.dir/disk_engine.cc.o"
+  "CMakeFiles/imoltp_engine.dir/disk_engine.cc.o.d"
+  "CMakeFiles/imoltp_engine.dir/engine_base.cc.o"
+  "CMakeFiles/imoltp_engine.dir/engine_base.cc.o.d"
+  "CMakeFiles/imoltp_engine.dir/engine_factory.cc.o"
+  "CMakeFiles/imoltp_engine.dir/engine_factory.cc.o.d"
+  "CMakeFiles/imoltp_engine.dir/mvcc_engine.cc.o"
+  "CMakeFiles/imoltp_engine.dir/mvcc_engine.cc.o.d"
+  "CMakeFiles/imoltp_engine.dir/partitioned_engine.cc.o"
+  "CMakeFiles/imoltp_engine.dir/partitioned_engine.cc.o.d"
+  "libimoltp_engine.a"
+  "libimoltp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imoltp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

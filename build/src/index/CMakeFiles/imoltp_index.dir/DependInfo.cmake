@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/art.cc" "src/index/CMakeFiles/imoltp_index.dir/art.cc.o" "gcc" "src/index/CMakeFiles/imoltp_index.dir/art.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/index/CMakeFiles/imoltp_index.dir/btree.cc.o" "gcc" "src/index/CMakeFiles/imoltp_index.dir/btree.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "src/index/CMakeFiles/imoltp_index.dir/hash_index.cc.o" "gcc" "src/index/CMakeFiles/imoltp_index.dir/hash_index.cc.o.d"
+  "/root/repo/src/index/index_factory.cc" "src/index/CMakeFiles/imoltp_index.dir/index_factory.cc.o" "gcc" "src/index/CMakeFiles/imoltp_index.dir/index_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcsim/CMakeFiles/imoltp_mcsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imoltp_index.dir/art.cc.o"
+  "CMakeFiles/imoltp_index.dir/art.cc.o.d"
+  "CMakeFiles/imoltp_index.dir/btree.cc.o"
+  "CMakeFiles/imoltp_index.dir/btree.cc.o.d"
+  "CMakeFiles/imoltp_index.dir/hash_index.cc.o"
+  "CMakeFiles/imoltp_index.dir/hash_index.cc.o.d"
+  "CMakeFiles/imoltp_index.dir/index_factory.cc.o"
+  "CMakeFiles/imoltp_index.dir/index_factory.cc.o.d"
+  "libimoltp_index.a"
+  "libimoltp_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imoltp_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcsim/cache.cc" "src/mcsim/CMakeFiles/imoltp_mcsim.dir/cache.cc.o" "gcc" "src/mcsim/CMakeFiles/imoltp_mcsim.dir/cache.cc.o.d"
+  "/root/repo/src/mcsim/core.cc" "src/mcsim/CMakeFiles/imoltp_mcsim.dir/core.cc.o" "gcc" "src/mcsim/CMakeFiles/imoltp_mcsim.dir/core.cc.o.d"
+  "/root/repo/src/mcsim/machine.cc" "src/mcsim/CMakeFiles/imoltp_mcsim.dir/machine.cc.o" "gcc" "src/mcsim/CMakeFiles/imoltp_mcsim.dir/machine.cc.o.d"
+  "/root/repo/src/mcsim/profiler.cc" "src/mcsim/CMakeFiles/imoltp_mcsim.dir/profiler.cc.o" "gcc" "src/mcsim/CMakeFiles/imoltp_mcsim.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

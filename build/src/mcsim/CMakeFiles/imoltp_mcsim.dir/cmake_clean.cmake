@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imoltp_mcsim.dir/cache.cc.o"
+  "CMakeFiles/imoltp_mcsim.dir/cache.cc.o.d"
+  "CMakeFiles/imoltp_mcsim.dir/core.cc.o"
+  "CMakeFiles/imoltp_mcsim.dir/core.cc.o.d"
+  "CMakeFiles/imoltp_mcsim.dir/machine.cc.o"
+  "CMakeFiles/imoltp_mcsim.dir/machine.cc.o.d"
+  "CMakeFiles/imoltp_mcsim.dir/profiler.cc.o"
+  "CMakeFiles/imoltp_mcsim.dir/profiler.cc.o.d"
+  "libimoltp_mcsim.a"
+  "libimoltp_mcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imoltp_mcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/imoltp_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/imoltp_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_heap_file.cc" "src/storage/CMakeFiles/imoltp_storage.dir/disk_heap_file.cc.o" "gcc" "src/storage/CMakeFiles/imoltp_storage.dir/disk_heap_file.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/storage/CMakeFiles/imoltp_storage.dir/slotted_page.cc.o" "gcc" "src/storage/CMakeFiles/imoltp_storage.dir/slotted_page.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/imoltp_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/imoltp_storage.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcsim/CMakeFiles/imoltp_mcsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imoltp_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/imoltp_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/imoltp_storage.dir/disk_heap_file.cc.o"
+  "CMakeFiles/imoltp_storage.dir/disk_heap_file.cc.o.d"
+  "CMakeFiles/imoltp_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/imoltp_storage.dir/slotted_page.cc.o.d"
+  "CMakeFiles/imoltp_storage.dir/table.cc.o"
+  "CMakeFiles/imoltp_storage.dir/table.cc.o.d"
+  "libimoltp_storage.a"
+  "libimoltp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imoltp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imoltp_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/imoltp_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/imoltp_txn.dir/log_manager.cc.o"
+  "CMakeFiles/imoltp_txn.dir/log_manager.cc.o.d"
+  "CMakeFiles/imoltp_txn.dir/mvcc.cc.o"
+  "CMakeFiles/imoltp_txn.dir/mvcc.cc.o.d"
+  "libimoltp_txn.a"
+  "libimoltp_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imoltp_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_report_test.dir/energy_report_test.cc.o"
+  "CMakeFiles/energy_report_test.dir/energy_report_test.cc.o.d"
+  "energy_report_test"
+  "energy_report_test.pdb"
+  "energy_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

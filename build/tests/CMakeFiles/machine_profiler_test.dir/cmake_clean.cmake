@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_profiler_test.dir/machine_profiler_test.cc.o"
+  "CMakeFiles/machine_profiler_test.dir/machine_profiler_test.cc.o.d"
+  "machine_profiler_test"
+  "machine_profiler_test.pdb"
+  "machine_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imoltp_run.dir/imoltp_run.cc.o"
+  "CMakeFiles/imoltp_run.dir/imoltp_run.cc.o.d"
+  "imoltp_run"
+  "imoltp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imoltp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
