@@ -38,5 +38,8 @@ int main() {
       100.0 * (rows[0].report.instructions_per_txn -
                rows[1].report.instructions_per_txn) /
           rows[0].report.instructions_per_txn);
+
+  bench::ExportRowsJson("ablation_bufferpool",
+                        "Buffer pool overhead ablation", rows);
   return 0;
 }

@@ -36,5 +36,8 @@ int main() {
       "\nInstruction stalls/k-instr grow by %.0f%% without the "
       "single-site guarantee (paper: ~60%%).\n",
       100.0 * (instr_stalls[1] - instr_stalls[0]) / instr_stalls[0]);
+
+  bench::ExportRowsJson("ablation_voltdb_singlesite",
+                        "VoltDB single-site guarantee ablation", rows);
   return 0;
 }

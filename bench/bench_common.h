@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/experiment.h"
 #include "core/microbench.h"
 #include "core/report.h"
+#include "obs/report_json.h"
 
 namespace imoltp::bench {
 
@@ -60,6 +62,39 @@ inline core::ExperimentConfig HeavyTxnConfig(engine::EngineKind kind) {
 
 inline std::string Label(engine::EngineKind kind, const std::string& sub) {
   return std::string(engine::EngineKindName(kind)) + " " + sub;
+}
+
+/// When IMOLTP_JSON_DIR is set, dumps `rows` as one schema-versioned
+/// JSON document to $IMOLTP_JSON_DIR/<name>.json so figure sweeps can
+/// be archived and regression-diffed with imoltp_diff. No-op otherwise.
+inline void ExportRowsJson(const char* name, const char* title,
+                           const std::vector<core::ReportRow>& rows,
+                           const mcsim::CycleModelParams& params = {}) {
+  const char* dir = std::getenv("IMOLTP_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("schema_version", obs::kReportSchemaVersion);
+  w.KeyValue("figure", name);
+  w.KeyValue("title", title);
+  w.Key("rows");
+  w.BeginArray();
+  for (const core::ReportRow& r : rows) {
+    w.BeginObject();
+    w.KeyValue("label", r.label);
+    w.Key("window");
+    obs::WindowReportToJson(w, r.report, params);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  const std::string path = std::string(dir) + "/" + name + ".json";
+  const Status s = obs::WriteJsonFile(path, w.TakeString());
+  if (!s.ok()) {
+    std::fprintf(stderr, "ExportRowsJson: %s\n", s.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
 }
 
 inline void PrintHeader(const char* figure, const char* caption) {

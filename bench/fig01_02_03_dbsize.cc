@@ -70,5 +70,14 @@ int main() {
                      "Stall cycles per transaction, 100GB (read-write)");
   core::PrintStallsPerTxn("Read-write micro-benchmark, 100GB",
                           per_txn_rw);
+
+  // Each exported row's window embeds the stall breakdowns, so the IPC
+  // vectors alone carry everything the figures plot.
+  bench::ExportRowsJson("fig01_02_03_dbsize_ro",
+                        "Micro-benchmark vs database size (read-only)",
+                        ipc_ro);
+  bench::ExportRowsJson("fig01_02_03_dbsize_rw",
+                        "Micro-benchmark vs database size (read-write)",
+                        ipc_rw);
   return 0;
 }

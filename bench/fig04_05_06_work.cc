@@ -70,5 +70,12 @@ int main() {
   bench::PrintHeader("Figure 25 (appendix)",
                      "Stall cycles per transaction vs rows updated");
   core::PrintStallsPerTxn("Read-write micro-benchmark", txn_rw);
+
+  bench::ExportRowsJson("fig04_05_06_work_ro",
+                        "Micro-benchmark vs rows per txn (read-only)",
+                        ipc_ro);
+  bench::ExportRowsJson("fig04_05_06_work_rw",
+                        "Micro-benchmark vs rows per txn (read-write)",
+                        ipc_rw);
   return 0;
 }

@@ -45,5 +45,9 @@ int main() {
   for (const core::ReportRow& row : details) {
     core::PrintModuleBreakdown("Module detail", row);
   }
+
+  bench::ExportRowsJson("fig07_module_breakdown",
+                        "Engine share and module detail vs rows read",
+                        shares);
   return 0;
 }

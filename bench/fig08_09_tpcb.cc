@@ -36,5 +36,7 @@ int main() {
   // Not a numbered figure: the paper notes per-transaction trends match
   // per-k-instruction for TPC-B (Section 5.1.2); print for completeness.
   core::PrintStallsPerTxn("TPC-B AccountUpdate (supporting)", per_txn);
+
+  bench::ExportRowsJson("fig08_09_tpcb", "TPC-B (100GB)", ipc);
   return 0;
 }

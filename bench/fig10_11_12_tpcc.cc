@@ -37,5 +37,7 @@ int main() {
   core::PrintStallsPerKInstr("TPC-C standard mix", stalls);
   bench::PrintHeader("Figure 12", "TPC-C stall cycles per transaction");
   core::PrintStallsPerTxn("TPC-C standard mix", per_txn);
+
+  bench::ExportRowsJson("fig10_11_12_tpcc", "TPC-C (100GB-scale)", ipc);
   return 0;
 }

@@ -51,5 +51,12 @@ int main() {
       "Figure 26 (appendix)",
       "DBMS M index x compilation, micro 10 rows 100GB (read-write)");
   core::PrintStallsPerKInstr("Read-write", rw_rows);
+
+  bench::ExportRowsJson("fig13_index_compilation_ro",
+                        "DBMS M index x compilation (read-only)",
+                        ro_rows);
+  bench::ExportRowsJson("fig26_index_compilation_rw",
+                        "DBMS M index x compilation (read-write)",
+                        rw_rows);
   return 0;
 }

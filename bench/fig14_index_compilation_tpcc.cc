@@ -39,5 +39,8 @@ int main() {
   bench::PrintHeader("Figure 14",
                      "DBMS M index x compilation while running TPC-C");
   core::PrintStallsPerKInstr("TPC-C standard mix", rows);
+
+  bench::ExportRowsJson("fig14_index_compilation_tpcc",
+                        "DBMS M index x compilation on TPC-C", rows);
   return 0;
 }

@@ -42,5 +42,10 @@ int main() {
   bench::PrintHeader("Figure 27 (appendix)",
                      "String vs Long data types (read-write, 100GB)");
   core::PrintStallsPerKInstr("Read-write micro-benchmark", rw_rows);
+
+  bench::ExportRowsJson("fig15_datatype_ro",
+                        "String vs Long data types (read-only)", ro_rows);
+  bench::ExportRowsJson("fig27_datatype_rw",
+                        "String vs Long data types (read-write)", rw_rows);
   return 0;
 }

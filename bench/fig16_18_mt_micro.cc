@@ -39,5 +39,9 @@ int main() {
       "Figure 18",
       "Multi-threaded micro-benchmark stalls per k-instruction");
   core::PrintStallsPerKInstr("Read-only, 1 row, 100GB", rows);
+
+  bench::ExportRowsJson("fig16_18_mt_micro",
+                        "Multi-threaded micro-benchmark (4 workers)",
+                        rows);
   return 0;
 }

@@ -36,5 +36,8 @@ int main() {
   bench::PrintHeader("Figure 19",
                      "Multi-threaded TPC-C stalls per k-instruction");
   core::PrintStallsPerKInstr("TPC-C standard mix", rows);
+
+  bench::ExportRowsJson("fig17_19_mt_tpcc",
+                        "Multi-threaded TPC-C (4 workers)", rows);
   return 0;
 }

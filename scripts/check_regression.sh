@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Golden-report regression check: runs one fixed-seed experiment and
+# diffs its JSON report against the checked-in baseline with
+# imoltp_diff. The simulator is deterministic, so any drift means the
+# machine model, an engine, or the report schema changed — regenerate
+# the golden deliberately when that is intended:
+#
+#   imoltp_run --engine=voltdb --workload=micro --db=1MB --workers=2 \
+#              --warmup=200 --txns=800 --seed=7 \
+#              --json=tests/golden/regression_baseline.json
+#
+# usage: check_regression.sh IMOLTP_RUN IMOLTP_DIFF GOLDEN_JSON [OUT_DIR]
+set -euo pipefail
+
+if [ "$#" -lt 3 ]; then
+  echo "usage: $0 IMOLTP_RUN IMOLTP_DIFF GOLDEN_JSON [OUT_DIR]" >&2
+  exit 2
+fi
+
+imoltp_run=$1
+imoltp_diff=$2
+golden=$3
+outdir=${4:-$(mktemp -d)}
+
+candidate="$outdir/regression_candidate.json"
+
+"$imoltp_run" --engine=voltdb --workload=micro --db=1MB --workers=2 \
+              --warmup=200 --txns=800 --seed=7 --json="$candidate"
+
+exec "$imoltp_diff" "$golden" "$candidate"

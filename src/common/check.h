@@ -1,0 +1,19 @@
+#ifndef IMOLTP_COMMON_CHECK_H_
+#define IMOLTP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Unconditional invariant check (active in all build types). Misusing
+/// the measurement apparatus must fail loudly — a silently-empty window
+/// report would be archived and diffed as if it were a real result.
+#define IMOLTP_CHECK(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, msg, #cond);                    \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#endif  // IMOLTP_COMMON_CHECK_H_

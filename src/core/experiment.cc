@@ -40,16 +40,26 @@ mcsim::WindowReport ExperimentRunner::Run(Workload* workload) {
     }
   }
 
-  // Measurement window, filtered to the worker cores.
+  // Measurement window, filtered to the worker cores. Lifecycle spans
+  // and the latency histogram cover exactly the same window.
   mcsim::Profiler profiler(machine_.get());
   std::vector<int> cores;
   for (int w = 0; w < workers; ++w) cores.push_back(w);
+  engine_->span_collector()->Reset();
+  latency_.Reset();
+  const mcsim::CycleModelParams& params = machine_->config().cycle;
   profiler.BeginWindow(cores);
   for (uint64_t t = 0; t < config_.measure_txns; ++t) {
     for (int w = 0; w < workers; ++w) {
+      const mcsim::ModuleCounters before =
+          mcsim::AggregateCounters(machine_->core(w).counters());
       const Status s =
           workload->RunTransaction(engine_.get(), w, &rngs[w]);
       if (!s.ok()) ++aborts_;
+      const mcsim::ModuleCounters delta =
+          mcsim::AggregateCounters(machine_->core(w).counters()) -
+          before;
+      latency_.Add(mcsim::SimulatedCycles(delta, params));
     }
   }
   return profiler.EndWindow();

@@ -8,6 +8,8 @@
 #include "engine/engine.h"
 #include "mcsim/machine.h"
 #include "mcsim/profiler.h"
+#include "obs/histogram.h"
+#include "obs/span.h"
 
 namespace imoltp::core {
 
@@ -47,10 +49,24 @@ class ExperimentRunner {
   mcsim::MachineSim* machine() { return machine_.get(); }
   uint64_t aborts() const { return aborts_; }
 
+  /// Per-transaction simulated-cycle latencies of the most recent
+  /// measurement window (aborted transactions included — their retry
+  /// cost is exactly the tail the averages hide).
+  const obs::LatencyHistogram& latency_histogram() const {
+    return latency_;
+  }
+
+  /// Lifecycle-span cycles of the most recent measurement window,
+  /// summed over workers.
+  const obs::SpanCollector& spans() const {
+    return *engine_->span_collector();
+  }
+
  private:
   ExperimentConfig config_;
   std::unique_ptr<mcsim::MachineSim> machine_;
   std::unique_ptr<engine::Engine> engine_;
+  obs::LatencyHistogram latency_;
   uint64_t aborts_ = 0;
   uint64_t runs_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/report_json.h"
+
 namespace imoltp::core {
 
 namespace {
@@ -78,34 +80,14 @@ void PrintCycleAccounting(const std::string& title,
               "frontend", "memory", "badspec", "cyc/txn");
   for (const ReportRow& r : rows) {
     const auto& rep = r.report;
-    const double workers = rep.num_workers > 0 ? rep.num_workers : 1;
-    const mcsim::LevelMisses& m = rep.misses;  // summed over workers
-    const double frontend =
-        (static_cast<double>(m.l1i) * params.l1_miss_penalty +
-         static_cast<double>(m.l2i) * params.l2_miss_penalty +
-         static_cast<double>(m.llc_i) * params.llc_miss_penalty) *
-        params.frontend_amplification / workers;
-    const double memory =
-        (static_cast<double>(m.l1d) * params.l1_miss_penalty *
-             params.data_amp_l1 +
-         static_cast<double>(m.l2d) * params.l2_miss_penalty *
-             params.data_amp_l2 +
-         static_cast<double>(m.llc_d) * params.llc_miss_penalty *
-             mcsim::EffectiveLlcAmp(
-                 m.llc_d,
-                 static_cast<uint64_t>(rep.instructions * workers),
-                 params)) /
-            workers +
-        rep.tlb_misses * params.tlb_walk_cycles;
-    const double badspec =
-        rep.mispredictions * params.mispredict_penalty;
-    const double retiring = rep.base_cycles;
-    const double total = retiring + frontend + memory + badspec;
+    const obs::CycleAccounting acc =
+        obs::ComputeCycleAccounting(rep, params);
+    const double total = acc.total();
     if (total <= 0) continue;
     std::printf("%-28s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %9.0f\n",
-                r.label.c_str(), 100 * retiring / total,
-                100 * frontend / total, 100 * memory / total,
-                100 * badspec / total,
+                r.label.c_str(), 100 * acc.retiring / total,
+                100 * acc.frontend / total, 100 * acc.memory / total,
+                100 * acc.bad_speculation / total,
                 rep.transactions > 0 ? total / rep.transactions : 0.0);
   }
 }

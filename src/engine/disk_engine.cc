@@ -1,5 +1,7 @@
 #include "engine/disk_engine.h"
 
+#include "obs/span.h"
+
 namespace imoltp::engine {
 
 namespace {
@@ -56,6 +58,8 @@ class DiskEngine::Ctx final : public TxnContext {
   Status Probe(int table, const index::Key& key,
                storage::RowId* row) override {
     PerOpFrontend();
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(core_, e_->btree_.module);
     e_->Exec(core_, e_->btree_);
     auto& slice = e_->tables_[table].slices[0];
@@ -71,12 +75,16 @@ class DiskEngine::Ctx final : public TxnContext {
   Status Read(int table, storage::RowId row, uint8_t* out) override {
     auto& slice = e_->tables_[table].slices[0];
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kLockAcquire);
       mcsim::ScopedModule mod(core_, e_->lock_.module);
       e_->Exec(core_, e_->lock_);
       const Status s = e_->lock_manager_.Acquire(
           core_, txn_id_, LockId(table, row), txn::LockMode::kShared);
       if (!s.ok()) return s;
     }
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kStorageAccess);
     mcsim::ScopedModule mod(core_, HeapRegion().module);
     e_->Exec(core_, HeapRegion());
     if (!RowRead(slice, row, out)) return Status::NotFound();
@@ -87,6 +95,8 @@ class DiskEngine::Ctx final : public TxnContext {
                 const void* value) override {
     auto& slice = e_->tables_[table].slices[0];
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kLockAcquire);
       mcsim::ScopedModule mod(core_, e_->lock_.module);
       e_->Exec(core_, e_->lock_);
       const Status s = e_->lock_manager_.Acquire(
@@ -95,6 +105,8 @@ class DiskEngine::Ctx final : public TxnContext {
     }
     const storage::Schema& schema = e_->tables_[table].def.schema;
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
       mcsim::ScopedModule mod(core_, HeapRegion().module);
       e_->Exec(core_, HeapRegion());
       // Before-image for undo (steal policy: in-place writes must be
@@ -115,6 +127,8 @@ class DiskEngine::Ctx final : public TxnContext {
         return Status::NotFound();
       }
     }
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kLogAppend);
     mcsim::ScopedModule mod(core_, e_->log_.module);
     e_->Exec(core_, e_->log_);
     e_->logs_[core_->core_id()]->LogUpdate(
@@ -132,6 +146,8 @@ class DiskEngine::Ctx final : public TxnContext {
     PerOpFrontend();
     storage::RowId rid;
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
       mcsim::ScopedModule mod(core_, HeapRegion().module);
       e_->Exec(core_, HeapRegion());
       rid = RowAppend(slice, row);
@@ -141,6 +157,8 @@ class DiskEngine::Ctx final : public TxnContext {
     }
     Status s;
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kLockAcquire);
       mcsim::ScopedModule mod(core_, e_->lock_.module);
       e_->Exec(core_, e_->lock_);
       s = e_->lock_manager_.Acquire(core_, txn_id_, LockId(table, rid),
@@ -148,15 +166,21 @@ class DiskEngine::Ctx final : public TxnContext {
       if (!s.ok()) return s;
     }
     if (slice.primary != nullptr) {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kIndexProbe);
       mcsim::ScopedModule mod(core_, e_->btree_.module);
       e_->Exec(core_, e_->btree_);
       s = slice.primary->Insert(core_, key, rid);
       if (!s.ok()) return s;
     }
     if (!slice.secondaries.empty()) {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kIndexProbe);
       mcsim::ScopedModule mod(core_, e_->btree_.module);
       e_->InsertSecondaries(core_, rt, slice, row, rid);
     }
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kLogAppend);
     mcsim::ScopedModule mod(core_, e_->log_.module);
     e_->Exec(core_, e_->log_);
     e_->logs_[core_->core_id()]->Append(
@@ -179,6 +203,8 @@ class DiskEngine::Ctx final : public TxnContext {
                 const index::Key& key) override {
     auto& slice = e_->tables_[table].slices[0];
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kLockAcquire);
       mcsim::ScopedModule mod(core_, e_->lock_.module);
       e_->Exec(core_, e_->lock_);
       const Status s = e_->lock_manager_.Acquire(
@@ -188,10 +214,14 @@ class DiskEngine::Ctx final : public TxnContext {
     const storage::Schema& schema = e_->tables_[table].def.schema;
     std::vector<uint8_t> before(schema.row_bytes());
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
       mcsim::ScopedModule mod(core_, HeapRegion().module);
       if (!RowRead(slice, row, before.data())) return Status::NotFound();
     }
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kIndexProbe);
       mcsim::ScopedModule mod(core_, e_->btree_.module);
       e_->Exec(core_, e_->btree_);
       if (!slice.primary->Remove(core_, key)) return Status::NotFound();
@@ -199,10 +229,14 @@ class DiskEngine::Ctx final : public TxnContext {
                             before.data());
     }
     {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
       mcsim::ScopedModule mod(core_, HeapRegion().module);
       e_->Exec(core_, HeapRegion());
       if (!RowDelete(slice, row)) return Status::NotFound();
     }
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kLogAppend);
     mcsim::ScopedModule mod(core_, e_->log_.module);
     e_->Exec(core_, e_->log_);
     e_->logs_[core_->core_id()]->Append(
@@ -223,6 +257,8 @@ class DiskEngine::Ctx final : public TxnContext {
   Status Scan(int table, const index::Key& from, uint64_t limit,
               std::vector<storage::RowId>* rows) override {
     PerOpFrontend();
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(core_, e_->btree_.module);
     e_->Exec(core_, e_->btree_);
     auto& slice = e_->tables_[table].slices[0];
@@ -234,6 +270,8 @@ class DiskEngine::Ctx final : public TxnContext {
                        uint64_t limit,
                        std::vector<storage::RowId>* rows) override {
     PerOpFrontend();
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(core_, e_->btree_.module);
     e_->Exec(core_, e_->btree_);
     auto& slice = e_->tables_[table].slices[0];
@@ -315,25 +353,34 @@ Status DiskEngine::Execute(int worker, const TxnRequest& request,
   if (!s.ok()) {
     // Abort: undo in-place changes, release locks, log the abort.
     if (!ctx.undo.empty()) {
+      obs::ScopedSpan span(&spans_, core,
+                           obs::SpanKind::kStorageAccess);
       mcsim::ScopedModule mod(core, heap_bp_.module);
       ApplyUndo(core, ctx.undo);
     }
     {
+      obs::ScopedSpan span(&spans_, core,
+                           obs::SpanKind::kLockAcquire);
       mcsim::ScopedModule mod(core, lock_.module);
       lock_manager_.ReleaseAll(core, txn_id);
     }
-    Exec(core, log_);
-    logs_[core->core_id()]->LogAbort(core, txn_id);
+    {
+      obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLogAppend);
+      Exec(core, log_);
+      logs_[core->core_id()]->LogAbort(core, txn_id);
+    }
     Exec(core, xct_commit_);
     return s;
   }
 
   if (ctx.dirty) {
+    obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLogAppend);
     mcsim::ScopedModule mod(core, log_.module);
     Exec(core, log_);
     logs_[core->core_id()]->LogCommit(core, txn_id);
   }
   {
+    obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLockAcquire);
     mcsim::ScopedModule mod(core, lock_.module);
     lock_manager_.ReleaseAll(core, txn_id);
   }

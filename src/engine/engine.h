@@ -11,6 +11,7 @@
 #include "index/index.h"
 #include "index/key.h"
 #include "mcsim/machine.h"
+#include "obs/span.h"
 #include "storage/schema.h"
 #include "storage/table.h"
 #include "txn/log_manager.h"
@@ -187,6 +188,11 @@ class Engine {
                          const std::function<Status(TxnContext&)>& body) = 0;
 
   virtual mcsim::MachineSim* machine() = 0;
+
+  /// Lifecycle-span accumulator (index-probe / lock-acquire /
+  /// log-append / storage-access cycles). The harness resets it at each
+  /// measurement-window start and reads it after EndWindow.
+  virtual obs::SpanCollector* span_collector() = 0;
 
   /// The engine's durable write-ahead log, merged across workers in LSN
   /// order (the simulated log device).

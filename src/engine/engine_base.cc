@@ -8,7 +8,9 @@ namespace imoltp::engine {
 
 EngineBase::EngineBase(mcsim::MachineSim* machine,
                        const EngineOptions& options)
-    : machine_(machine), options_(options) {
+    : machine_(machine),
+      options_(options),
+      spans_(&machine->config().cycle) {
   logs_.reserve(machine_->num_cores());
   for (int i = 0; i < machine_->num_cores(); ++i) {
     logs_.push_back(std::make_unique<txn::LogManager>());

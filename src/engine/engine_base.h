@@ -21,6 +21,7 @@ class EngineBase : public Engine {
   ~EngineBase() override = default;
 
   mcsim::MachineSim* machine() override { return machine_; }
+  obs::SpanCollector* span_collector() override { return &spans_; }
 
   Status CreateDatabase(const std::vector<TableDef>& defs) override;
   std::vector<txn::LogRecord> StableLog() const override;
@@ -119,6 +120,7 @@ class EngineBase : public Engine {
 
   mcsim::MachineSim* machine_;
   EngineOptions options_;
+  obs::SpanCollector spans_;
   std::vector<TableRt> tables_;
   std::unique_ptr<storage::BufferPool> bufferpool_;  // disk engines
   std::vector<std::unique_ptr<txn::LogManager>> logs_;  // per worker

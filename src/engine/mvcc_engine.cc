@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/span.h"
+
 namespace imoltp::engine {
 
 MvccEngine::MvccEngine(mcsim::MachineSim* machine,
@@ -29,6 +31,8 @@ class MvccEngine::Ctx final : public TxnContext {
 
   Status Probe(int table, const index::Key& key,
                storage::RowId* row) override {
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(core_, e_->index_op_.module);
     e_->Exec(core_, e_->storage_op_);
     e_->Exec(core_, e_->index_op_);
@@ -43,6 +47,8 @@ class MvccEngine::Ctx final : public TxnContext {
   }
 
   Status Read(int table, storage::RowId row, uint8_t* out) override {
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kStorageAccess);
     mcsim::ScopedModule mod(core_, e_->mvcc_op_.module);
     e_->Exec(core_, e_->storage_op_);
     core_->Retire(e_->tables_[table].def.schema.row_bytes() * 4);
@@ -64,24 +70,31 @@ class MvccEngine::Ctx final : public TxnContext {
   Status Update(int table, storage::RowId row, uint32_t column,
                 const void* value) override {
     mcsim::ScopedModule mod(core_, e_->mvcc_op_.module);
-    e_->Exec(core_, e_->storage_op_);
-    core_->Retire(e_->tables_[table].def.schema.row_bytes() * 4);
-    e_->Exec(core_, e_->mvcc_op_);
     auto& rt = e_->tables_[table];
     auto& slice = rt.slices[0];
-    // Versioned update: build the new full-row image from the current
-    // one (multiversioning copies rows; it never updates in place).
-    std::vector<uint8_t> prior(rt.def.schema.row_bytes());
-    if (!slice.mem->ReadRow(core_, row, prior.data())) {
-      return Status::NotFound();
+    std::vector<uint8_t> next;
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
+      e_->Exec(core_, e_->storage_op_);
+      core_->Retire(rt.def.schema.row_bytes() * 4);
+      e_->Exec(core_, e_->mvcc_op_);
+      // Versioned update: build the new full-row image from the current
+      // one (multiversioning copies rows; it never updates in place).
+      std::vector<uint8_t> prior(rt.def.schema.row_bytes());
+      if (!slice.mem->ReadRow(core_, row, prior.data())) {
+        return Status::NotFound();
+      }
+      next = prior;
+      std::memcpy(next.data() + rt.def.schema.column_offset(column),
+                  value, rt.def.schema.column_width(column));
+      const Status s = e_->mvcc_.StageWrite(
+          core_, txn_id_, static_cast<uint64_t>(table), row, next.data(),
+          static_cast<uint32_t>(next.size()), prior.data());
+      if (!s.ok()) return s;
     }
-    std::vector<uint8_t> next = prior;
-    std::memcpy(next.data() + rt.def.schema.column_offset(column), value,
-                rt.def.schema.column_width(column));
-    const Status s = e_->mvcc_.StageWrite(
-        core_, txn_id_, static_cast<uint64_t>(table), row, next.data(),
-        static_cast<uint32_t>(next.size()), prior.data());
-    if (!s.ok()) return s;
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kLogAppend);
     e_->Exec(core_, e_->log_);
     e_->logs_[core_->core_id()]->LogUpdate(core_, txn_id_,
                                            static_cast<int16_t>(table),
@@ -93,16 +106,27 @@ class MvccEngine::Ctx final : public TxnContext {
   Status Insert(int table, const uint8_t* row, const index::Key& key,
                 storage::RowId* out_row) override {
     mcsim::ScopedModule mod(core_, e_->index_op_.module);
-    e_->Exec(core_, e_->storage_op_);
-    e_->Exec(core_, e_->index_op_);
     auto& rt = e_->tables_[table];
     auto& slice = rt.slices[0];
-    const storage::RowId rid = slice.mem->Append(core_, row);
-    if (slice.primary != nullptr) {
-      const Status s = slice.primary->Insert(core_, key, rid);
-      if (!s.ok()) return s;
+    storage::RowId rid;
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
+      e_->Exec(core_, e_->storage_op_);
+      rid = slice.mem->Append(core_, row);
     }
-    e_->InsertSecondaries(core_, rt, slice, row, rid);
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kIndexProbe);
+      e_->Exec(core_, e_->index_op_);
+      if (slice.primary != nullptr) {
+        const Status s = slice.primary->Insert(core_, key, rid);
+        if (!s.ok()) return s;
+      }
+      e_->InsertSecondaries(core_, rt, slice, row, rid);
+    }
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kLogAppend);
     e_->Exec(core_, e_->log_);
     e_->logs_[core_->core_id()]->Append(
         core_, txn::LogOp::kInsert, txn_id_, static_cast<int16_t>(table),
@@ -122,18 +146,32 @@ class MvccEngine::Ctx final : public TxnContext {
   Status Delete(int table, storage::RowId row,
                 const index::Key& key) override {
     mcsim::ScopedModule mod(core_, e_->mvcc_op_.module);
-    e_->Exec(core_, e_->storage_op_);
-    e_->Exec(core_, e_->mvcc_op_);
-    e_->Exec(core_, e_->index_op_);
     auto& rt = e_->tables_[table];
     auto& slice = rt.slices[0];
     std::vector<uint8_t> before(rt.def.schema.row_bytes());
-    if (!slice.mem->ReadRow(core_, row, before.data())) {
-      return Status::NotFound();
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
+      e_->Exec(core_, e_->storage_op_);
+      e_->Exec(core_, e_->mvcc_op_);
+      if (!slice.mem->ReadRow(core_, row, before.data())) {
+        return Status::NotFound();
+      }
     }
-    if (!slice.primary->Remove(core_, key)) return Status::NotFound();
-    e_->RemoveSecondaries(core_, rt, slice, before.data());
-    if (!slice.mem->Delete(core_, row)) return Status::NotFound();
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kIndexProbe);
+      e_->Exec(core_, e_->index_op_);
+      if (!slice.primary->Remove(core_, key)) return Status::NotFound();
+      e_->RemoveSecondaries(core_, rt, slice, before.data());
+    }
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
+      if (!slice.mem->Delete(core_, row)) return Status::NotFound();
+    }
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kLogAppend);
     e_->Exec(core_, e_->log_);
     e_->logs_[core_->core_id()]->Append(
         core_, txn::LogOp::kDelete, txn_id_, static_cast<int16_t>(table),
@@ -151,6 +189,8 @@ class MvccEngine::Ctx final : public TxnContext {
 
   Status Scan(int table, const index::Key& from, uint64_t limit,
               std::vector<storage::RowId>* rows) override {
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(core_, e_->index_op_.module);
     e_->Exec(core_, e_->storage_op_);
     e_->Exec(core_, e_->index_op_);
@@ -162,6 +202,8 @@ class MvccEngine::Ctx final : public TxnContext {
   Status ScanSecondary(int table, int secondary, const index::Key& from,
                        uint64_t limit,
                        std::vector<storage::RowId>* rows) override {
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(core_, e_->index_op_.module);
     e_->Exec(core_, e_->storage_op_);
     e_->Exec(core_, e_->index_op_);
@@ -231,6 +273,7 @@ Status MvccEngine::Execute(int worker, const TxnRequest& request,
   if (!installs.empty() || !ctx.undo.empty()) {
     // Staged updates or in-place inserts/deletes: a commit record makes
     // the transaction's log records replayable.
+    obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLogAppend);
     Exec(core, log_);
     logs_[core->core_id()]->LogCommit(core, txn_id);
   }

@@ -1,5 +1,7 @@
 #include "engine/partitioned_engine.h"
 
+#include "obs/span.h"
+
 namespace imoltp::engine {
 
 PartitionedEngine::PartitionedEngine(EngineKind kind,
@@ -55,6 +57,8 @@ class PartitionedEngine::Ctx final : public TxnContext {
 
   Status Probe(int table, const index::Key& key,
                storage::RowId* row) override {
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(
         core_, e_->compiled_ ? op_module_ : e_->index_op_.module);
     OpCode(table);
@@ -70,6 +74,8 @@ class PartitionedEngine::Ctx final : public TxnContext {
   }
 
   Status Read(int table, storage::RowId row, uint8_t* out) override {
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kStorageAccess);
     mcsim::ScopedModule mod(core_, op_module_);
     OpCode(table);
     auto& slice = e_->tables_[table].slices[slice_];
@@ -80,28 +86,34 @@ class PartitionedEngine::Ctx final : public TxnContext {
   Status Update(int table, storage::RowId row, uint32_t column,
                 const void* value) override {
     mcsim::ScopedModule mod(core_, op_module_);
-    OpCode(table);
     auto& rt = e_->tables_[table];
     auto& slice = rt.slices[slice_];
-    // Before-image for rollback of failed procedures.
-    std::vector<uint8_t> before(rt.def.schema.row_bytes());
-    if (!slice.mem->ReadRow(core_, row, before.data())) {
-      return Status::NotFound();
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
+      OpCode(table);
+      // Before-image for rollback of failed procedures.
+      std::vector<uint8_t> before(rt.def.schema.row_bytes());
+      if (!slice.mem->ReadRow(core_, row, before.data())) {
+        return Status::NotFound();
+      }
+      EngineBase::UndoEntry u;
+      u.kind = EngineBase::UndoEntry::Kind::kColumnImage;
+      u.table = table;
+      u.slice = slice_;
+      u.row = row;
+      u.column = column;
+      u.image.assign(rt.def.schema.ColumnPtr(before.data(), column),
+                     rt.def.schema.ColumnPtr(before.data(), column) +
+                         rt.def.schema.column_width(column));
+      undo.push_back(std::move(u));
+      slice.mem->WriteColumn(core_, row, column, value);
     }
-    EngineBase::UndoEntry u;
-    u.kind = EngineBase::UndoEntry::Kind::kColumnImage;
-    u.table = table;
-    u.slice = slice_;
-    u.row = row;
-    u.column = column;
-    u.image.assign(rt.def.schema.ColumnPtr(before.data(), column),
-                   rt.def.schema.ColumnPtr(before.data(), column) +
-                       rt.def.schema.column_width(column));
-    undo.push_back(std::move(u));
-    slice.mem->WriteColumn(core_, row, column, value);
     // VoltDB command logging logs per transaction, not per update;
     // HyPer writes a redo record per update.
     if (e_->compiled_) {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kLogAppend);
       e_->Exec(core_, e_->log_);
       e_->logs_[core_->core_id()]->LogUpdate(
           core_, txn_id_, static_cast<int16_t>(table), row,
@@ -116,17 +128,28 @@ class PartitionedEngine::Ctx final : public TxnContext {
   Status Insert(int table, const uint8_t* row, const index::Key& key,
                 storage::RowId* out_row) override {
     mcsim::ScopedModule mod(core_, op_module_);
-    OpCode(table);
-    if (!e_->compiled_) e_->Exec(core_, e_->index_op_);
     auto& rt = e_->tables_[table];
     auto& slice = rt.slices[slice_];
-    const storage::RowId rid = slice.mem->Append(core_, row);
-    if (slice.primary != nullptr) {
-      const Status s = slice.primary->Insert(core_, key, rid);
-      if (!s.ok()) return s;
+    storage::RowId rid;
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
+      OpCode(table);
+      rid = slice.mem->Append(core_, row);
     }
-    e_->InsertSecondaries(core_, rt, slice, row, rid);
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kIndexProbe);
+      if (!e_->compiled_) e_->Exec(core_, e_->index_op_);
+      if (slice.primary != nullptr) {
+        const Status s = slice.primary->Insert(core_, key, rid);
+        if (!s.ok()) return s;
+      }
+      e_->InsertSecondaries(core_, rt, slice, row, rid);
+    }
     if (e_->compiled_) {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kLogAppend);
       e_->Exec(core_, e_->log_);
       e_->logs_[core_->core_id()]->Append(
           core_, txn::LogOp::kInsert, txn_id_,
@@ -150,18 +173,32 @@ class PartitionedEngine::Ctx final : public TxnContext {
   Status Delete(int table, storage::RowId row,
                 const index::Key& key) override {
     mcsim::ScopedModule mod(core_, op_module_);
-    OpCode(table);
-    if (!e_->compiled_) e_->Exec(core_, e_->index_op_);
     auto& rt = e_->tables_[table];
     auto& slice = rt.slices[slice_];
     std::vector<uint8_t> before(rt.def.schema.row_bytes());
-    if (!slice.mem->ReadRow(core_, row, before.data())) {
-      return Status::NotFound();
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
+      OpCode(table);
+      if (!slice.mem->ReadRow(core_, row, before.data())) {
+        return Status::NotFound();
+      }
     }
-    if (!slice.primary->Remove(core_, key)) return Status::NotFound();
-    e_->RemoveSecondaries(core_, rt, slice, before.data());
-    if (!slice.mem->Delete(core_, row)) return Status::NotFound();
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kIndexProbe);
+      if (!e_->compiled_) e_->Exec(core_, e_->index_op_);
+      if (!slice.primary->Remove(core_, key)) return Status::NotFound();
+      e_->RemoveSecondaries(core_, rt, slice, before.data());
+    }
+    {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kStorageAccess);
+      if (!slice.mem->Delete(core_, row)) return Status::NotFound();
+    }
     if (e_->compiled_) {
+      obs::ScopedSpan span(&e_->spans_, core_,
+                           obs::SpanKind::kLogAppend);
       e_->Exec(core_, e_->log_);
       e_->logs_[core_->core_id()]->Append(
           core_, txn::LogOp::kDelete, txn_id_,
@@ -182,6 +219,8 @@ class PartitionedEngine::Ctx final : public TxnContext {
 
   Status Scan(int table, const index::Key& from, uint64_t limit,
               std::vector<storage::RowId>* rows) override {
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(core_, op_module_);
     OpCode(table);
     if (!e_->compiled_) e_->Exec(core_, e_->index_op_);
@@ -193,6 +232,8 @@ class PartitionedEngine::Ctx final : public TxnContext {
   Status ScanSecondary(int table, int secondary, const index::Key& from,
                        uint64_t limit,
                        std::vector<storage::RowId>* rows) override {
+    obs::ScopedSpan span(&e_->spans_, core_,
+                         obs::SpanKind::kIndexProbe);
     mcsim::ScopedModule mod(core_, op_module_);
     OpCode(table);
     if (!e_->compiled_) e_->Exec(core_, e_->index_op_);
@@ -246,10 +287,12 @@ Status PartitionedEngine::Execute(
   Exec(core, dispatch_);
 
   if (options_.single_site) {
+    obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLockAcquire);
     const Status s = partitions_.EnterSinglePartition(core, worker, home);
     if (!s.ok()) return s;
   } else {
     // Multi-partition coordination path (Section 7 ablation).
+    obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLockAcquire);
     Exec(core, multi_site_);
     const Status s =
         partitions_.EnterMultiPartition(core, worker, {home});
@@ -270,8 +313,13 @@ Status PartitionedEngine::Execute(
   }
   if (!s.ok()) {
     // Failed procedure: roll back its in-place changes.
-    ApplyUndo(core, ctx.undo);
+    {
+      obs::ScopedSpan span(&spans_, core,
+                           obs::SpanKind::kStorageAccess);
+      ApplyUndo(core, ctx.undo);
+    }
     if (compiled_ && ctx.dirty) {
+      obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLogAppend);
       logs_[core->core_id()]->LogAbort(core, txn_id);
     }
     return s;
@@ -279,6 +327,7 @@ Status PartitionedEngine::Execute(
 
   Exec(core, commit_);
   if (ctx.dirty) {
+    obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLogAppend);
     if (!compiled_) {
       // Command logging: one record per transaction invocation.
       Exec(core, log_);

@@ -2,6 +2,7 @@
 #define IMOLTP_MCSIM_CODE_REGION_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@ struct ModuleInfo {
 };
 
 /// Registry of code modules for one simulated machine/engine pairing.
+/// Capacity is bounded by kMaxModules — CoreCounters::per_module is a
+/// fixed array of that many slots, so an unbounded registry would
+/// mis-index or drop counters. Overflow registrations are clamped to
+/// kNoModule (attributed to "<none>") with a one-time warning.
 class ModuleRegistry {
  public:
   ModuleRegistry() {
@@ -25,6 +30,16 @@ class ModuleRegistry {
   }
 
   ModuleId Register(std::string name, bool inside_engine) {
+    if (static_cast<int>(modules_.size()) >= kMaxModules) {
+      if (!overflowed_) {
+        overflowed_ = true;
+        std::fprintf(stderr,
+                     "ModuleRegistry: module limit (%d) reached; \"%s\" "
+                     "and later registrations fold into <none>\n",
+                     kMaxModules, name.c_str());
+      }
+      return kNoModule;
+    }
     modules_.push_back({std::move(name), inside_engine});
     return static_cast<ModuleId>(modules_.size() - 1);
   }
@@ -34,6 +49,7 @@ class ModuleRegistry {
 
  private:
   std::vector<ModuleInfo> modules_;
+  bool overflowed_ = false;
 };
 
 /// A synthetic code range standing for one compiled code module. The

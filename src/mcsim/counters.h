@@ -141,15 +141,22 @@ inline double SimulatedCycles(const ModuleCounters& c,
   return cycles;
 }
 
-inline double SimulatedCycles(const CoreCounters& c,
-                              const CycleModelParams& p) {
+/// The core-wide aggregate of a CoreCounters snapshot, without the
+/// per-module array — the cheap snapshot used by window-delta cycle
+/// math (profiler spans, per-transaction latency).
+inline ModuleCounters AggregateCounters(const CoreCounters& c) {
   ModuleCounters total;
   total.instructions = c.instructions;
   total.mispredictions = c.mispredictions;
   total.tlb_misses = c.tlb_misses;
   total.base_cycles = c.base_cycles;
   total.misses = c.misses;
-  return SimulatedCycles(total, p);
+  return total;
+}
+
+inline double SimulatedCycles(const CoreCounters& c,
+                              const CycleModelParams& p) {
+  return SimulatedCycles(AggregateCounters(c), p);
 }
 
 /// Reported stall cycles per the paper's convention (misses × Table 1

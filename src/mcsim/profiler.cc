@@ -2,9 +2,19 @@
 
 #include <utility>
 
+#include "common/check.h"
+
 namespace imoltp::mcsim {
 
 void Profiler::BeginWindow(std::vector<int> worker_cores) {
+  IMOLTP_CHECK(!window_open_,
+               "BeginWindow while a window is already open");
+  IMOLTP_CHECK(!worker_cores.empty(),
+               "BeginWindow needs at least one worker core");
+  for (int c : worker_cores) {
+    IMOLTP_CHECK(c >= 0 && c < machine_->num_cores(),
+                 "BeginWindow worker core out of range");
+  }
   worker_cores_ = std::move(worker_cores);
   window_start_.clear();
   window_start_.reserve(worker_cores_.size());
@@ -15,8 +25,8 @@ void Profiler::BeginWindow(std::vector<int> worker_cores) {
 }
 
 WindowReport Profiler::EndWindow() {
+  IMOLTP_CHECK(window_open_, "EndWindow without a matching BeginWindow");
   WindowReport r;
-  if (!window_open_ || worker_cores_.empty()) return r;
   window_open_ = false;
 
   const CycleModelParams& params = machine_->config().cycle;

@@ -48,12 +48,17 @@ struct WindowReport {
 /// `BeginWindow()` … run the measured transactions … `EndWindow()`, and
 /// read `Report()`. Counter filtering to the identified worker threads is
 /// the `worker_cores` argument.
+/// Window misuse — EndWindow without BeginWindow, double BeginWindow,
+/// an empty or out-of-range worker set — aborts via IMOLTP_CHECK: a
+/// silently-empty report would poison archived results.
 class Profiler {
  public:
   explicit Profiler(MachineSim* machine) : machine_(machine) {}
 
   void BeginWindow(std::vector<int> worker_cores);
   WindowReport EndWindow();
+
+  bool window_open() const { return window_open_; }
 
  private:
   MachineSim* machine_;

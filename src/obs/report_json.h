@@ -1,0 +1,73 @@
+#ifndef IMOLTP_OBS_REPORT_JSON_H_
+#define IMOLTP_OBS_REPORT_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "mcsim/profiler.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace imoltp::obs {
+
+/// Version of the JSON report schema. Bump on any incompatible change
+/// (renamed/removed keys, changed units); imoltp_diff refuses to
+/// compare documents with different versions.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Top-Down-style decomposition of the modeled cycles (per worker):
+/// retiring (inherent CPI work), frontend (instruction-miss refill),
+/// memory (data misses + TLB walks), bad speculation (branch flushes).
+struct CycleAccounting {
+  double retiring = 0.0;
+  double frontend = 0.0;
+  double memory = 0.0;
+  double bad_speculation = 0.0;
+
+  double total() const {
+    return retiring + frontend + memory + bad_speculation;
+  }
+};
+
+CycleAccounting ComputeCycleAccounting(
+    const mcsim::WindowReport& report,
+    const mcsim::CycleModelParams& params);
+
+/// Identity of one measured run — everything needed to decide whether
+/// two reports are comparable.
+struct RunInfo {
+  std::string engine;
+  std::string workload;
+  uint64_t db_bytes = 0;
+  int rows = 0;
+  int warehouses = 0;
+  int workers = 1;
+  uint64_t warmup_txns = 0;
+  uint64_t measure_txns = 0;
+  uint64_t seed = 0;
+  uint64_t aborts = 0;
+};
+
+/// Serializes one WindowReport (IPC, both stall breakdowns, raw misses,
+/// module breakdown, cycle accounting) as a JSON object into `w`.
+/// `params` feeds the cycle-accounting decomposition.
+void WindowReportToJson(JsonWriter& w, const mcsim::WindowReport& report,
+                        const mcsim::CycleModelParams& params);
+
+/// The full schema-versioned report emitted by `imoltp_run --json`.
+/// `latency` and `spans` may be null (e.g. bench rows, which only have
+/// the window).
+std::string RunReportToJson(const RunInfo& info,
+                            const mcsim::WindowReport& report,
+                            const mcsim::CycleModelParams& params,
+                            const LatencyHistogram* latency,
+                            const SpanCollector* spans);
+
+/// Writes `json` to `path` ("-" = stdout). Atomic via rename.
+Status WriteJsonFile(const std::string& path, const std::string& json);
+
+}  // namespace imoltp::obs
+
+#endif  // IMOLTP_OBS_REPORT_JSON_H_

@@ -1,0 +1,35 @@
+#include "obs/span.h"
+
+namespace imoltp::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIndexProbe: return "index-probe";
+    case SpanKind::kLockAcquire: return "lock-acquire";
+    case SpanKind::kLogAppend: return "log-append";
+    case SpanKind::kStorageAccess: return "storage-access";
+  }
+  return "?";
+}
+
+ScopedSpan::ScopedSpan(SpanCollector* collector, mcsim::CoreSim* core,
+                       SpanKind kind)
+    : collector_(collector), core_(core), kind_(kind) {
+  active_ = collector_ != nullptr && core_->enabled() &&
+            collector_->depth_ == 0;
+  if (!active_) return;
+  ++collector_->depth_;
+  start_ = mcsim::AggregateCounters(core_->counters());
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --collector_->depth_;
+  const mcsim::ModuleCounters delta =
+      mcsim::AggregateCounters(core_->counters()) - start_;
+  SpanStats& stats = collector_->stats_[static_cast<int>(kind_)];
+  stats.cycles += mcsim::SimulatedCycles(delta, *collector_->params_);
+  ++stats.count;
+}
+
+}  // namespace imoltp::obs

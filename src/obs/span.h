@@ -1,0 +1,88 @@
+#ifndef IMOLTP_OBS_SPAN_H_
+#define IMOLTP_OBS_SPAN_H_
+
+#include <array>
+#include <cstdint>
+
+#include "mcsim/core.h"
+#include "mcsim/counters.h"
+
+namespace imoltp::obs {
+
+/// Transaction lifecycle phases. These cut across the static code-module
+/// breakdown (ModuleRegistry): a span covers everything a phase executes
+/// — engine code regions AND the index/storage substrate work inside
+/// them — so engines can attribute cycles to *what the transaction was
+/// doing*, not just *whose code was running*.
+enum class SpanKind : int {
+  kIndexProbe = 0,   // index lookup / insert / remove / scan
+  kLockAcquire = 1,  // lock-manager or partition-guard traffic
+  kLogAppend = 2,    // WAL / command-log serialization and append
+  kStorageAccess = 3,  // heap / buffer-pool / version-store row access
+};
+inline constexpr int kNumSpanKinds = 4;
+
+const char* SpanKindName(SpanKind kind);
+
+struct SpanStats {
+  double cycles = 0.0;
+  uint64_t count = 0;
+};
+
+/// Per-engine accumulator of span-attributed simulated cycles. The
+/// simulator is single-threaded (workers interleave at transaction
+/// granularity), so one collector per engine needs no synchronization.
+/// Spans never nest effectively: an inner ScopedSpan opened while
+/// another is active records nothing, so summed span cycles never
+/// double-count and stay reconcilable with the profiler's window total.
+class SpanCollector {
+ public:
+  explicit SpanCollector(const mcsim::CycleModelParams* params)
+      : params_(params) {}
+
+  void Reset() { stats_ = {}; }
+
+  const SpanStats& stats(SpanKind kind) const {
+    return stats_[static_cast<int>(kind)];
+  }
+
+  double total_cycles() const {
+    double total = 0.0;
+    for (const SpanStats& s : stats_) total += s.cycles;
+    return total;
+  }
+
+  const mcsim::CycleModelParams& params() const { return *params_; }
+
+ private:
+  friend class ScopedSpan;
+
+  std::array<SpanStats, kNumSpanKinds> stats_{};
+  const mcsim::CycleModelParams* params_;
+  int depth_ = 0;
+};
+
+/// RAII phase marker. Snapshots the core's aggregate counters on entry
+/// and charges the simulated-cycle delta to `kind` on exit. No-op when
+/// the core's simulation is disabled (bulk load) or a span is already
+/// open on the collector.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanCollector* collector, mcsim::CoreSim* core,
+             SpanKind kind);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanCollector* collector_;
+  mcsim::CoreSim* core_;
+  SpanKind kind_;
+  bool active_;
+  mcsim::ModuleCounters start_;
+};
+
+}  // namespace imoltp::obs
+
+#endif  // IMOLTP_OBS_SPAN_H_

@@ -171,6 +171,63 @@ TEST(CycleModelTest, Table1PenaltiesAreDefaults) {
   EXPECT_DOUBLE_EQ(p.llc_miss_penalty, 167.0);
 }
 
+TEST(ProfilerDeathTest, EndWindowWithoutBeginAborts) {
+  MachineSim m(NoTlb(1));
+  Profiler p(&m);
+  EXPECT_DEATH(p.EndWindow(), "EndWindow without a matching BeginWindow");
+}
+
+TEST(ProfilerDeathTest, DoubleBeginWindowAborts) {
+  MachineSim m(NoTlb(1));
+  Profiler p(&m);
+  p.BeginWindow({0});
+  EXPECT_DEATH(p.BeginWindow({0}), "already open");
+}
+
+TEST(ProfilerDeathTest, EmptyWorkerCoresAborts) {
+  MachineSim m(NoTlb(1));
+  Profiler p(&m);
+  EXPECT_DEATH(p.BeginWindow({}), "worker_cores");
+}
+
+TEST(ProfilerDeathTest, OutOfRangeCoreAborts) {
+  MachineSim m(NoTlb(2));
+  Profiler p(&m);
+  EXPECT_DEATH(p.BeginWindow({0, 7}), "out of range");
+}
+
+TEST(ProfilerTest, WindowOpenTracksState) {
+  MachineSim m(NoTlb(1));
+  Profiler p(&m);
+  EXPECT_FALSE(p.window_open());
+  p.BeginWindow({0});
+  EXPECT_TRUE(p.window_open());
+  p.EndWindow();
+  EXPECT_FALSE(p.window_open());
+}
+
+TEST(ModuleRegistryTest, RegistrationPastCapacityIsClamped) {
+  MachineSim m(NoTlb(1));
+  ModuleRegistry& reg = m.modules();
+  // The machine pre-registers some modules; fill to the cap.
+  std::vector<ModuleId> ids;
+  while (reg.size() < kMaxModules) {
+    ids.push_back(
+        reg.Register("m" + std::to_string(reg.size()), false));
+  }
+  EXPECT_EQ(reg.size(), kMaxModules);
+  // One past the cap: rejected, not out-of-bounds.
+  const ModuleId overflow = reg.Register("one-too-many", false);
+  EXPECT_EQ(overflow, kNoModule);
+  EXPECT_EQ(reg.size(), kMaxModules);
+  // Attribution to a clamped module is a safe no-op.
+  {
+    ScopedModule s(&m.core(0), overflow);
+    m.core(0).Retire(100);
+  }
+  EXPECT_EQ(m.core(0).counters().instructions, 100u);
+}
+
 TEST(MachineConfigTest, Table1Geometry) {
   MachineConfig c;
   EXPECT_EQ(c.l1i.size_bytes, 32u * 1024);

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.h"
+#include "core/microbench.h"
+#include "mcsim/machine.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "obs/report_json.h"
+#include "obs/span.h"
+
+namespace imoltp {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonWriterTest, RoundTripsThroughParser) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("name", "micro \"quoted\" \n tab\t");
+  w.KeyValue("count", uint64_t{18446744073709551615ULL});
+  w.KeyValue("ipc", 1.25);
+  w.KeyValue("neg", int64_t{-42});
+  w.KeyValue("flag", true);
+  w.Key("nested");
+  w.BeginObject();
+  w.KeyValue("pi", 3.14159);
+  w.EndObject();
+  w.Key("arr");
+  w.BeginArray();
+  w.Value(1);
+  w.Value(2.5);
+  w.Value("three");
+  w.EndArray();
+  w.EndObject();
+
+  auto doc = obs::ParseJson(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue& v = doc.value();
+  EXPECT_EQ(v.FindPath("name")->string, "micro \"quoted\" \n tab\t");
+  EXPECT_DOUBLE_EQ(v.FindPath("count")->number, 1.8446744073709552e19);
+  EXPECT_DOUBLE_EQ(v.FindPath("ipc")->number, 1.25);
+  EXPECT_DOUBLE_EQ(v.FindPath("neg")->number, -42.0);
+  EXPECT_TRUE(v.FindPath("flag")->boolean);
+  EXPECT_DOUBLE_EQ(v.FindPath("nested.pi")->number, 3.14159);
+  ASSERT_EQ(v.FindPath("arr")->array.size(), 3u);
+  EXPECT_EQ(v.FindPath("arr")->array[2].string, "three");
+  EXPECT_EQ(v.FindPath("no.such.path"), nullptr);
+}
+
+TEST(JsonWriterTest, IntegralDoublesPrintWithoutFraction) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("cycles", 123456.0);
+  w.EndObject();
+  EXPECT_NE(w.str().find("\"cycles\":123456"), std::string::npos);
+  EXPECT_EQ(w.str().find("123456."), std::string::npos);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::ParseJson("").ok());
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(obs::ParseJson("{} trailing").ok());
+  EXPECT_FALSE(obs::ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(obs::ParseJson("nul").ok());
+  EXPECT_TRUE(obs::ParseJson("{}  \n ").ok());
+}
+
+TEST(JsonParseTest, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(obs::ParseJson(deep).ok());
+}
+
+// ----------------------------------------------------------- histogram
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZeros) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleClampsAllPercentiles) {
+  obs::LatencyHistogram h;
+  h.Add(1000.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1000.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBracketed) {
+  obs::LatencyHistogram h;
+  // 90 cheap transactions and 10 expensive stragglers.
+  for (int i = 0; i < 90; ++i) h.Add(100.0 + i);
+  for (int i = 0; i < 10; ++i) h.Add(50000.0 + i * 1000);
+  EXPECT_EQ(h.count(), 100u);
+  const double p50 = h.p50(), p90 = h.p90(), p99 = h.p99();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+  // p50 lands among the cheap samples, p99 among the stragglers.
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_GT(p99, 10000.0);
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  obs::LatencyHistogram h;
+  h.Add(42.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(LatencyHistogramTest, BinBoundsAreMonotonic) {
+  EXPECT_DOUBLE_EQ(obs::LatencyHistogram::BinLowerBound(0), 0.0);
+  for (int i = 1; i < obs::LatencyHistogram::kNumBins; ++i) {
+    EXPECT_LT(obs::LatencyHistogram::BinLowerBound(i - 1),
+              obs::LatencyHistogram::BinLowerBound(i));
+    EXPECT_EQ(obs::LatencyHistogram::BinUpperBound(i - 1),
+              obs::LatencyHistogram::BinLowerBound(i));
+  }
+}
+
+TEST(LatencyHistogramTest, SamplesLandInTheirBin) {
+  obs::LatencyHistogram h;
+  h.Add(777.0);
+  int hits = 0;
+  for (int i = 0; i < obs::LatencyHistogram::kNumBins; ++i) {
+    if (h.bins()[i] == 0) continue;
+    ++hits;
+    EXPECT_LE(obs::LatencyHistogram::BinLowerBound(i), 777.0);
+    EXPECT_GT(obs::LatencyHistogram::BinUpperBound(i), 777.0);
+  }
+  EXPECT_EQ(hits, 1);
+}
+
+// --------------------------------------------------------------- spans
+
+class SpanTest : public ::testing::Test {
+ protected:
+  SpanTest() : machine_(Config()), spans_(&machine_.config().cycle) {}
+
+  static mcsim::MachineConfig Config() {
+    mcsim::MachineConfig c;
+    c.num_cores = 1;
+    c.model_tlb = false;
+    return c;
+  }
+
+  mcsim::MachineSim machine_;
+  obs::SpanCollector spans_;
+};
+
+TEST_F(SpanTest, RecordsCyclesAndCount) {
+  {
+    obs::ScopedSpan span(&spans_, &machine_.core(0),
+                         obs::SpanKind::kIndexProbe);
+    machine_.core(0).Retire(1000);
+  }
+  const obs::SpanStats& s = spans_.stats(obs::SpanKind::kIndexProbe);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GT(s.cycles, 0.0);
+  EXPECT_DOUBLE_EQ(spans_.total_cycles(), s.cycles);
+}
+
+TEST_F(SpanTest, InnerSpanRecordsNothing) {
+  {
+    obs::ScopedSpan outer(&spans_, &machine_.core(0),
+                          obs::SpanKind::kStorageAccess);
+    machine_.core(0).Retire(500);
+    {
+      obs::ScopedSpan inner(&spans_, &machine_.core(0),
+                            obs::SpanKind::kLogAppend);
+      machine_.core(0).Retire(500);
+    }
+  }
+  // The outer span owns all 1000 instructions; the inner one is a no-op,
+  // so nothing is double-counted.
+  EXPECT_EQ(spans_.stats(obs::SpanKind::kLogAppend).count, 0u);
+  EXPECT_DOUBLE_EQ(spans_.stats(obs::SpanKind::kLogAppend).cycles, 0.0);
+  EXPECT_EQ(spans_.stats(obs::SpanKind::kStorageAccess).count, 1u);
+}
+
+TEST_F(SpanTest, DisabledCoreIsNoOp) {
+  machine_.core(0).set_enabled(false);
+  {
+    obs::ScopedSpan span(&spans_, &machine_.core(0),
+                         obs::SpanKind::kLockAcquire);
+    machine_.core(0).Retire(1000);
+  }
+  EXPECT_EQ(spans_.stats(obs::SpanKind::kLockAcquire).count, 0u);
+}
+
+TEST_F(SpanTest, NullCollectorIsNoOp) {
+  obs::ScopedSpan span(nullptr, &machine_.core(0),
+                       obs::SpanKind::kLockAcquire);
+  machine_.core(0).Retire(10);
+  // Destructor must not crash; nothing to assert beyond surviving.
+}
+
+TEST_F(SpanTest, ResetZeroesStats) {
+  {
+    obs::ScopedSpan span(&spans_, &machine_.core(0),
+                         obs::SpanKind::kIndexProbe);
+    machine_.core(0).Retire(100);
+  }
+  spans_.Reset();
+  EXPECT_DOUBLE_EQ(spans_.total_cycles(), 0.0);
+  EXPECT_EQ(spans_.stats(obs::SpanKind::kIndexProbe).count, 0u);
+}
+
+// ----------------------------------------- end-to-end reconciliation
+
+// Small enough that the LLC amplification sits at its floor for every
+// span and for the window, keeping the cycle model effectively linear —
+// the precondition for span cycles reconciling against the window total.
+core::ExperimentConfig SmallConfig() {
+  core::ExperimentConfig cfg;
+  cfg.engine = engine::EngineKind::kVoltDb;
+  cfg.num_workers = 2;
+  cfg.warmup_txns = 100;
+  cfg.measure_txns = 400;
+  cfg.seed = 7;
+  return cfg;
+}
+
+core::MicroConfig SmallMicro() {
+  core::MicroConfig mcfg;
+  mcfg.nominal_bytes = 1ULL << 20;  // 1MB: fits in LLC
+  mcfg.num_partitions = 2;
+  return mcfg;
+}
+
+TEST(ObsEndToEndTest, SpansAndLatencyReconcileWithWindow) {
+  core::ExperimentConfig cfg = SmallConfig();
+  core::MicroConfig mcfg = SmallMicro();
+  core::MicroBenchmark wl(mcfg);
+  core::ExperimentRunner runner(cfg, &wl);
+  const mcsim::WindowReport report = runner.Run(&wl);
+
+  // Histogram: one sample per (worker, measured transaction).
+  const obs::LatencyHistogram& lat = runner.latency_histogram();
+  EXPECT_EQ(lat.count(), cfg.measure_txns * cfg.num_workers);
+  EXPECT_GT(lat.min(), 0.0);
+  EXPECT_LE(lat.p50(), lat.p90());
+  EXPECT_LE(lat.p90(), lat.p99());
+  EXPECT_LE(lat.p99(), lat.max());
+
+  // Spans: strictly within the profiled window, so their sum cannot
+  // exceed the window's total cycles (report.cycles is per worker).
+  const obs::SpanCollector& spans = runner.spans();
+  const double window_total = report.cycles * report.num_workers;
+  EXPECT_GT(spans.total_cycles(), 0.0);
+  EXPECT_LE(spans.total_cycles(), window_total);
+  // The micro-benchmark probes an index every transaction.
+  EXPECT_GT(spans.stats(obs::SpanKind::kIndexProbe).count, 0u);
+}
+
+TEST(ObsEndToEndTest, RunReportJsonHasRequiredMetrics) {
+  core::ExperimentConfig cfg = SmallConfig();
+  core::MicroConfig mcfg = SmallMicro();
+  core::MicroBenchmark wl(mcfg);
+  core::ExperimentRunner runner(cfg, &wl);
+  const mcsim::WindowReport report = runner.Run(&wl);
+
+  obs::RunInfo info;
+  info.engine = "voltdb";
+  info.workload = "micro";
+  info.db_bytes = mcfg.nominal_bytes;
+  info.workers = cfg.num_workers;
+  info.measure_txns = cfg.measure_txns;
+  info.seed = cfg.seed;
+  const std::string json = obs::RunReportToJson(
+      info, report, runner.machine()->config().cycle,
+      &runner.latency_histogram(), &runner.spans());
+
+  auto doc = obs::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue& v = doc.value();
+  EXPECT_DOUBLE_EQ(v.FindPath("schema_version")->number,
+                   obs::kReportSchemaVersion);
+  EXPECT_EQ(v.FindPath("meta.engine")->string, "voltdb");
+  for (const char* path :
+       {"window.ipc", "window.instructions_per_txn",
+        "window.cycles_per_txn", "window.stalls_per_kinstr.total",
+        "window.stalls_per_txn.total", "window.misses.llc_d",
+        "window.engine_cycle_fraction",
+        "window.cycle_accounting.retiring_fraction",
+        "latency_cycles.p50", "latency_cycles.p90", "latency_cycles.p99",
+        "spans.index-probe.cycles", "spans.total_cycles"}) {
+    const obs::JsonValue* node = v.FindPath(path);
+    ASSERT_NE(node, nullptr) << "missing " << path;
+    EXPECT_TRUE(node->is_number()) << path;
+  }
+  // Module breakdown is an object keyed by module name.
+  const obs::JsonValue* modules = v.FindPath("window.module_breakdown");
+  ASSERT_NE(modules, nullptr);
+  EXPECT_TRUE(modules->is_object());
+  EXPECT_FALSE(modules->object.empty());
+  // IPC in the JSON matches the report bit for bit.
+  EXPECT_DOUBLE_EQ(v.FindPath("window.ipc")->number, report.ipc);
+}
+
+}  // namespace
+}  // namespace imoltp

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report_json.h"
+#include "tools/imoltp_cli.h"
+
+namespace imoltp::tools {
+namespace {
+
+// ----------------------------------------------------------- ParseSize
+
+TEST(ParseSizeTest, AcceptsSuffixedSizes) {
+  EXPECT_EQ(ParseSize("10MB"), 10ULL << 20);
+  EXPECT_EQ(ParseSize("1GB"), 1ULL << 30);
+  EXPECT_EQ(ParseSize("512KB"), 512ULL << 10);
+  EXPECT_EQ(ParseSize("100gb"), 100ULL << 30);  // case-insensitive
+  EXPECT_EQ(ParseSize("2.5MB"), (5ULL << 20) / 2);
+}
+
+TEST(ParseSizeTest, BareNumberMeansMegabytes) {
+  EXPECT_EQ(ParseSize("16"), 16ULL << 20);
+}
+
+TEST(ParseSizeTest, RejectsGarbage) {
+  EXPECT_EQ(ParseSize("abc"), 0u);
+  EXPECT_EQ(ParseSize(""), 0u);
+  EXPECT_EQ(ParseSize(nullptr), 0u);
+  EXPECT_EQ(ParseSize("0MB"), 0u);
+  EXPECT_EQ(ParseSize("-5MB"), 0u);
+  EXPECT_EQ(ParseSize("10XB"), 0u);
+  EXPECT_EQ(ParseSize("10MBextra"), 0u);
+  EXPECT_EQ(ParseSize("MB"), 0u);
+}
+
+// ----------------------------------------------------- ParseCommandLine
+
+std::pair<bool, std::string> Parse(std::vector<const char*> args,
+                                   Flags* flags) {
+  args.insert(args.begin(), "imoltp_run");
+  std::string error;
+  const bool ok =
+      ParseCommandLine(static_cast<int>(args.size()),
+                       const_cast<char* const*>(args.data()), flags,
+                       &error);
+  return {ok, error};
+}
+
+TEST(ParseCommandLineTest, ParsesFullFlagSet) {
+  Flags flags;
+  auto [ok, error] = Parse(
+      {"--engine=hyper", "--workload=tpcc", "--db=1GB", "--rows=10",
+       "--warehouses=8", "--workers=4", "--txns=500", "--warmup=100",
+       "--index=btree", "--no-compilation", "--seed=9", "--csv-header",
+       "--json=out.json"},
+      &flags);
+  EXPECT_TRUE(ok) << error;
+  EXPECT_EQ(flags.engine, "hyper");
+  EXPECT_EQ(flags.workload, "tpcc");
+  EXPECT_EQ(flags.db_bytes, 1ULL << 30);
+  EXPECT_EQ(flags.rows, 10);
+  EXPECT_EQ(flags.warehouses, 8);
+  EXPECT_EQ(flags.workers, 4);
+  EXPECT_EQ(flags.txns, 500u);
+  EXPECT_EQ(flags.warmup, 100u);
+  EXPECT_EQ(flags.index, "btree");
+  EXPECT_FALSE(flags.compilation);
+  EXPECT_EQ(flags.seed, 9u);
+  EXPECT_TRUE(flags.csv);
+  EXPECT_TRUE(flags.csv_header);
+  EXPECT_EQ(flags.json_path, "out.json");
+}
+
+TEST(ParseCommandLineTest, UnknownFlagFails) {
+  Flags flags;
+  auto [ok, error] = Parse({"--frobnicate=yes"}, &flags);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(ParseCommandLineTest, BadSizeFails) {
+  Flags flags;
+  auto [ok, error] = Parse({"--db=abc"}, &flags);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find("--db"), std::string::npos);
+}
+
+TEST(ParseCommandLineTest, NonNumericWorkersFails) {
+  Flags flags;
+  auto [ok, error] = Parse({"--workers=lots"}, &flags);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find("--workers"), std::string::npos);
+}
+
+TEST(ParseCommandLineTest, EmptyJsonPathFails) {
+  Flags flags;
+  auto [ok, error] = Parse({"--json="}, &flags);
+  EXPECT_FALSE(ok);
+}
+
+TEST(ParseEngineTest, AllFiveEnginesParse) {
+  engine::EngineKind kind;
+  for (const char* name :
+       {"shore-mt", "dbms-d", "voltdb", "hyper", "dbms-m"}) {
+    EXPECT_TRUE(ParseEngine(name, &kind)) << name;
+  }
+  EXPECT_FALSE(ParseEngine("oracle", &kind));
+}
+
+// ----------------------------------------------- CSV <-> JSON parity
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      break;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+// Every CSV column must exist in the JSON report at its mapped path
+// with the same value — this is the test that keeps the two output
+// formats from silently drifting apart.
+TEST(CsvJsonParityTest, EveryCsvFieldHasAMatchingJsonPath) {
+  Flags flags;
+  flags.engine = "voltdb";
+  flags.workload = "micro";
+  flags.db_bytes = 10ULL << 20;
+  flags.rows = 3;
+  flags.workers = 2;
+
+  mcsim::WindowReport report;
+  report.num_workers = 2;
+  report.ipc = 1.2345;
+  report.instructions_per_txn = 4567.8;
+  report.cycles_per_txn = 9876.5;
+  for (int i = 0; i < 6; ++i) {
+    report.stalls_per_kinstr.stalls[i] = 10.0 * (i + 1) + 0.25;
+  }
+
+  obs::RunInfo info;
+  info.engine = flags.engine;
+  info.workload = flags.workload;
+  info.db_bytes = flags.db_bytes;
+  info.rows = flags.rows;
+  info.workers = flags.workers;
+  const std::string json =
+      obs::RunReportToJson(info, report, mcsim::CycleModelParams{},
+                           /*latency=*/nullptr, /*spans=*/nullptr);
+  auto doc = obs::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  const std::vector<std::string> header = SplitCsv(CsvHeader());
+  const std::vector<std::string> row = SplitCsv(CsvRow(flags, report));
+  ASSERT_EQ(header.size(), static_cast<size_t>(kNumCsvFields));
+  ASSERT_EQ(row.size(), static_cast<size_t>(kNumCsvFields));
+
+  for (int i = 0; i < kNumCsvFields; ++i) {
+    SCOPED_TRACE(kCsvFields[i].name);
+    EXPECT_EQ(header[i], kCsvFields[i].name);
+    const obs::JsonValue* node =
+        doc.value().FindPath(kCsvFields[i].json_path);
+    ASSERT_NE(node, nullptr)
+        << "CSV column " << kCsvFields[i].name
+        << " has no JSON counterpart at " << kCsvFields[i].json_path;
+    if (node->is_string()) {
+      EXPECT_EQ(row[i], node->string);
+    } else {
+      ASSERT_TRUE(node->is_number());
+      const double csv_value = std::strtod(row[i].c_str(), nullptr);
+      // CSV rounds to fixed decimals; 0.5 absolute covers every format.
+      EXPECT_NEAR(csv_value, node->number, 0.5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imoltp::tools

@@ -1,0 +1,196 @@
+#ifndef IMOLTP_TOOLS_IMOLTP_CLI_H_
+#define IMOLTP_TOOLS_IMOLTP_CLI_H_
+
+// Command-line surface of imoltp_run, extracted into a header so the
+// unit tests can drive flag parsing and CSV emission directly instead
+// of exec'ing the binary and scraping stdout.
+
+#include <strings.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/engine.h"
+#include "mcsim/profiler.h"
+
+namespace imoltp::tools {
+
+struct Flags {
+  std::string engine = "voltdb";
+  std::string workload = "micro";
+  uint64_t db_bytes = 10ULL << 20;
+  int rows = 1;
+  int warehouses = 4;
+  int workers = 1;
+  uint64_t txns = 6000;
+  uint64_t warmup = 2000;
+  std::string index = "hash";
+  bool compilation = true;
+  uint64_t seed = 42;
+  bool csv = false;
+  bool csv_header = false;
+  bool list = false;
+  std::string json_path;  // --json=FILE; "-" = stdout; empty = off
+};
+
+/// Parses a byte-size flag value like "10MB", "1GB", "512KB", or a bare
+/// number (interpreted as MB). Returns 0 on any malformed input: empty,
+/// non-numeric, zero, negative, unknown suffix, or trailing garbage.
+inline uint64_t ParseSize(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || v <= 0) return 0;
+  if (strcasecmp(end, "GB") == 0) {
+    return static_cast<uint64_t>(v * (1ULL << 30));
+  }
+  if (strcasecmp(end, "KB") == 0) {
+    return static_cast<uint64_t>(v * (1ULL << 10));
+  }
+  if (strcasecmp(end, "MB") == 0 || *end == '\0') {
+    return static_cast<uint64_t>(v * (1ULL << 20));
+  }
+  return 0;
+}
+
+inline bool ParseEngine(const std::string& s, engine::EngineKind* out) {
+  using engine::EngineKind;
+  if (s == "shore-mt") return *out = EngineKind::kShoreMt, true;
+  if (s == "dbms-d") return *out = EngineKind::kDbmsD, true;
+  if (s == "voltdb") return *out = EngineKind::kVoltDb, true;
+  if (s == "hyper") return *out = EngineKind::kHyPer, true;
+  if (s == "dbms-m") return *out = EngineKind::kDbmsM, true;
+  return false;
+}
+
+/// Parses argv into `flags`. On failure returns false and sets `error`
+/// to a one-line description (unknown flag, malformed value). `--list`
+/// sets flags->list and parsing continues.
+inline bool ParseCommandLine(int argc, char* const* argv, Flags* flags,
+                             std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    auto parse_positive_int = [&](const char* v, const char* flag,
+                                  int* out) {
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n <= 0 || n > 1 << 20) {
+        *error = std::string("bad value for ") + flag + ": " + v;
+        return false;
+      }
+      *out = static_cast<int>(n);
+      return true;
+    };
+    if (const char* v = value("--engine=")) {
+      flags->engine = v;
+    } else if (const char* v = value("--workload=")) {
+      flags->workload = v;
+    } else if (const char* v = value("--db=")) {
+      flags->db_bytes = ParseSize(v);
+      if (flags->db_bytes == 0) {
+        *error = std::string("bad value for --db: ") + v;
+        return false;
+      }
+    } else if (const char* v = value("--rows=")) {
+      if (!parse_positive_int(v, "--rows", &flags->rows)) return false;
+    } else if (const char* v = value("--warehouses=")) {
+      if (!parse_positive_int(v, "--warehouses", &flags->warehouses)) {
+        return false;
+      }
+    } else if (const char* v = value("--workers=")) {
+      if (!parse_positive_int(v, "--workers", &flags->workers)) {
+        return false;
+      }
+    } else if (const char* v = value("--txns=")) {
+      flags->txns = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--warmup=")) {
+      flags->warmup = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--index=")) {
+      flags->index = v;
+    } else if (const char* v = value("--seed=")) {
+      flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--json=")) {
+      if (*v == '\0') {
+        *error = "--json= needs a file path (or - for stdout)";
+        return false;
+      }
+      flags->json_path = v;
+    } else if (arg == "--no-compilation") {
+      flags->compilation = false;
+    } else if (arg == "--csv") {
+      flags->csv = true;
+    } else if (arg == "--csv-header") {
+      flags->csv = true;
+      flags->csv_header = true;
+    } else if (arg == "--list") {
+      flags->list = true;
+    } else {
+      *error = "unknown flag: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One CSV column and the dotted path of the same value in the JSON
+/// report — the field-parity test walks this table to prove the two
+/// output formats never drift apart.
+struct CsvField {
+  const char* name;
+  const char* json_path;
+};
+
+inline constexpr CsvField kCsvFields[] = {
+    {"engine", "meta.engine"},
+    {"workload", "meta.workload"},
+    {"db_bytes", "meta.db_bytes"},
+    {"rows", "meta.rows"},
+    {"workers", "meta.workers"},
+    {"ipc", "window.ipc"},
+    {"instr_per_txn", "window.instructions_per_txn"},
+    {"cycles_per_txn", "window.cycles_per_txn"},
+    {"l1i_kI", "window.stalls_per_kinstr.L1I"},
+    {"l2i_kI", "window.stalls_per_kinstr.L2I"},
+    {"llci_kI", "window.stalls_per_kinstr.LLC I"},
+    {"l1d_kI", "window.stalls_per_kinstr.L1D"},
+    {"l2d_kI", "window.stalls_per_kinstr.L2D"},
+    {"llcd_kI", "window.stalls_per_kinstr.LLC D"},
+};
+
+inline constexpr int kNumCsvFields =
+    static_cast<int>(sizeof(kCsvFields) / sizeof(kCsvFields[0]));
+
+inline std::string CsvHeader() {
+  std::string out;
+  for (int i = 0; i < kNumCsvFields; ++i) {
+    if (i > 0) out += ',';
+    out += kCsvFields[i].name;
+  }
+  return out;
+}
+
+/// One CSV row matching CsvHeader() column for column.
+inline std::string CsvRow(const Flags& flags,
+                          const mcsim::WindowReport& r) {
+  const auto& k = r.stalls_per_kinstr.stalls;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s,%s,%llu,%d,%d,%.4f,%.1f,%.1f,%.2f,%.2f,%.2f,%.2f,"
+                "%.2f,%.2f",
+                flags.engine.c_str(), flags.workload.c_str(),
+                static_cast<unsigned long long>(flags.db_bytes),
+                flags.rows, flags.workers, r.ipc, r.instructions_per_txn,
+                r.cycles_per_txn, k[0], k[1], k[2], k[3], k[4], k[5]);
+  return buf;
+}
+
+}  // namespace imoltp::tools
+
+#endif  // IMOLTP_TOOLS_IMOLTP_CLI_H_

@@ -1,0 +1,326 @@
+// imoltp_diff — compares two JSON reports produced by
+// `imoltp_run --json` (or the bench exporters) and exits non-zero when
+// any metric drifts beyond its tolerance. The regression harness runs
+// a fixed-seed experiment and diffs it against a checked-in golden
+// report (scripts/check_regression.sh).
+//
+//   imoltp_diff baseline.json candidate.json
+//   imoltp_diff --rtol=0.05 --metric-rtol=spans=0.2 a.json b.json
+//
+// Flags:
+//   --rtol=X                default relative tolerance (default 0.02)
+//   --metric-rtol=PREFIX=X  override for metrics whose dotted path
+//                           starts with PREFIX (repeatable)
+//   --ignore=PREFIX         skip metrics under PREFIX (repeatable)
+//
+// Exit codes: 0 = within tolerance, 1 = drift (offending metrics are
+// printed), 2 = usage or parse error.
+//
+// Built-in per-metric rules (longest matching prefix wins; explicit
+// --metric-rtol/--ignore flags take precedence over all of them):
+//   meta, schema_version          exact — different run configurations
+//                                 are incomparable, not "drifted"
+//   window.misses                 rtol 0.05, atol 128 (ASLR perturbs
+//                                 cold-miss counts)
+//   window.stalls                 rtol 0.10, atol 0.5
+//   window.cycle_accounting       rtol 0.05, atol 1000 (derives from
+//                                 the jittery miss counts)
+//   latency_cycles                rtol 0.10
+//   spans                         rtol 0.10, atol 500
+//   latency_cycles.bins           ignored — counts hop between adjacent
+//                                 log-spaced bins on tiny shifts
+//   everything else               default rtol (0.02)
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report_json.h"
+
+using imoltp::obs::JsonValue;
+using imoltp::obs::ParseJson;
+
+namespace {
+
+struct ToleranceRule {
+  std::string prefix;  // dotted-path prefix; "" matches everything
+  double rtol;         // negative = ignore subtree
+  double atol = 0.0;   // absolute floor for small-magnitude metrics
+};
+
+struct Options {
+  double default_rtol = 0.02;
+  std::vector<ToleranceRule> user_rules;  // from flags, highest priority
+  std::string baseline_path;
+  std::string candidate_path;
+};
+
+// The cache simulator hashes real heap addresses, so ASLR perturbs
+// cold-miss counts slightly between otherwise identical runs; the
+// absolute floors keep near-zero counters (a handful of L2I misses)
+// from tripping a purely relative check.
+const ToleranceRule kBuiltinRules[] = {
+    {"schema_version", 0.0, 0.0},
+    {"meta", 0.0, 0.0},
+    {"window.misses", 0.05, 128.0},
+    {"window.stalls", 0.10, 0.5},
+    {"window.cycle_accounting", 0.05, 1000.0},
+    {"latency_cycles.bins", -1.0, 0.0},
+    {"latency_cycles", 0.10, 0.0},
+    {"spans", 0.10, 500.0},
+};
+
+bool PrefixMatches(const std::string& path, const std::string& prefix) {
+  return prefix.empty() || path.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Longest matching user rule wins; then longest built-in; then the
+/// default. Returns {rtol, atol}; negative rtol = ignore.
+ToleranceRule RuleFor(const std::string& path, const Options& opts) {
+  const ToleranceRule* best = nullptr;
+  for (const ToleranceRule& r : opts.user_rules) {
+    if (PrefixMatches(path, r.prefix) &&
+        (best == nullptr || r.prefix.size() > best->prefix.size())) {
+      best = &r;
+    }
+  }
+  if (best != nullptr) return *best;
+  for (const ToleranceRule& r : kBuiltinRules) {
+    if (PrefixMatches(path, r.prefix) &&
+        (best == nullptr || r.prefix.size() > best->prefix.size())) {
+      best = &r;
+    }
+  }
+  return best != nullptr ? *best
+                         : ToleranceRule{"", opts.default_rtol, 0.0};
+}
+
+const char* TypeName(JsonValue::Type t) {
+  switch (t) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "bool";
+    case JsonValue::Type::kNumber: return "number";
+    case JsonValue::Type::kString: return "string";
+    case JsonValue::Type::kArray: return "array";
+    case JsonValue::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+void Fail(std::vector<std::string>* failures, const std::string& path,
+          const std::string& what) {
+  failures->push_back((path.empty() ? std::string("<root>") : path) +
+                      ": " + what);
+}
+
+std::string Join(const std::string& path, const std::string& key) {
+  return path.empty() ? key : path + "." + key;
+}
+
+void Compare(const JsonValue& a, const JsonValue& b,
+             const std::string& path, const Options& opts,
+             std::vector<std::string>* failures) {
+  const ToleranceRule rule = RuleFor(path, opts);
+  const double rtol = rule.rtol;
+  if (rtol < 0) return;  // ignored subtree
+
+  if (a.type != b.type) {
+    Fail(failures, path,
+         std::string("type mismatch (") + TypeName(a.type) + " vs " +
+             TypeName(b.type) + ")");
+    return;
+  }
+  switch (a.type) {
+    case JsonValue::Type::kNull:
+      return;
+    case JsonValue::Type::kBool:
+      if (a.boolean != b.boolean) {
+        Fail(failures, path,
+             std::string("bool mismatch (") +
+                 (a.boolean ? "true" : "false") + " vs " +
+                 (b.boolean ? "true" : "false") + ")");
+      }
+      return;
+    case JsonValue::Type::kString:
+      if (a.string != b.string) {
+        Fail(failures, path,
+             "\"" + a.string + "\" vs \"" + b.string + "\"");
+      }
+      return;
+    case JsonValue::Type::kNumber: {
+      const double diff = std::fabs(a.number - b.number);
+      const double scale =
+          std::fmax(std::fabs(a.number), std::fabs(b.number));
+      const bool ok =
+          rtol == 0.0 && rule.atol == 0.0
+              ? a.number == b.number
+              : diff <= rtol * scale + rule.atol + 1e-12;
+      if (!ok) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%.6g vs %.6g (rel %.4f > rtol %.4f, atol %g)",
+                      a.number, b.number,
+                      scale > 0 ? diff / scale : 0.0, rtol, rule.atol);
+        Fail(failures, path, buf);
+      }
+      return;
+    }
+    case JsonValue::Type::kArray: {
+      if (a.array.size() != b.array.size()) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "array size %zu vs %zu",
+                      a.array.size(), b.array.size());
+        Fail(failures, path, buf);
+        return;
+      }
+      for (size_t i = 0; i < a.array.size(); ++i) {
+        char idx[24];
+        std::snprintf(idx, sizeof(idx), "[%zu]", i);
+        Compare(a.array[i], b.array[i], path + idx, opts, failures);
+      }
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      for (const auto& [key, av] : a.object) {
+        const JsonValue* bv = b.Find(key);
+        if (bv == nullptr) {
+          if (RuleFor(Join(path, key), opts).rtol >= 0) {
+            Fail(failures, Join(path, key), "missing in candidate");
+          }
+          continue;
+        }
+        Compare(av, *bv, Join(path, key), opts, failures);
+      }
+      for (const auto& [key, bv] : b.object) {
+        (void)bv;
+        if (a.Find(key) == nullptr &&
+            RuleFor(Join(path, key), opts).rtol >= 0) {
+          Fail(failures, Join(path, key), "missing in baseline");
+        }
+      }
+      return;
+    }
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rtol=X] [--metric-rtol=PREFIX=X]... "
+               "[--ignore=PREFIX]... baseline.json candidate.json\n",
+               argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out,
+              std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) *error = "read error on " + path;
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rtol=", 0) == 0) {
+      char* end = nullptr;
+      opts.default_rtol = std::strtod(arg.c_str() + 7, &end);
+      if (end == nullptr || *end != '\0' || opts.default_rtol < 0) {
+        std::fprintf(stderr, "%s: bad --rtol value\n", argv[0]);
+        return 2;
+      }
+    } else if (arg.rfind("--metric-rtol=", 0) == 0) {
+      const std::string spec = arg.substr(14);
+      const size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "%s: --metric-rtol needs PREFIX=X, got '%s'\n",
+                     argv[0], spec.c_str());
+        return 2;
+      }
+      char* end = nullptr;
+      const double rtol = std::strtod(spec.c_str() + eq + 1, &end);
+      if (end == nullptr || *end != '\0' || rtol < 0) {
+        std::fprintf(stderr, "%s: bad --metric-rtol value in '%s'\n",
+                     argv[0], spec.c_str());
+        return 2;
+      }
+      opts.user_rules.push_back({spec.substr(0, eq), rtol});
+    } else if (arg.rfind("--ignore=", 0) == 0) {
+      opts.user_rules.push_back({arg.substr(9), -1.0});
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return Usage(argv[0]);
+  opts.baseline_path = positional[0];
+  opts.candidate_path = positional[1];
+
+  std::string base_text, cand_text, error;
+  if (!ReadFile(opts.baseline_path, &base_text, &error) ||
+      !ReadFile(opts.candidate_path, &cand_text, &error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    return 2;
+  }
+  auto base = ParseJson(base_text);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0],
+                 opts.baseline_path.c_str(),
+                 base.status().ToString().c_str());
+    return 2;
+  }
+  auto cand = ParseJson(cand_text);
+  if (!cand.ok()) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0],
+                 opts.candidate_path.c_str(),
+                 cand.status().ToString().c_str());
+    return 2;
+  }
+
+  // Incomparable schemas are a usage error, not a metric drift.
+  const JsonValue* bv = base.value().Find("schema_version");
+  const JsonValue* cv = cand.value().Find("schema_version");
+  if (bv != nullptr && cv != nullptr && bv->is_number() &&
+      cv->is_number() && bv->number != cv->number) {
+    std::fprintf(stderr,
+                 "%s: schema_version mismatch (%.0f vs %.0f); reports "
+                 "are not comparable\n",
+                 argv[0], bv->number, cv->number);
+    return 2;
+  }
+
+  std::vector<std::string> failures;
+  Compare(base.value(), cand.value(), "", opts, &failures);
+  if (failures.empty()) {
+    std::printf("OK: %s and %s match within tolerance\n",
+                opts.baseline_path.c_str(), opts.candidate_path.c_str());
+    return 0;
+  }
+  for (const std::string& f : failures) {
+    std::fprintf(stderr, "DRIFT %s\n", f.c_str());
+  }
+  std::fprintf(stderr, "%zu metric(s) drifted beyond tolerance\n",
+               failures.size());
+  return 1;
+}

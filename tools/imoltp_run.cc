@@ -1,10 +1,11 @@
 // imoltp_run — command-line experiment driver. Runs any (engine,
 // workload, configuration) cell of the paper's design space and prints
-// either the human-readable tables or one machine-readable CSV row.
+// the human-readable tables, one machine-readable CSV row, or a full
+// schema-versioned JSON report (see docs/OBSERVABILITY.md).
 //
 //   imoltp_run --engine=hyper --workload=micro --db=100GB --rows=10
 //   imoltp_run --engine=dbms-m --workload=tpcc --warehouses=8 --csv
-//   imoltp_run --list
+//   imoltp_run --engine=voltdb --workload=tpcc --json=report.json
 //
 // Flags:
 //   --engine=shore-mt|dbms-d|voltdb|hyper|dbms-m      (default voltdb)
@@ -19,11 +20,10 @@
 //   --no-compilation     disable DBMS M transaction compilation
 //   --seed=N
 //   --csv                one CSV row (+ header with --csv-header)
+//   --json=FILE          full JSON report ("-" = stdout)
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <strings.h>
+#include <memory>
 #include <string>
 
 #include "core/experiment.h"
@@ -31,54 +31,15 @@
 #include "core/report.h"
 #include "core/tpcb.h"
 #include "core/tpcc.h"
+#include "obs/report_json.h"
+#include "tools/imoltp_cli.h"
 
 using namespace imoltp;
 
 namespace {
 
-struct Flags {
-  std::string engine = "voltdb";
-  std::string workload = "micro";
-  uint64_t db_bytes = 10ULL << 20;
-  int rows = 1;
-  int warehouses = 4;
-  int workers = 1;
-  uint64_t txns = 6000;
-  uint64_t warmup = 2000;
-  std::string index = "hash";
-  bool compilation = true;
-  uint64_t seed = 42;
-  bool csv = false;
-  bool csv_header = false;
-};
-
-uint64_t ParseSize(const char* s) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == nullptr || v <= 0) return 0;
-  if (strcasecmp(end, "GB") == 0) {
-    return static_cast<uint64_t>(v * (1ULL << 30));
-  }
-  if (strcasecmp(end, "KB") == 0) {
-    return static_cast<uint64_t>(v * (1ULL << 10));
-  }
-  if (strcasecmp(end, "MB") == 0 || *end == '\0') {
-    return static_cast<uint64_t>(v * (1ULL << 20));
-  }
-  return 0;
-}
-
-bool ParseEngine(const std::string& s, engine::EngineKind* out) {
-  using engine::EngineKind;
-  if (s == "shore-mt") return *out = EngineKind::kShoreMt, true;
-  if (s == "dbms-d") return *out = EngineKind::kDbmsD, true;
-  if (s == "voltdb") return *out = EngineKind::kVoltDb, true;
-  if (s == "hyper") return *out = EngineKind::kHyPer, true;
-  if (s == "dbms-m") return *out = EngineKind::kDbmsM, true;
-  return false;
-}
-
-int Usage(const char* argv0) {
+int Usage(const char* argv0, const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "%s: %s\n", argv0, error.c_str());
   std::fprintf(stderr,
                "usage: %s [--engine=E] [--workload=W] [--db=SIZE] "
                "[--rows=N]\n"
@@ -86,6 +47,7 @@ int Usage(const char* argv0) {
                "[--warmup=N]\n"
                "          [--index=hash|btree] [--no-compilation] "
                "[--seed=N] [--csv]\n"
+               "          [--json=FILE]\n"
                "engines: shore-mt dbms-d voltdb hyper dbms-m\n"
                "workloads: micro micro-rw micro-string tpcb tpcc\n",
                argv0);
@@ -95,50 +57,17 @@ int Usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Flags flags;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&](const char* prefix) -> const char* {
-      const size_t n = std::strlen(prefix);
-      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
-    };
-    if (const char* v = value("--engine=")) {
-      flags.engine = v;
-    } else if (const char* v = value("--workload=")) {
-      flags.workload = v;
-    } else if (const char* v = value("--db=")) {
-      flags.db_bytes = ParseSize(v);
-      if (flags.db_bytes == 0) return Usage(argv[0]);
-    } else if (const char* v = value("--rows=")) {
-      flags.rows = std::atoi(v);
-    } else if (const char* v = value("--warehouses=")) {
-      flags.warehouses = std::atoi(v);
-    } else if (const char* v = value("--workers=")) {
-      flags.workers = std::atoi(v);
-    } else if (const char* v = value("--txns=")) {
-      flags.txns = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--warmup=")) {
-      flags.warmup = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--index=")) {
-      flags.index = v;
-    } else if (const char* v = value("--seed=")) {
-      flags.seed = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--no-compilation") {
-      flags.compilation = false;
-    } else if (arg == "--csv") {
-      flags.csv = true;
-    } else if (arg == "--csv-header") {
-      flags.csv = true;
-      flags.csv_header = true;
-    } else if (arg == "--list") {
-      return Usage(argv[0]);
-    } else {
-      return Usage(argv[0]);
-    }
+  tools::Flags flags;
+  std::string error;
+  if (!tools::ParseCommandLine(argc, argv, &flags, &error)) {
+    return Usage(argv[0], error);
   }
+  if (flags.list) return Usage(argv[0], "");
 
   engine::EngineKind kind;
-  if (!ParseEngine(flags.engine, &kind)) return Usage(argv[0]);
+  if (!tools::ParseEngine(flags.engine, &kind)) {
+    return Usage(argv[0], "unknown engine: " + flags.engine);
+  }
 
   core::ExperimentConfig cfg;
   cfg.engine = kind;
@@ -174,35 +103,54 @@ int main(int argc, char** argv) {
                                           : index::IndexKind::kBTreeCc;
     workload = std::make_unique<core::TpccBenchmark>(tcfg);
   } else {
-    return Usage(argv[0]);
+    return Usage(argv[0], "unknown workload: " + flags.workload);
   }
 
   std::fprintf(stderr, "running %s / %s ...\n", flags.engine.c_str(),
                flags.workload.c_str());
-  const mcsim::WindowReport r = core::RunExperiment(cfg, workload.get());
+  core::ExperimentRunner runner(cfg, workload.get());
+  const mcsim::WindowReport r = runner.Run(workload.get());
+
+  if (!flags.json_path.empty()) {
+    obs::RunInfo info;
+    info.engine = flags.engine;
+    info.workload = flags.workload;
+    info.db_bytes = flags.db_bytes;
+    info.rows = flags.rows;
+    info.warehouses = flags.warehouses;
+    info.workers = flags.workers;
+    info.warmup_txns = flags.warmup;
+    info.measure_txns = flags.txns;
+    info.seed = flags.seed;
+    info.aborts = runner.aborts();
+    const std::string json = obs::RunReportToJson(
+        info, r, runner.machine()->config().cycle,
+        &runner.latency_histogram(), &runner.spans());
+    const Status s = obs::WriteJsonFile(flags.json_path, json);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], s.ToString().c_str());
+      return 1;
+    }
+    if (flags.json_path != "-") {
+      std::fprintf(stderr, "wrote %s\n", flags.json_path.c_str());
+    }
+  }
 
   if (flags.csv) {
     if (flags.csv_header) {
-      std::printf(
-          "engine,workload,db_bytes,rows,workers,ipc,instr_per_txn,"
-          "cycles_per_txn,l1i_kI,l2i_kI,llci_kI,l1d_kI,l2d_kI,llcd_kI\n");
+      std::printf("%s\n", tools::CsvHeader().c_str());
     }
-    const auto& k = r.stalls_per_kinstr.stalls;
-    std::printf(
-        "%s,%s,%llu,%d,%d,%.4f,%.1f,%.1f,%.2f,%.2f,%.2f,%.2f,%.2f,"
-        "%.2f\n",
-        flags.engine.c_str(), flags.workload.c_str(),
-        static_cast<unsigned long long>(flags.db_bytes), flags.rows,
-        flags.workers, r.ipc, r.instructions_per_txn, r.cycles_per_txn,
-        k[0], k[1], k[2], k[3], k[4], k[5]);
+    std::printf("%s\n", tools::CsvRow(flags, r).c_str());
     return 0;
   }
 
-  const std::string label = flags.engine + " / " + flags.workload;
-  core::ReportRow row{label, r};
-  core::PrintIpc("Result", {row});
-  core::PrintStallsPerKInstr("Result", {row});
-  core::PrintStallsPerTxn("Result", {row});
-  core::PrintCycleAccounting("Result", {row});
+  if (flags.json_path.empty()) {
+    const std::string label = flags.engine + " / " + flags.workload;
+    core::ReportRow row{label, r};
+    core::PrintIpc("Result", {row});
+    core::PrintStallsPerKInstr("Result", {row});
+    core::PrintStallsPerTxn("Result", {row});
+    core::PrintCycleAccounting("Result", {row});
+  }
   return 0;
 }
