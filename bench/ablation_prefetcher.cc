@@ -4,9 +4,21 @@
 // transactions gain; random-probe micro-benchmarks gain almost nothing —
 // one reason the paper's Section 8 calls for caching mechanisms tailored
 // to OLTP's access patterns rather than generic beefy cores.
+//
+// Record-once / replay-many: each workload runs the engine exactly once
+// (prefetcher off, recording its reference stream), then both cells come
+// from replays of that trace. The pf-off replay doubles as a determinism
+// gate — its counters must be bit-identical to the live run, or the
+// whole ablation is untrustworthy and the binary exits non-zero.
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
 
 #include "bench/bench_common.h"
 #include "core/tpcc.h"
+#include "trace/record.h"
+#include "trace/replay.h"
 
 using namespace imoltp;
 
@@ -18,31 +30,60 @@ struct CellResult {
   uint64_t prefetches;
 };
 
-CellResult RunMicroCell(bool prefetch) {
-  core::MicroConfig mcfg;
-  mcfg.nominal_bytes = 100ULL << 30;
-  mcfg.max_resident_rows = 1'000'000;
-  core::MicroBenchmark wl(mcfg);
-  core::ExperimentConfig cfg =
-      bench::DefaultConfig(engine::EngineKind::kVoltDb);
-  cfg.machine_config.model_prefetcher = prefetch;
-  core::ExperimentRunner runner(cfg, &wl);
-  const auto r = runner.Run(&wl);
-  return {r.stalls_per_kinstr.stalls[5], r.ipc,
-          runner.machine()->core(0).prefetches_issued()};
+std::string TracePath(const char* tag) {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || *dir == '\0') dir = "/tmp";
+  return std::string(dir) + "/imoltp_ablation_pf_" +
+         std::to_string(getpid()) + "_" + tag + ".trace";
 }
 
-CellResult RunTpccCell(bool prefetch) {
-  core::TpccConfig tcfg;
-  core::TpccBenchmark wl(tcfg);
-  core::ExperimentConfig cfg =
-      bench::HeavyTxnConfig(engine::EngineKind::kVoltDb);
-  cfg.measure_txns = 2000;
-  cfg.machine_config.model_prefetcher = prefetch;
-  core::ExperimentRunner runner(cfg, &wl);
-  const auto r = runner.Run(&wl);
-  return {r.stalls_per_kinstr.stalls[5], r.ipc,
-          runner.machine()->core(0).prefetches_issued()};
+CellResult FromWindow(const mcsim::WindowReport& r, uint64_t prefetches) {
+  return {r.stalls_per_kinstr.stalls[5], r.ipc, prefetches};
+}
+
+/// Records one pf-off live run, verifies a same-config replay reproduces
+/// it bit-for-bit, then replays with the prefetcher enabled. Aborts the
+/// process if anything (recording, replay, determinism) fails.
+void RunPair(const char* tag, const core::ExperimentConfig& cfg,
+             core::Workload* wl, uint64_t db_bytes, CellResult* off,
+             CellResult* on) {
+  const std::string path = TracePath(tag);
+  trace::RecordResult live;
+  Status s = trace::RecordExperiment(cfg, wl, path, db_bytes, 0, 0, &live);
+  if (!s.ok()) {
+    std::fprintf(stderr, "record(%s): %s\n", tag, s.ToString().c_str());
+    std::exit(1);
+  }
+
+  trace::ReplayResult replay_off;
+  s = trace::ReplayTraceRecorded(path, &replay_off);
+  if (!s.ok()) {
+    std::fprintf(stderr, "replay(%s): %s\n", tag, s.ToString().c_str());
+    std::exit(1);
+  }
+  for (size_t c = 0; c < live.counters.size(); ++c) {
+    if (!trace::CountersIdentical(live.counters[c],
+                                  replay_off.counters[c])) {
+      std::fprintf(stderr,
+                   "determinism violation (%s, core %zu): replayed "
+                   "counters differ from the live run\n",
+                   tag, c);
+      std::exit(1);
+    }
+  }
+
+  mcsim::MachineConfig pf_on = cfg.machine_config;
+  pf_on.model_prefetcher = true;
+  trace::ReplayResult replay_on;
+  s = trace::ReplayTrace(path, pf_on, &replay_on);
+  if (!s.ok()) {
+    std::fprintf(stderr, "replay-pf(%s): %s\n", tag, s.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::remove(path.c_str());
+  *off = FromWindow(replay_off.window, replay_off.prefetches[0]);
+  *on = FromWindow(replay_on.window, replay_on.prefetches[0]);
 }
 
 }  // namespace
@@ -53,14 +94,27 @@ int main() {
   std::printf("%-26s %14s %8s %12s\n", "workload (VoltDB)", "LLC-D/kI",
               "IPC", "prefetches");
 
-  std::fprintf(stderr, "  micro, prefetcher off...\n");
-  const CellResult micro_off = RunMicroCell(false);
-  std::fprintf(stderr, "  micro, prefetcher on...\n");
-  const CellResult micro_on = RunMicroCell(true);
-  std::fprintf(stderr, "  tpcc, prefetcher off...\n");
-  const CellResult tpcc_off = RunTpccCell(false);
-  std::fprintf(stderr, "  tpcc, prefetcher on...\n");
-  const CellResult tpcc_on = RunTpccCell(true);
+  std::fprintf(stderr, "  micro: record once, replay pf off/on...\n");
+  core::MicroConfig mcfg;
+  mcfg.nominal_bytes = 100ULL << 30;
+  mcfg.max_resident_rows = 1'000'000;
+  core::MicroBenchmark micro(mcfg);
+  core::ExperimentConfig micro_cfg =
+      bench::DefaultConfig(engine::EngineKind::kVoltDb);
+  micro_cfg.machine_config.model_prefetcher = false;
+  CellResult micro_off, micro_on;
+  RunPair("micro", micro_cfg, &micro, mcfg.nominal_bytes, &micro_off,
+          &micro_on);
+
+  std::fprintf(stderr, "  tpcc: record once, replay pf off/on...\n");
+  core::TpccConfig tcfg;
+  core::TpccBenchmark tpcc(tcfg);
+  core::ExperimentConfig tpcc_cfg =
+      bench::HeavyTxnConfig(engine::EngineKind::kVoltDb);
+  tpcc_cfg.measure_txns = 2000;
+  tpcc_cfg.machine_config.model_prefetcher = false;
+  CellResult tpcc_off, tpcc_on;
+  RunPair("tpcc", tpcc_cfg, &tpcc, 0, &tpcc_off, &tpcc_on);
 
   std::printf("%-26s %14.1f %8.2f %12s\n", "micro 100GB, pf off",
               micro_off.llc_d_per_kinstr, micro_off.ipc, "-");
@@ -76,6 +130,8 @@ int main() {
   std::printf(
       "\nTPC-C's index scans and sequential inserts feed the streamer;\n"
       "the micro-benchmark's dependent random probes give it nothing to\n"
-      "predict. Generic prefetching cannot fix OLTP's data stalls.\n");
+      "predict. Generic prefetching cannot fix OLTP's data stalls.\n"
+      "(Both rows per workload replay one recorded reference stream;\n"
+      "the pf-off replay is checked bit-identical to the live run.)\n");
   return 0;
 }

@@ -11,9 +11,4 @@ BUILD="${1:-build}"
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
-for b in "$BUILD"/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] || continue
-  echo "===== $(basename "$b") ====="
-  "$b"
-  echo
-done 2>&1 | tee bench_output.txt
+scripts/run_all_bench.sh "$BUILD"

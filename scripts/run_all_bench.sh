@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs every figure/ablation binary in bench/, teeing the combined
+# output to bench_output.txt (the numbers EXPERIMENTS.md quotes). When
+# a JSON directory is given, each figure also exports a
+# schema-versioned JSON report there for archival and imoltp_diff
+# regression comparison (docs/OBSERVABILITY.md).
+#
+#   scripts/run_all_bench.sh [build-dir] [json-dir]
+#
+#   scripts/run_all_bench.sh                # build/, no JSON export
+#   scripts/run_all_bench.sh build reports/ # archive JSON per figure
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+JSON_DIR="${2:-}"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "error: $BUILD/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 2
+fi
+
+if [ -n "$JSON_DIR" ]; then
+  mkdir -p "$JSON_DIR"
+  export IMOLTP_JSON_DIR="$JSON_DIR"
+fi
+
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $(basename "$b") ====="
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt

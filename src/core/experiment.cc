@@ -7,6 +7,11 @@ namespace imoltp::core {
 
 ExperimentRunner::ExperimentRunner(const ExperimentConfig& config,
                                    Workload* schema_source)
+    : ExperimentRunner(config, schema_source, nullptr) {}
+
+ExperimentRunner::ExperimentRunner(
+    const ExperimentConfig& config, Workload* schema_source,
+    const std::function<Status(mcsim::MachineSim*)>& pre_populate)
     : config_(config) {
   mcsim::MachineConfig mc = config.machine_config;
   mc.num_cores = config.num_workers;
@@ -15,6 +20,11 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config,
   engine::EngineOptions opts = config.engine_options;
   opts.num_partitions = config.num_workers;
   engine_ = engine::CreateEngine(config.engine, machine_.get(), opts);
+
+  if (pre_populate != nullptr) {
+    init_status_ = pre_populate(machine_.get());
+    if (!init_status_.ok()) return;
+  }
 
   const Status s = engine_->CreateDatabase(schema_source->Tables());
   if (!s.ok()) {
@@ -48,6 +58,7 @@ mcsim::WindowReport ExperimentRunner::Run(Workload* workload) {
   engine_->span_collector()->Reset();
   latency_.Reset();
   const mcsim::CycleModelParams& params = machine_->config().cycle;
+  if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/true);
   profiler.BeginWindow(cores);
   for (uint64_t t = 0; t < config_.measure_txns; ++t) {
     for (int w = 0; w < workers; ++w) {
@@ -62,6 +73,7 @@ mcsim::WindowReport ExperimentRunner::Run(Workload* workload) {
       latency_.Add(mcsim::SimulatedCycles(delta, params));
     }
   }
+  if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/false);
   return profiler.EndWindow();
 }
 

@@ -1,6 +1,7 @@
 #ifndef IMOLTP_CORE_EXPERIMENT_H_
 #define IMOLTP_CORE_EXPERIMENT_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -38,6 +39,19 @@ class ExperimentRunner {
   /// table definitions.
   ExperimentRunner(const ExperimentConfig& config, Workload* schema_source);
 
+  /// Trace-capture variant: `pre_populate` runs after the machine and
+  /// engine exist (module table registered, zero counters, cold caches)
+  /// but before the database is populated and the caches warmed — the
+  /// only point where a TraceWriter can open and attach so that every
+  /// simulated event reaches the trace. A failure lands in
+  /// init_status() and skips population.
+  ExperimentRunner(
+      const ExperimentConfig& config, Workload* schema_source,
+      const std::function<Status(mcsim::MachineSim*)>& pre_populate);
+
+  /// Ok unless a pre_populate hook failed during construction.
+  const Status& init_status() const { return init_status_; }
+
   ExperimentRunner(const ExperimentRunner&) = delete;
   ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
@@ -48,6 +62,15 @@ class ExperimentRunner {
   engine::Engine* engine() { return engine_.get(); }
   mcsim::MachineSim* machine() { return machine_.get(); }
   uint64_t aborts() const { return aborts_; }
+
+  /// Attaches a trace sink to the machine (nullptr detaches) and makes
+  /// Run() bracket each measurement window with window markers, so a
+  /// replay can reproduce the WindowReport. Attach before the first
+  /// Run(): capture determinism assumes cold caches and zero counters.
+  void set_trace_sink(mcsim::TraceSink* sink) {
+    trace_sink_ = sink;
+    machine_->SetTraceSink(sink);
+  }
 
   /// Per-transaction simulated-cycle latencies of the most recent
   /// measurement window (aborted transactions included — their retry
@@ -67,6 +90,8 @@ class ExperimentRunner {
   std::unique_ptr<mcsim::MachineSim> machine_;
   std::unique_ptr<engine::Engine> engine_;
   obs::LatencyHistogram latency_;
+  Status init_status_;
+  mcsim::TraceSink* trace_sink_ = nullptr;
   uint64_t aborts_ = 0;
   uint64_t runs_ = 0;
 };

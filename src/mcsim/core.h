@@ -7,6 +7,7 @@
 #include "mcsim/code_region.h"
 #include "mcsim/config.h"
 #include "mcsim/counters.h"
+#include "mcsim/trace_sink.h"
 
 namespace imoltp::mcsim {
 
@@ -37,20 +38,41 @@ class CoreSim {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
-  void SetModule(ModuleId module) { module_ = module; }
+  void SetModule(ModuleId module) {
+    if (trace_ != nullptr && module != module_) {
+      trace_->OnSetModule(core_id_, module);
+    }
+    module_ = module;
+  }
   ModuleId module() const { return module_; }
+
+  /// Observer of the simulated event stream (nullptr = none). Set via
+  /// MachineSim::SetTraceSink, which also snapshots module state.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
   /// Executes a code region: fetches its window of i-cache lines and
   /// retires its instruction count. See CodeRegion for the model.
   void ExecuteRegion(const CodeRegion& region) {
     if (!enabled_) return;
-    const ModuleId saved = module_;
-    module_ = region.module;
     uint64_t start = region.base_line;
     if (region.total_lines > region.touched_lines) {
       const uint32_t span = region.total_lines - region.touched_lines + 1;
       start += NextWindow() % span;
     }
+    if (trace_ != nullptr) {
+      trace_->OnExecuteRegion(core_id_, region, start);
+    }
+    ExecuteRegionAt(region, start);
+  }
+
+  /// Executes `region` with its fetch window pinned at `start` (line
+  /// address). Live execution funnels through here after choosing the
+  /// window; trace replay calls it directly with the recorded window so
+  /// the replayed fetch stream is bit-identical.
+  void ExecuteRegionAt(const CodeRegion& region, uint64_t start) {
+    if (!enabled_) return;
+    const ModuleId saved = module_;
+    module_ = region.module;
     for (uint32_t i = 0; i < region.touched_lines; ++i) {
       FetchCodeLine(start + i);
     }
@@ -73,12 +95,14 @@ class CoreSim {
   /// Data read of `size` bytes at `addr` (any alignment).
   void Read(uint64_t addr, uint32_t size) {
     if (!enabled_) return;
+    if (trace_ != nullptr) trace_->OnRead(core_id_, addr, size);
     AccessData(addr, size, /*is_write=*/false);
   }
 
   /// Data write of `size` bytes at `addr`. Invalidates sibling copies.
   void Write(uint64_t addr, uint32_t size) {
     if (!enabled_) return;
+    if (trace_ != nullptr) trace_->OnWrite(core_id_, addr, size);
     AccessData(addr, size, /*is_write=*/true);
   }
 
@@ -86,6 +110,7 @@ class CoreSim {
   /// loop of a key comparison).
   void Retire(uint64_t n) {
     if (!enabled_) return;
+    if (trace_ != nullptr) trace_->OnRetire(core_id_, n);
     RetireInternal(n, default_cpi_ < cpi_floor_ ? cpi_floor_
                                                 : default_cpi_);
   }
@@ -93,12 +118,14 @@ class CoreSim {
   /// Records `n` branch mispredictions.
   void Mispredict(uint64_t n) {
     if (!enabled_) return;
+    if (trace_ != nullptr) trace_->OnMispredict(core_id_, n);
     counters_.mispredictions += n;
     counters_.per_module[module_].mispredictions += n;
   }
 
   void BeginTransaction() {
     if (!enabled_) return;
+    if (trace_ != nullptr) trace_->OnBeginTransaction(core_id_);
     ++counters_.transactions;
   }
 
@@ -166,6 +193,7 @@ class CoreSim {
   double default_cpi_;
   double cpi_floor_;
   bool enabled_ = true;
+  TraceSink* trace_ = nullptr;
   ModuleId module_ = kNoModule;
   double mispredict_acc_ = 0.0;
   uint64_t window_state_;

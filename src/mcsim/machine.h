@@ -44,6 +44,20 @@ class MachineSim {
     for (auto& core : cores_) core->set_enabled(enabled);
   }
 
+  /// Attaches `sink` to every core (nullptr detaches). On attach, each
+  /// core's current module is snapshotted into the sink so replay
+  /// starts from identical attribution state. Capture determinism
+  /// assumes the machine is otherwise pristine at attach time (cold
+  /// caches, zeroed counters) — attach before the first measured run.
+  void SetTraceSink(TraceSink* sink) {
+    for (auto& core : cores_) {
+      if (sink != nullptr) {
+        sink->OnSetModule(core->core_id(), core->module());
+      }
+      core->set_trace_sink(sink);
+    }
+  }
+
   /// Sums per-core counters (used for machine-wide sanity checks; figures
   /// report per-worker averages through the profiler instead).
   CoreCounters TotalCounters() const;

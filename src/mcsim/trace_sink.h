@@ -1,0 +1,44 @@
+#ifndef IMOLTP_MCSIM_TRACE_SINK_H_
+#define IMOLTP_MCSIM_TRACE_SINK_H_
+
+#include <cstdint>
+
+#include "mcsim/code_region.h"
+#include "mcsim/counters.h"
+
+namespace imoltp::mcsim {
+
+/// Observer of the simulated reference stream. When a sink is attached
+/// to a machine (MachineSim::SetTraceSink), every CoreSim verb that
+/// passes the `enabled()` gate reports itself here before executing —
+/// the exact sequence of events needed to re-simulate the run on a
+/// different machine configuration (src/trace implements a binary
+/// recorder on top of this).
+///
+/// Hooks fire only while simulation is enabled, so populate/recovery
+/// phases (which run detached) produce no events, matching what the
+/// caches actually saw. When no sink is attached the cost per verb is a
+/// single well-predicted null check.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A code-region execution with its resolved fetch window. The window
+  /// start is captured post-randomization so replay never consumes (or
+  /// depends on) core-local random state.
+  virtual void OnExecuteRegion(int core, const CodeRegion& region,
+                               uint64_t start_line) = 0;
+  virtual void OnRead(int core, uint64_t addr, uint32_t size) = 0;
+  virtual void OnWrite(int core, uint64_t addr, uint32_t size) = 0;
+  virtual void OnRetire(int core, uint64_t n) = 0;
+  virtual void OnMispredict(int core, uint64_t n) = 0;
+  virtual void OnBeginTransaction(int core) = 0;
+  virtual void OnSetModule(int core, ModuleId module) = 0;
+
+  /// Measurement-window boundary (profiler attach/detach point).
+  virtual void OnWindowMark(bool begin) = 0;
+};
+
+}  // namespace imoltp::mcsim
+
+#endif  // IMOLTP_MCSIM_TRACE_SINK_H_

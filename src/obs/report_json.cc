@@ -171,6 +171,11 @@ std::string RunReportToJson(const RunInfo& info,
   w.KeyValue("measure_txns", info.measure_txns);
   w.KeyValue("seed", info.seed);
   w.KeyValue("aborts", info.aborts);
+  w.Key("trace");
+  w.BeginObject();
+  w.KeyValue("file_id", info.trace_file_id);
+  w.KeyValue("replayed", info.replayed);
+  w.EndObject();
   w.EndObject();
 
   w.Key("window");

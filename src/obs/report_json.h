@@ -15,7 +15,7 @@ namespace imoltp::obs {
 /// Version of the JSON report schema. Bump on any incompatible change
 /// (renamed/removed keys, changed units); imoltp_diff refuses to
 /// compare documents with different versions.
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Top-Down-style decomposition of the modeled cycles (per worker):
 /// retiring (inherent CPI work), frontend (instruction-miss refill),
@@ -48,6 +48,12 @@ struct RunInfo {
   uint64_t measure_txns = 0;
   uint64_t seed = 0;
   uint64_t aborts = 0;
+
+  /// Trace provenance (schema v2): the id of the trace file this run
+  /// recorded or replayed ("" = no trace involved), and whether the
+  /// numbers come from a replay rather than a live simulation.
+  std::string trace_file_id;
+  bool replayed = false;
 };
 
 /// Serializes one WindowReport (IPC, both stall breakdowns, raw misses,

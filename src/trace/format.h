@@ -1,0 +1,145 @@
+#ifndef IMOLTP_TRACE_FORMAT_H_
+#define IMOLTP_TRACE_FORMAT_H_
+
+// On-disk layout of an imoltp trace (see docs/tracing.md for the spec):
+//
+//   [8]  magic "IMOLTPTR"
+//   [4]  u32 LE format version (kTraceFormatVersion)
+//   [4]  u32 LE header length
+//   [4]  u32 LE CRC-32 of the header bytes
+//   [n]  header: one JSON document (TraceMeta — machine config, engine,
+//        workload, module table, trace id)
+//   [*]  blocks: u32 LE payload length, u32 LE CRC-32, payload
+//
+// Block payloads are a concatenation of variable-length records, each
+// an opcode byte followed by varint operands (doubles are fixed 8-byte
+// LE IEEE-754 so they round-trip bit-exactly). Records never span
+// blocks. The final record of the final block is kOpEnd carrying the
+// total event count; a file that ends without it is truncated.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace imoltp::trace {
+
+inline constexpr char kTraceMagic[8] = {'I', 'M', 'O', 'L',
+                                        'T', 'P', 'T', 'R'};
+inline constexpr uint32_t kTraceFormatVersion = 1;
+
+/// Writer flushes a block once its payload reaches this size.
+inline constexpr uint32_t kBlockFlushBytes = 64u << 10;
+/// Reader rejects blocks larger than this (corrupted length field).
+inline constexpr uint32_t kMaxBlockPayload = 1u << 20;
+/// Reader rejects headers larger than this.
+inline constexpr uint32_t kMaxHeaderBytes = 1u << 20;
+/// Largest plausible single data access; a larger size in a record is
+/// corruption (engines touch at most a few rows per access).
+inline constexpr uint32_t kMaxAccessBytes = 1u << 20;
+
+/// Record opcodes. Operands are varints unless noted.
+enum Op : uint8_t {
+  kOpEnd = 0,         // total event count; must be the last record
+  kOpSetCore = 1,     // core — subsequent records apply to this core
+  kOpSetModule = 2,   // module id
+  kOpDefRegion = 3,   // id, module, base_line, total, touched, instr,
+                      // f64 mispredicts_per_kinstr, f64 cpi
+  kOpExecRegion = 4,  // region id, window offset (start - base_line)
+  kOpLoad = 5,        // zigzag addr delta (per core), size
+  kOpStore = 6,       // zigzag addr delta (per core), size
+  kOpRetire = 7,      // instruction count
+  kOpMispredict = 8,  // misprediction count
+  kOpTxnBegin = 9,    // (none)
+  kOpWindowBegin = 10,  // (none) — measurement window opens
+  kOpWindowEnd = 11,    // (none) — measurement window closes
+  kOpDefModule = 12,  // inside_engine (0/1), name length, name bytes —
+                      // a module registered after the header was
+                      // written (engines compile transactions lazily);
+                      // its id is the next registry slot
+};
+
+/// Reader rejects module names longer than this.
+inline constexpr uint32_t kMaxModuleNameBytes = 256;
+
+inline void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Decodes one varint from [*p, end); advances *p. Returns false on
+/// truncation or a varint longer than 10 bytes. Most operands (sizes,
+/// deltas, small counts) fit one byte, hence the fast path.
+inline bool GetVarint(const uint8_t** p, const uint8_t* end,
+                      uint64_t* v) {
+  const uint8_t* q = *p;
+  if (q < end && *q < 0x80) {
+    *v = *q;
+    *p = q + 1;
+    return true;
+  }
+  uint64_t result = 0;
+  int shift = 0;
+  while (q < end && shift < 64) {
+    const uint8_t byte = *q++;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = q;
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 4);
+}
+
+inline uint32_t DecodeFixed32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Doubles travel as their raw IEEE-754 bit pattern so record → replay
+/// reproduces cycle arithmetic bit-exactly.
+inline void PutDouble(std::string* out, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(bits >> (8 * i));
+  out->append(buf, 8);
+}
+
+inline bool GetDouble(const uint8_t** p, const uint8_t* end, double* d) {
+  if (end - *p < 8) return false;
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>((*p)[i]) << (8 * i);
+  }
+  *p += 8;
+  std::memcpy(d, &bits, sizeof(*d));
+  return true;
+}
+
+/// CRC-32 (reflected, polynomial 0xEDB88320 — the zlib/PNG one).
+uint32_t Crc32(const void* data, size_t len);
+
+}  // namespace imoltp::trace
+
+#endif  // IMOLTP_TRACE_FORMAT_H_

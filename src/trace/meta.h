@@ -1,0 +1,58 @@
+#ifndef IMOLTP_TRACE_META_H_
+#define IMOLTP_TRACE_META_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mcsim/code_region.h"
+#include "mcsim/config.h"
+#include "obs/json.h"
+
+namespace imoltp::trace {
+
+/// Everything the trace header records about the captured run: enough
+/// to replay under the recorded configuration, to label reports, and to
+/// decide whether two traces are comparable.
+struct TraceMeta {
+  std::string trace_id;  // hex id stamped at record time
+  std::string engine;
+  std::string workload;
+  int num_workers = 1;
+  uint64_t seed = 0;
+  uint64_t warmup_txns = 0;
+  uint64_t measure_txns = 0;
+  uint64_t db_bytes = 0;
+  int rows = 0;        // rows per transaction (micro-benchmark; 0 = n/a)
+  int warehouses = 0;  // TPC-C scale factor (0 = n/a)
+
+  /// The machine configuration the trace was recorded under (replay
+  /// baseline; sweeps derive variants from it).
+  mcsim::MachineConfig recorded_config;
+
+  /// Module table in registry-id order, excluding the implicit
+  /// "<none>" slot 0. Replay re-registers these so module ids and
+  /// report names match the live run.
+  std::vector<mcsim::ModuleInfo> modules;
+};
+
+/// Serializes `config` as a JSON object into `w` (all fields, doubles
+/// at round-trip precision).
+void MachineConfigToJson(obs::JsonWriter& w,
+                         const mcsim::MachineConfig& config);
+
+/// Strict inverse of MachineConfigToJson: every field must be present
+/// and well-typed.
+Status MachineConfigFromJson(const obs::JsonValue& v,
+                             mcsim::MachineConfig* config);
+
+/// Serializes the full trace header document.
+std::string TraceMetaToJson(const TraceMeta& meta);
+
+/// Parses and validates a trace header document.
+Status TraceMetaFromJson(const std::string& json, TraceMeta* meta);
+
+}  // namespace imoltp::trace
+
+#endif  // IMOLTP_TRACE_META_H_

@@ -1,0 +1,104 @@
+#ifndef IMOLTP_TRACE_READER_H_
+#define IMOLTP_TRACE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mcsim/code_region.h"
+#include "trace/format.h"
+#include "trace/meta.h"
+
+namespace imoltp::trace {
+
+/// One decoded trace record, with the core it applies to already
+/// resolved (kOpSetCore and kOpDefRegion records are consumed
+/// internally; region definitions land in TraceReader::regions()).
+struct TraceEvent {
+  Op op = kOpEnd;
+  int core = 0;
+  mcsim::ModuleId module = mcsim::kNoModule;  // kOpSetModule
+  uint32_t region = 0;                        // kOpExecRegion: table index
+  uint64_t start_line = 0;                    // kOpExecRegion: fetch window
+  uint64_t addr = 0;                          // kOpLoad / kOpStore
+  uint32_t size = 0;                          // kOpLoad / kOpStore
+  uint64_t n = 0;                             // kOpRetire / kOpMispredict
+};
+
+/// Streaming decoder for trace files written by TraceWriter. Every
+/// failure mode of a damaged file — truncation anywhere, bit flips
+/// (caught by per-block CRCs), version or magic mismatch, malformed or
+/// semantically invalid records — surfaces as a clean Status; no input
+/// can crash the process or hand the replay driver out-of-range ids.
+class TraceReader {
+ public:
+  TraceReader() = default;
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// Loads `path` and validates magic, version, and header integrity.
+  Status Open(const std::string& path);
+
+  /// Same, over an already-loaded trace image. A sweep replaying one
+  /// file through many configurations loads the bytes once and hands
+  /// every reader the same buffer.
+  Status OpenBuffer(std::shared_ptr<const std::string> data);
+
+  const TraceMeta& meta() const { return meta_; }
+
+  /// Region definition table, in definition order. Grows as events are
+  /// decoded; a kOpExecRegion event's `region` always indexes a
+  /// previously decoded definition.
+  const std::vector<mcsim::CodeRegion>& regions() const {
+    return regions_;
+  }
+
+  /// Module table in live registration order, excluding slot 0
+  /// ("<none>"): the header's modules plus any registered mid-run
+  /// (in-stream kOpDefModule records). A replay registering these in
+  /// order reproduces the live machine's module ids exactly.
+  const std::vector<mcsim::ModuleInfo>& modules() const {
+    return modules_;
+  }
+
+  /// Decodes the next event. On success either fills `*event` (and
+  /// `*done` = false) or reports a verified end-of-stream (`*done` =
+  /// true). Any corruption or truncation returns a non-OK Status.
+  Status Next(TraceEvent* event, bool* done);
+
+  /// Events decoded so far (excludes internal set-core/def-region
+  /// records, matching TraceWriter::events_written()).
+  uint64_t events_decoded() const { return events_; }
+
+ private:
+  Status LoadNextBlock();
+  Status Corrupt(const std::string& what) const;
+
+  std::shared_ptr<const std::string> data_;
+  const uint8_t* base_ = nullptr;  // data_->data(), cached for decode
+  size_t size_ = 0;                // data_->size()
+  size_t pos_ = 0;        // next unread byte of the file
+  size_t block_pos_ = 0;  // decode cursor inside the image
+  size_t block_end_ = 0;
+  bool opened_ = false;
+  bool finished_ = false;
+
+  TraceMeta meta_;
+  std::vector<mcsim::ModuleInfo> modules_;
+  std::vector<mcsim::CodeRegion> regions_;
+  std::vector<uint64_t> last_addr_;
+  int cur_core_ = -1;
+  uint64_t events_ = 0;
+};
+
+/// Reads a trace file into a buffer suitable for
+/// TraceReader::OpenBuffer (shared across the readers of a sweep).
+Status LoadTraceFile(const std::string& path,
+                     std::shared_ptr<const std::string>* out);
+
+}  // namespace imoltp::trace
+
+#endif  // IMOLTP_TRACE_READER_H_

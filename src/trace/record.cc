@@ -1,0 +1,49 @@
+#include "trace/record.h"
+
+#include "trace/writer.h"
+
+namespace imoltp::trace {
+
+Status RecordExperiment(const core::ExperimentConfig& config,
+                        core::Workload* workload, const std::string& path,
+                        uint64_t db_bytes, int rows, int warehouses,
+                        RecordResult* result) {
+  TraceWriter writer;
+  TraceWriter::Options options;
+  options.engine = engine::EngineKindName(config.engine);
+  options.workload = workload->name();
+  options.seed = config.seed;
+  options.warmup_txns = config.warmup_txns;
+  options.measure_txns = config.measure_txns;
+  options.db_bytes = db_bytes;
+  options.rows = rows;
+  options.warehouses = warehouses;
+
+  // Attach before the database is populated: cache warm-up runs with
+  // simulation on, and a replay can only reproduce the live counters
+  // if it sees those events too.
+  core::ExperimentRunner runner(
+      config, workload, [&](mcsim::MachineSim* machine) {
+        Status s = writer.Open(path, *machine, options);
+        if (!s.ok()) return s;
+        machine->SetTraceSink(&writer);
+        return Status::Ok();
+      });
+  if (!runner.init_status().ok()) return runner.init_status();
+
+  runner.set_trace_sink(&writer);  // re-snapshot is benign; adds marks
+  result->window = runner.Run(workload);
+  runner.set_trace_sink(nullptr);
+
+  result->trace_id = writer.trace_id();
+  result->events = writer.events_written();
+  result->aborts = runner.aborts();
+  mcsim::MachineSim* machine = runner.machine();
+  for (int c = 0; c < machine->num_cores(); ++c) {
+    result->counters.push_back(machine->core(c).counters());
+    result->prefetches.push_back(machine->core(c).prefetches_issued());
+  }
+  return writer.Finish();
+}
+
+}  // namespace imoltp::trace

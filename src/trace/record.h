@@ -1,0 +1,40 @@
+#ifndef IMOLTP_TRACE_RECORD_H_
+#define IMOLTP_TRACE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/experiment.h"
+#include "mcsim/counters.h"
+#include "mcsim/profiler.h"
+
+namespace imoltp::trace {
+
+/// Outcome of one recorded experiment: the live run's report plus the
+/// final raw counters — the reference a replay under the recorded
+/// configuration must match bit for bit.
+struct RecordResult {
+  std::string trace_id;
+  mcsim::WindowReport window;
+  std::vector<mcsim::CoreCounters> counters;
+  std::vector<uint64_t> prefetches;
+  uint64_t events = 0;
+  uint64_t aborts = 0;
+};
+
+/// One-shot capture: build + populate, attach a TraceWriter, run the
+/// experiment live, and leave the full reference stream at `path`.
+/// `db_bytes`, `rows`, and `warehouses` are informational (they land in
+/// the trace header so replay reports carry the live run's identity).
+/// The live results in `*result` are valid even if writing the file
+/// fails.
+Status RecordExperiment(const core::ExperimentConfig& config,
+                        core::Workload* workload, const std::string& path,
+                        uint64_t db_bytes, int rows, int warehouses,
+                        RecordResult* result);
+
+}  // namespace imoltp::trace
+
+#endif  // IMOLTP_TRACE_RECORD_H_

@@ -1,0 +1,260 @@
+#include "trace/writer.h"
+
+#include <cstring>
+#include <ctime>
+
+namespace imoltp::trace {
+
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t h) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string MakeTraceId(const TraceWriter::Options& options) {
+  uint64_t h = 14695981039346656037ULL;
+  h = Fnv1a(options.engine.data(), options.engine.size(), h);
+  h = Fnv1a(options.workload.data(), options.workload.size(), h);
+  h = Fnv1a(&options.seed, sizeof(options.seed), h);
+  const std::time_t now = std::time(nullptr);
+  h = Fnv1a(&now, sizeof(now), h);
+  const std::clock_t ticks = std::clock();
+  h = Fnv1a(&ticks, sizeof(ticks), h);
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status TraceWriter::Open(const std::string& path,
+                         const mcsim::MachineSim& machine,
+                         const Options& options) {
+  if (file_ != nullptr || finished_) {
+    return Status::InvalidArgument("TraceWriter already opened");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  path_ = path;
+
+  meta_.trace_id = MakeTraceId(options);
+  meta_.engine = options.engine;
+  meta_.workload = options.workload;
+  meta_.num_workers = machine.num_cores();
+  meta_.seed = options.seed;
+  meta_.warmup_txns = options.warmup_txns;
+  meta_.measure_txns = options.measure_txns;
+  meta_.db_bytes = options.db_bytes;
+  meta_.rows = options.rows;
+  meta_.warehouses = options.warehouses;
+  meta_.recorded_config = machine.config();
+  meta_.recorded_config.num_cores = machine.num_cores();
+  machine_ = &machine;
+  const mcsim::ModuleRegistry& modules = machine.modules();
+  for (int m = 1; m < modules.size(); ++m) {  // slot 0 is "<none>"
+    meta_.modules.push_back(modules.info(static_cast<mcsim::ModuleId>(m)));
+  }
+  modules_emitted_ = modules.size();
+
+  const std::string header = TraceMetaToJson(meta_);
+  std::string prefix;
+  prefix.append(kTraceMagic, sizeof(kTraceMagic));
+  PutFixed32(&prefix, kTraceFormatVersion);
+  PutFixed32(&prefix, static_cast<uint32_t>(header.size()));
+  PutFixed32(&prefix, Crc32(header.data(), header.size()));
+  WriteRaw(prefix.data(), prefix.size());
+  WriteRaw(header.data(), header.size());
+
+  last_addr_.assign(static_cast<size_t>(machine.num_cores()), 0);
+  return status_;
+}
+
+Status TraceWriter::Finish() {
+  if (file_ == nullptr) {
+    return finished_ ? status_
+                     : Status::InvalidArgument("TraceWriter not open");
+  }
+  if (status_.ok()) {
+    block_.push_back(static_cast<char>(kOpEnd));
+    PutVarint(&block_, events_);
+    FlushBlock();
+  }
+  if (status_.ok() && std::fflush(file_) != 0) {
+    status_ = Status::Internal("flush failed on " + path_);
+  }
+  if (std::fclose(file_) != 0 && status_.ok()) {
+    status_ = Status::Internal("close failed on " + path_);
+  }
+  file_ = nullptr;
+  finished_ = true;
+  return status_;
+}
+
+void TraceWriter::WriteRaw(const void* data, size_t len) {
+  if (!status_.ok()) return;
+  if (std::fwrite(data, 1, len, file_) != len) {
+    status_ = Status::Internal("short write to " + path_);
+  }
+}
+
+void TraceWriter::FlushBlock() {
+  if (block_.empty() || !status_.ok()) return;
+  std::string header;
+  PutFixed32(&header, static_cast<uint32_t>(block_.size()));
+  PutFixed32(&header, Crc32(block_.data(), block_.size()));
+  WriteRaw(header.data(), header.size());
+  WriteRaw(block_.data(), block_.size());
+  block_.clear();
+}
+
+void TraceWriter::MaybeFlush() {
+  if (block_.size() >= kBlockFlushBytes) FlushBlock();
+}
+
+void TraceWriter::SyncModules() {
+  const mcsim::ModuleRegistry& modules = machine_->modules();
+  while (modules_emitted_ < modules.size()) {
+    const mcsim::ModuleInfo& info =
+        modules.info(static_cast<mcsim::ModuleId>(modules_emitted_));
+    block_.push_back(static_cast<char>(kOpDefModule));
+    PutVarint(&block_, info.inside_engine ? 1 : 0);
+    PutVarint(&block_, info.name.size());
+    block_.append(info.name);
+    ++modules_emitted_;
+  }
+}
+
+void TraceWriter::SwitchCore(int core) {
+  if (core == cur_core_) return;
+  cur_core_ = core;
+  block_.push_back(static_cast<char>(kOpSetCore));
+  PutVarint(&block_, static_cast<uint64_t>(core));
+}
+
+uint32_t TraceWriter::InternRegion(const mcsim::CodeRegion& region) {
+  const std::array<uint64_t, 7> key = {
+      region.module,
+      region.base_line,
+      region.total_lines,
+      region.touched_lines,
+      region.instructions,
+      DoubleBits(region.mispredicts_per_kinstr),
+      DoubleBits(region.cpi)};
+  auto [it, inserted] =
+      region_ids_.emplace(key, static_cast<uint32_t>(region_ids_.size()));
+  if (inserted) {
+    SyncModules();  // the region may name a just-registered module
+    block_.push_back(static_cast<char>(kOpDefRegion));
+    PutVarint(&block_, it->second);
+    PutVarint(&block_, region.module);
+    PutVarint(&block_, region.base_line);
+    PutVarint(&block_, region.total_lines);
+    PutVarint(&block_, region.touched_lines);
+    PutVarint(&block_, region.instructions);
+    PutDouble(&block_, region.mispredicts_per_kinstr);
+    PutDouble(&block_, region.cpi);
+  }
+  return it->second;
+}
+
+void TraceWriter::OnExecuteRegion(int core,
+                                  const mcsim::CodeRegion& region,
+                                  uint64_t start_line) {
+  if (!recording()) return;
+  SwitchCore(core);
+  const uint32_t id = InternRegion(region);
+  block_.push_back(static_cast<char>(kOpExecRegion));
+  PutVarint(&block_, id);
+  PutVarint(&block_, start_line - region.base_line);
+  ++events_;
+  MaybeFlush();
+}
+
+void TraceWriter::EmitAccess(Op op, int core, uint64_t addr,
+                             uint32_t size) {
+  if (!recording()) return;
+  SwitchCore(core);
+  uint64_t& last = last_addr_[static_cast<size_t>(core)];
+  const int64_t delta = static_cast<int64_t>(addr - last);
+  last = addr;
+  block_.push_back(static_cast<char>(op));
+  PutVarint(&block_, ZigzagEncode(delta));
+  PutVarint(&block_, size);
+  ++events_;
+  MaybeFlush();
+}
+
+void TraceWriter::OnRead(int core, uint64_t addr, uint32_t size) {
+  EmitAccess(kOpLoad, core, addr, size);
+}
+
+void TraceWriter::OnWrite(int core, uint64_t addr, uint32_t size) {
+  EmitAccess(kOpStore, core, addr, size);
+}
+
+void TraceWriter::OnRetire(int core, uint64_t n) {
+  if (!recording()) return;
+  SwitchCore(core);
+  block_.push_back(static_cast<char>(kOpRetire));
+  PutVarint(&block_, n);
+  ++events_;
+  MaybeFlush();
+}
+
+void TraceWriter::OnMispredict(int core, uint64_t n) {
+  if (!recording()) return;
+  SwitchCore(core);
+  block_.push_back(static_cast<char>(kOpMispredict));
+  PutVarint(&block_, n);
+  ++events_;
+  MaybeFlush();
+}
+
+void TraceWriter::OnBeginTransaction(int core) {
+  if (!recording()) return;
+  SwitchCore(core);
+  block_.push_back(static_cast<char>(kOpTxnBegin));
+  ++events_;
+  MaybeFlush();
+}
+
+void TraceWriter::OnSetModule(int core, mcsim::ModuleId module) {
+  if (!recording()) return;
+  SyncModules();
+  SwitchCore(core);
+  block_.push_back(static_cast<char>(kOpSetModule));
+  PutVarint(&block_, module);
+  ++events_;
+  MaybeFlush();
+}
+
+void TraceWriter::OnWindowMark(bool begin) {
+  if (!recording()) return;
+  block_.push_back(
+      static_cast<char>(begin ? kOpWindowBegin : kOpWindowEnd));
+  ++events_;
+  MaybeFlush();
+}
+
+}  // namespace imoltp::trace

@@ -1,0 +1,107 @@
+#ifndef IMOLTP_TRACE_WRITER_H_
+#define IMOLTP_TRACE_WRITER_H_
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mcsim/machine.h"
+#include "mcsim/trace_sink.h"
+#include "trace/format.h"
+#include "trace/meta.h"
+
+namespace imoltp::trace {
+
+/// Records the simulated reference stream of one machine into a compact
+/// binary trace file. Attach via MachineSim::SetTraceSink (or
+/// ExperimentRunner::set_trace_sink, which also emits the measurement
+/// window markers).
+///
+/// Encoding: one globally-ordered record stream (core switches are
+/// explicit records, preserving the exact worker interleaving that
+/// drives cross-core invalidations), data addresses delta-encoded per
+/// core, code regions interned into a definition table, everything
+/// varint-packed into CRC-checked 64KB blocks.
+///
+/// I/O errors are sticky: the first failure latches a Status, further
+/// events are dropped, and Finish() reports it.
+class TraceWriter final : public mcsim::TraceSink {
+ public:
+  /// Run identity stored in the trace header next to the machine
+  /// config and module table (which come from the machine itself).
+  struct Options {
+    std::string engine;
+    std::string workload;
+    uint64_t seed = 0;
+    uint64_t warmup_txns = 0;
+    uint64_t measure_txns = 0;
+    uint64_t db_bytes = 0;
+    int rows = 0;        // rows per transaction (0 = n/a)
+    int warehouses = 0;  // TPC-C scale factor (0 = n/a)
+  };
+
+  TraceWriter() = default;
+  ~TraceWriter() override;
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Creates `path` and writes the header (magic, version, machine
+  /// config, module table, metadata). Must be called exactly once,
+  /// before any event arrives.
+  Status Open(const std::string& path, const mcsim::MachineSim& machine,
+              const Options& options);
+
+  /// Writes the end-of-stream record, flushes, and closes the file.
+  /// Returns the first error hit anywhere in the write path.
+  Status Finish();
+
+  const std::string& trace_id() const { return meta_.trace_id; }
+  uint64_t events_written() const { return events_; }
+
+  // mcsim::TraceSink implementation.
+  void OnExecuteRegion(int core, const mcsim::CodeRegion& region,
+                       uint64_t start_line) override;
+  void OnRead(int core, uint64_t addr, uint32_t size) override;
+  void OnWrite(int core, uint64_t addr, uint32_t size) override;
+  void OnRetire(int core, uint64_t n) override;
+  void OnMispredict(int core, uint64_t n) override;
+  void OnBeginTransaction(int core) override;
+  void OnSetModule(int core, mcsim::ModuleId module) override;
+  void OnWindowMark(bool begin) override;
+
+ private:
+  bool recording() const { return file_ != nullptr && status_.ok(); }
+  void SyncModules();
+  void SwitchCore(int core);
+  void EmitAccess(Op op, int core, uint64_t addr, uint32_t size);
+  uint32_t InternRegion(const mcsim::CodeRegion& region);
+  void MaybeFlush();
+  void FlushBlock();
+  void WriteRaw(const void* data, size_t len);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Status status_;
+  bool finished_ = false;
+
+  TraceMeta meta_;
+  /// Engines register modules lazily (compiled transaction types), so
+  /// the registry can outgrow the header snapshot; SyncModules() emits
+  /// the late arrivals as in-stream kOpDefModule records.
+  const mcsim::MachineSim* machine_ = nullptr;
+  int modules_emitted_ = 0;  // registry slots covered so far (incl. 0)
+  std::string block_;
+  int cur_core_ = -1;
+  std::vector<uint64_t> last_addr_;
+  std::map<std::array<uint64_t, 7>, uint32_t> region_ids_;
+  uint64_t events_ = 0;
+};
+
+}  // namespace imoltp::trace
+
+#endif  // IMOLTP_TRACE_WRITER_H_

@@ -11,10 +11,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "core/experiment.h"
+#include "core/microbench.h"
+#include "core/tpcb.h"
+#include "core/tpcc.h"
 #include "engine/engine.h"
 #include "mcsim/profiler.h"
+#include "obs/report_json.h"
 
 namespace imoltp::tools {
 
@@ -33,7 +39,8 @@ struct Flags {
   bool csv = false;
   bool csv_header = false;
   bool list = false;
-  std::string json_path;  // --json=FILE; "-" = stdout; empty = off
+  std::string json_path;   // --json=FILE; "-" = stdout; empty = off
+  std::string trace_out;   // --trace-out=FILE; empty = no capture
 };
 
 /// Parses a byte-size flag value like "10MB", "1GB", "512KB", or a bare
@@ -122,6 +129,12 @@ inline bool ParseCommandLine(int argc, char* const* argv, Flags* flags,
         return false;
       }
       flags->json_path = v;
+    } else if (const char* v = value("--trace-out=")) {
+      if (*v == '\0') {
+        *error = "--trace-out= needs a file path";
+        return false;
+      }
+      flags->trace_out = v;
     } else if (arg == "--no-compilation") {
       flags->compilation = false;
     } else if (arg == "--csv") {
@@ -137,6 +150,71 @@ inline bool ParseCommandLine(int argc, char* const* argv, Flags* flags,
     }
   }
   return true;
+}
+
+/// Builds the ExperimentConfig and Workload one flag set describes —
+/// the construction logic shared by imoltp_run and imoltp_trace.
+/// Returns false with `error` set for an unknown engine or workload.
+inline bool BuildExperiment(const Flags& flags,
+                            core::ExperimentConfig* cfg,
+                            std::unique_ptr<core::Workload>* workload,
+                            std::string* error) {
+  engine::EngineKind kind;
+  if (!ParseEngine(flags.engine, &kind)) {
+    *error = "unknown engine: " + flags.engine;
+    return false;
+  }
+  cfg->engine = kind;
+  cfg->num_workers = flags.workers;
+  cfg->measure_txns = flags.txns;
+  cfg->warmup_txns = flags.warmup;
+  cfg->seed = flags.seed;
+  cfg->engine_options.compilation = flags.compilation;
+  cfg->engine_options.dbms_m_index = flags.index == "btree"
+                                         ? index::IndexKind::kBTreeCc
+                                         : index::IndexKind::kHash;
+
+  if (flags.workload.rfind("micro", 0) == 0) {
+    core::MicroConfig mcfg;
+    mcfg.nominal_bytes = flags.db_bytes;
+    mcfg.rows_per_txn = flags.rows;
+    mcfg.read_write = flags.workload == "micro-rw";
+    mcfg.string_columns = flags.workload == "micro-string";
+    mcfg.num_partitions = flags.workers;
+    *workload = std::make_unique<core::MicroBenchmark>(mcfg);
+  } else if (flags.workload == "tpcb") {
+    core::TpcbConfig tcfg;
+    tcfg.nominal_bytes = flags.db_bytes;
+    tcfg.num_partitions = flags.workers;
+    *workload = std::make_unique<core::TpcbBenchmark>(tcfg);
+  } else if (flags.workload == "tpcc") {
+    core::TpccConfig tcfg;
+    tcfg.warehouses = flags.warehouses;
+    tcfg.num_partitions = flags.workers;
+    // TPC-C range-scans; DBMS M uses its B-tree unless hash was forced.
+    cfg->engine_options.dbms_m_index = flags.index == "hash"
+                                           ? index::IndexKind::kHash
+                                           : index::IndexKind::kBTreeCc;
+    *workload = std::make_unique<core::TpccBenchmark>(tcfg);
+  } else {
+    *error = "unknown workload: " + flags.workload;
+    return false;
+  }
+  return true;
+}
+
+/// The meta half of a JSON report's RunInfo, filled from flags (the
+/// live-run half — aborts, trace provenance — is the caller's).
+inline void FillRunInfo(const Flags& flags, obs::RunInfo* info) {
+  info->engine = flags.engine;
+  info->workload = flags.workload;
+  info->db_bytes = flags.db_bytes;
+  info->rows = flags.rows;
+  info->warehouses = flags.warehouses;
+  info->workers = flags.workers;
+  info->warmup_txns = flags.warmup;
+  info->measure_txns = flags.txns;
+  info->seed = flags.seed;
 }
 
 /// One CSV column and the dotted path of the same value in the JSON

@@ -20,6 +20,8 @@
 // --metric-rtol/--ignore flags take precedence over all of them):
 //   meta, schema_version          exact — different run configurations
 //                                 are incomparable, not "drifted"
+//   meta.trace                    ignored — trace provenance names the
+//                                 file, not the run configuration
 //   window.misses                 rtol 0.05, atol 128 (ASLR perturbs
 //                                 cold-miss counts)
 //   window.stalls                 rtol 0.10, atol 0.5
@@ -30,6 +32,11 @@
 //   latency_cycles.bins           ignored — counts hop between adjacent
 //                                 log-spaced bins on tiny shifts
 //   everything else               default rtol (0.02)
+//
+// When either report has meta.trace.replayed == true, latency_cycles
+// and spans are ignored entirely: a replay re-simulates the recorded
+// reference stream without the engine, so it has no per-transaction
+// latency histogram or lifecycle spans, and their absence is not drift.
 
 #include <cmath>
 #include <cstdio>
@@ -66,6 +73,9 @@ struct Options {
 const ToleranceRule kBuiltinRules[] = {
     {"schema_version", 0.0, 0.0},
     {"meta", 0.0, 0.0},
+    // Trace provenance (schema v2) identifies the file, not the run:
+    // a recorded baseline and its replay must still compare clean.
+    {"meta.trace", -1.0, 0.0},
     {"window.misses", 0.05, 128.0},
     {"window.stalls", 0.10, 0.5},
     {"window.cycle_accounting", 0.05, 1000.0},
@@ -308,6 +318,23 @@ int main(int argc, char** argv) {
                  "are not comparable\n",
                  argv[0], bv->number, cv->number);
     return 2;
+  }
+
+  // Replayed reports (imoltp_trace replay --json) carry the window
+  // metrics but no engine-side sections; don't flag those as missing.
+  // Appended after the flag rules so an explicit --metric-rtol/--ignore
+  // of the same prefix still wins.
+  const auto is_replayed = [](const JsonValue& doc) {
+    const JsonValue* meta = doc.Find("meta");
+    const JsonValue* trace = meta != nullptr ? meta->Find("trace") : nullptr;
+    const JsonValue* rep =
+        trace != nullptr ? trace->Find("replayed") : nullptr;
+    return rep != nullptr && rep->type == JsonValue::Type::kBool &&
+           rep->boolean;
+  };
+  if (is_replayed(base.value()) || is_replayed(cand.value())) {
+    opts.user_rules.push_back({"latency_cycles", -1.0, 0.0});
+    opts.user_rules.push_back({"spans", -1.0, 0.0});
   }
 
   std::vector<std::string> failures;

@@ -6,6 +6,7 @@
 //   imoltp_run --engine=hyper --workload=micro --db=100GB --rows=10
 //   imoltp_run --engine=dbms-m --workload=tpcc --warehouses=8 --csv
 //   imoltp_run --engine=voltdb --workload=tpcc --json=report.json
+//   imoltp_run --engine=voltdb --trace-out=run.trace
 //
 // Flags:
 //   --engine=shore-mt|dbms-d|voltdb|hyper|dbms-m      (default voltdb)
@@ -21,18 +22,19 @@
 //   --seed=N
 //   --csv                one CSV row (+ header with --csv-header)
 //   --json=FILE          full JSON report ("-" = stdout)
+//   --trace-out=FILE     record the simulated reference stream for
+//                        later `imoltp_trace replay` (docs/tracing.md)
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "core/experiment.h"
-#include "core/microbench.h"
 #include "core/report.h"
-#include "core/tpcb.h"
-#include "core/tpcc.h"
 #include "obs/report_json.h"
 #include "tools/imoltp_cli.h"
+#include "trace/writer.h"
 
 using namespace imoltp;
 
@@ -47,7 +49,7 @@ int Usage(const char* argv0, const std::string& error) {
                "[--warmup=N]\n"
                "          [--index=hash|btree] [--no-compilation] "
                "[--seed=N] [--csv]\n"
-               "          [--json=FILE]\n"
+               "          [--json=FILE] [--trace-out=FILE]\n"
                "engines: shore-mt dbms-d voltdb hyper dbms-m\n"
                "workloads: micro micro-rw micro-string tpcb tpcc\n",
                argv0);
@@ -64,65 +66,67 @@ int main(int argc, char** argv) {
   }
   if (flags.list) return Usage(argv[0], "");
 
-  engine::EngineKind kind;
-  if (!tools::ParseEngine(flags.engine, &kind)) {
-    return Usage(argv[0], "unknown engine: " + flags.engine);
-  }
-
   core::ExperimentConfig cfg;
-  cfg.engine = kind;
-  cfg.num_workers = flags.workers;
-  cfg.measure_txns = flags.txns;
-  cfg.warmup_txns = flags.warmup;
-  cfg.seed = flags.seed;
-  cfg.engine_options.compilation = flags.compilation;
-  cfg.engine_options.dbms_m_index = flags.index == "btree"
-                                        ? index::IndexKind::kBTreeCc
-                                        : index::IndexKind::kHash;
-
   std::unique_ptr<core::Workload> workload;
-  if (flags.workload.rfind("micro", 0) == 0) {
-    core::MicroConfig mcfg;
-    mcfg.nominal_bytes = flags.db_bytes;
-    mcfg.rows_per_txn = flags.rows;
-    mcfg.read_write = flags.workload == "micro-rw";
-    mcfg.string_columns = flags.workload == "micro-string";
-    mcfg.num_partitions = flags.workers;
-    workload = std::make_unique<core::MicroBenchmark>(mcfg);
-  } else if (flags.workload == "tpcb") {
-    core::TpcbConfig tcfg;
-    tcfg.nominal_bytes = flags.db_bytes;
-    tcfg.num_partitions = flags.workers;
-    workload = std::make_unique<core::TpcbBenchmark>(tcfg);
-  } else if (flags.workload == "tpcc") {
-    core::TpccConfig tcfg;
-    tcfg.warehouses = flags.warehouses;
-    tcfg.num_partitions = flags.workers;
-    cfg.engine_options.dbms_m_index = flags.index == "hash"
-                                          ? index::IndexKind::kHash
-                                          : index::IndexKind::kBTreeCc;
-    workload = std::make_unique<core::TpccBenchmark>(tcfg);
-  } else {
-    return Usage(argv[0], "unknown workload: " + flags.workload);
+  if (!tools::BuildExperiment(flags, &cfg, &workload, &error)) {
+    return Usage(argv[0], error);
   }
 
   std::fprintf(stderr, "running %s / %s ...\n", flags.engine.c_str(),
                flags.workload.c_str());
-  core::ExperimentRunner runner(cfg, workload.get());
+
+  // When recording, the writer must attach before the database is
+  // populated: cache warm-up runs with simulation on, and a replay only
+  // reproduces the live counters if those events are in the trace.
+  trace::TraceWriter writer;
+  std::function<Status(mcsim::MachineSim*)> pre_populate;
+  if (!flags.trace_out.empty()) {
+    trace::TraceWriter::Options topts;
+    topts.engine = flags.engine;
+    topts.workload = flags.workload;
+    topts.seed = flags.seed;
+    topts.warmup_txns = flags.warmup;
+    topts.measure_txns = flags.txns;
+    topts.db_bytes = flags.db_bytes;
+    topts.rows = flags.rows;
+    topts.warehouses = flags.warehouses;
+    pre_populate = [&writer, &flags,
+                    topts](mcsim::MachineSim* machine) {
+      const Status s = writer.Open(flags.trace_out, *machine, topts);
+      if (!s.ok()) return s;
+      machine->SetTraceSink(&writer);
+      return Status::Ok();
+    };
+  }
+  core::ExperimentRunner runner(cfg, workload.get(), pre_populate);
+  if (!runner.init_status().ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 runner.init_status().ToString().c_str());
+    return 1;
+  }
+  if (!flags.trace_out.empty()) runner.set_trace_sink(&writer);
+
   const mcsim::WindowReport r = runner.Run(workload.get());
+
+  if (!flags.trace_out.empty()) {
+    runner.set_trace_sink(nullptr);
+    const Status s = writer.Finish();
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "recorded trace %s (%llu events) to %s\n",
+                 writer.trace_id().c_str(),
+                 static_cast<unsigned long long>(writer.events_written()),
+                 flags.trace_out.c_str());
+  }
 
   if (!flags.json_path.empty()) {
     obs::RunInfo info;
-    info.engine = flags.engine;
-    info.workload = flags.workload;
-    info.db_bytes = flags.db_bytes;
-    info.rows = flags.rows;
-    info.warehouses = flags.warehouses;
-    info.workers = flags.workers;
-    info.warmup_txns = flags.warmup;
-    info.measure_txns = flags.txns;
-    info.seed = flags.seed;
+    tools::FillRunInfo(flags, &info);
     info.aborts = runner.aborts();
+    info.trace_file_id = writer.trace_id();
+    info.replayed = false;
     const std::string json = obs::RunReportToJson(
         info, r, runner.machine()->config().cycle,
         &runner.latency_histogram(), &runner.spans());
