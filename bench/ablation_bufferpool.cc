@@ -8,7 +8,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   std::vector<core::ReportRow> rows;
 
   for (bool use_bp : {true, false}) {
@@ -21,7 +22,7 @@ int main() {
     core::ExperimentConfig cfg =
         bench::DefaultConfig(engine::EngineKind::kShoreMt);
     cfg.engine_options.use_bufferpool = use_bp;
-    const mcsim::WindowReport report = core::RunExperiment(cfg, &wl);
+    const mcsim::WindowReport report = bench::RunOnce(cfg, &wl);
     rows.push_back({use_bp ? "Shore-MT with buffer pool"
                            : "Shore-MT without buffer pool",
                     report});

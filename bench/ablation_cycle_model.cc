@@ -40,7 +40,8 @@ double RecomputeIpc(const mcsim::WindowReport& r,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   // Simulate every cell once.
   std::vector<Cell> cells;
   for (engine::EngineKind kind : bench::AllEngines()) {
@@ -53,8 +54,8 @@ int main() {
       mcfg.max_resident_rows = 1'000'000;
       core::MicroBenchmark wl(mcfg);
       core::ExperimentConfig cfg = bench::DefaultConfig(kind);
-      cfg.measure_txns = 4000;
-      cells.push_back({kind, huge, core::RunExperiment(cfg, &wl)});
+      cfg.measure_txns = bench::ScaleTxns(4000);
+      cells.push_back({kind, huge, bench::RunOnce(cfg, &wl)});
     }
   }
 

@@ -7,7 +7,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   std::vector<core::ReportRow> rows;
   double instr_stalls[2] = {0, 0};
 
@@ -20,7 +21,7 @@ int main() {
     core::ExperimentConfig cfg =
         bench::DefaultConfig(engine::EngineKind::kVoltDb);
     cfg.engine_options.single_site = single_site;
-    const mcsim::WindowReport report = core::RunExperiment(cfg, &wl);
+    const mcsim::WindowReport report = bench::RunOnce(cfg, &wl);
     rows.push_back(
         {single_site ? "VoltDB single-site" : "VoltDB multi-site path",
          report});

@@ -44,20 +44,123 @@ inline const std::vector<DbSizePoint>& DbSizes() {
   return kSizes;
 }
 
+/// Process-wide knobs shared by every figure binary, set once by
+/// ParseBenchArgs in main(). Figures default to kDeterministic so the
+/// exported JSON is reproducible run to run (and diffable with
+/// imoltp_diff); pass --mode=free for wall-clock speed when the exact
+/// counters don't matter.
+struct BenchOptions {
+  core::ParallelMode mode = core::ParallelMode::kDeterministic;
+  double txn_scale = 1.0;
+};
+
+inline BenchOptions& Options() {
+  static BenchOptions options;
+  return options;
+}
+
+/// Shared figure-binary flag parsing: --mode=serial|deterministic|free
+/// and --txn-scale=F (scales every warm-up/measurement window, for
+/// quick smoke runs). Unknown flags print usage and exit.
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mode=", 0) == 0) {
+      const std::string m = arg.substr(7);
+      if (m == "serial") {
+        Options().mode = core::ParallelMode::kSerial;
+      } else if (m == "deterministic") {
+        Options().mode = core::ParallelMode::kDeterministic;
+      } else if (m == "free") {
+        Options().mode = core::ParallelMode::kFree;
+      } else {
+        std::fprintf(stderr, "unknown --mode value: %s\n", m.c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--txn-scale=", 0) == 0) {
+      Options().txn_scale = std::atof(arg.c_str() + 12);
+      if (Options().txn_scale <= 0) {
+        std::fprintf(stderr, "--txn-scale must be positive\n");
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--mode=serial|deterministic|free] "
+                   "[--txn-scale=F]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+inline uint64_t ScaleTxns(uint64_t txns) {
+  const double scaled = static_cast<double>(txns) * Options().txn_scale;
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+}
+
 inline core::ExperimentConfig DefaultConfig(engine::EngineKind kind) {
   core::ExperimentConfig cfg;
   cfg.engine = kind;
-  cfg.warmup_txns = 2000;
-  cfg.measure_txns = 6000;
+  cfg.parallel_mode = Options().mode;
+  cfg.warmup_txns = ScaleTxns(2000);
+  cfg.measure_txns = ScaleTxns(6000);
   return cfg;
 }
 
 /// Smaller windows for heavy (100-row / TPC-C-scale) transactions.
 inline core::ExperimentConfig HeavyTxnConfig(engine::EngineKind kind) {
   core::ExperimentConfig cfg = DefaultConfig(kind);
-  cfg.warmup_txns = 400;
-  cfg.measure_txns = 1500;
+  cfg.warmup_txns = ScaleTxns(400);
+  cfg.measure_txns = ScaleTxns(1500);
   return cfg;
+}
+
+/// Builds a populated runner, exiting (with the failure on stderr) if
+/// database creation fails — figure binaries have no useful recovery.
+inline std::unique_ptr<core::ExperimentRunner> MakeRunner(
+    const core::ExperimentConfig& cfg, core::Workload* schema_source) {
+  auto runner = core::ExperimentRunner::Create(cfg, schema_source);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "ExperimentRunner::Create failed: %s\n",
+                 runner.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(runner.value());
+}
+
+/// Runs one measurement window, exiting on failure.
+inline mcsim::WindowReport RunWindow(core::ExperimentRunner& runner,
+                                     core::Workload* workload) {
+  auto report = runner.Run(workload);
+  if (!report.ok()) {
+    std::fprintf(stderr, "ExperimentRunner::Run failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *report;
+}
+
+/// One-shot populate + run, exiting on failure.
+inline mcsim::WindowReport RunOnce(const core::ExperimentConfig& cfg,
+                                   core::Workload* workload) {
+  auto report = core::RunExperiment(cfg, workload);
+  if (!report.ok()) {
+    std::fprintf(stderr, "RunExperiment failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *report;
+}
+
+/// The standard per-figure sweep loop: one callback per engine, with
+/// the progress line every figure used to hand-roll.
+template <typename Fn>
+inline void ForEachEngine(Fn&& fn) {
+  for (engine::EngineKind kind : AllEngines()) {
+    std::fprintf(stderr, "  running %s...\n",
+                 engine::EngineKindName(kind));
+    fn(kind);
+  }
 }
 
 inline std::string Label(engine::EngineKind kind, const std::string& sub) {

@@ -48,13 +48,13 @@ CellResult RunCell(engine::EngineKind kind,
   mcfg.max_resident_rows = 1'000'000;
   core::MicroBenchmark wl(mcfg);
   core::ExperimentConfig cfg = bench::DefaultConfig(kind);
-  cfg.measure_txns = 3000;
+  cfg.measure_txns = bench::ScaleTxns(3000);
   cfg.machine_config = machine;
-  core::ExperimentRunner runner(cfg, &wl);
+  auto runner = bench::MakeRunner(cfg, &wl);
 
-  const auto before = runner.machine()->core(0).counters();
-  const mcsim::WindowReport r = runner.Run(&wl);
-  const auto delta = runner.machine()->core(0).counters() - before;
+  const auto before = runner->machine()->core(0).counters();
+  const mcsim::WindowReport r = bench::RunWindow(*runner, &wl);
+  const auto delta = runner->machine()->core(0).counters() - before;
 
   CellResult out;
   out.ipc = r.ipc;
@@ -67,7 +67,8 @@ CellResult RunCell(engine::EngineKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader(
       "Extension",
       "Energy efficiency: big OoO core vs simple core (Section 8)");

@@ -15,12 +15,13 @@
 using namespace imoltp;
 using bench::DbSizePoint;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   std::vector<core::ReportRow> ipc_ro, ipc_rw;
   std::vector<core::ReportRow> stalls_ro, stalls_rw;
   std::vector<core::ReportRow> per_txn_ro, per_txn_rw;
 
-  for (engine::EngineKind kind : bench::AllEngines()) {
+  bench::ForEachEngine([&](engine::EngineKind kind) {
     for (const DbSizePoint& size : bench::DbSizes()) {
       core::MicroConfig ro_cfg;
       ro_cfg.nominal_bytes = size.nominal_bytes;
@@ -31,25 +32,25 @@ int main() {
       rw_cfg.read_write = true;
       core::MicroBenchmark rw(rw_cfg);
 
-      core::ExperimentRunner runner(bench::DefaultConfig(kind), &ro);
+      auto runner = bench::MakeRunner(bench::DefaultConfig(kind), &ro);
       const std::string label = bench::Label(kind, size.label);
-      std::fprintf(stderr, "  running %s...\n", label.c_str());
+      std::fprintf(stderr, "    %s...\n", size.label);
 
-      const mcsim::WindowReport ro_report = runner.Run(&ro);
+      const mcsim::WindowReport ro_report = bench::RunWindow(*runner, &ro);
       ipc_ro.push_back({label, ro_report});
       stalls_ro.push_back({label, ro_report});
       if (std::string(size.label) == "100GB") {
         per_txn_ro.push_back({label, ro_report});
       }
 
-      const mcsim::WindowReport rw_report = runner.Run(&rw);
+      const mcsim::WindowReport rw_report = bench::RunWindow(*runner, &rw);
       ipc_rw.push_back({label, rw_report});
       stalls_rw.push_back({label, rw_report});
       if (std::string(size.label) == "100GB") {
         per_txn_rw.push_back({label, rw_report});
       }
     }
-  }
+  });
 
   bench::PrintHeader("Figure 1", "IPC vs database size (read-only)");
   core::PrintIpc("Read-only micro-benchmark, 1 row/txn", ipc_ro);

@@ -10,7 +10,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   constexpr uint64_t kNominal = 100ULL << 30;
   constexpr uint64_t kResidentRows = 2'000'000;
   const int kRowCounts[] = {1, 10, 100};
@@ -19,18 +20,17 @@ int main() {
   std::vector<core::ReportRow> stalls_ro, stalls_rw;
   std::vector<core::ReportRow> txn_ro, txn_rw;
 
-  for (engine::EngineKind kind : bench::AllEngines()) {
+  bench::ForEachEngine([&](engine::EngineKind kind) {
     // One populated 100GB database per engine; six windows on it.
     core::MicroConfig base;
     base.nominal_bytes = kNominal;
     base.max_resident_rows = kResidentRows;
     core::MicroBenchmark schema_source(base);
-    core::ExperimentRunner runner(bench::HeavyTxnConfig(kind),
-                                  &schema_source);
+    auto runner =
+        bench::MakeRunner(bench::HeavyTxnConfig(kind), &schema_source);
 
     for (int rows : kRowCounts) {
-      std::fprintf(stderr, "  running %s, %d rows...\n",
-                   engine::EngineKindName(kind), rows);
+      std::fprintf(stderr, "    %d rows...\n", rows);
       core::MicroConfig cfg = base;
       cfg.rows_per_txn = rows;
       core::MicroBenchmark ro(cfg);
@@ -39,17 +39,17 @@ int main() {
 
       const std::string label =
           bench::Label(kind, std::to_string(rows) + " rows");
-      const mcsim::WindowReport ro_report = runner.Run(&ro);
+      const mcsim::WindowReport ro_report = bench::RunWindow(*runner, &ro);
       ipc_ro.push_back({label, ro_report});
       stalls_ro.push_back({label, ro_report});
       txn_ro.push_back({label, ro_report});
 
-      const mcsim::WindowReport rw_report = runner.Run(&rw);
+      const mcsim::WindowReport rw_report = bench::RunWindow(*runner, &rw);
       ipc_rw.push_back({label, rw_report});
       stalls_rw.push_back({label, rw_report});
       txn_rw.push_back({label, rw_report});
     }
-  }
+  });
 
   bench::PrintHeader("Figure 4",
                      "IPC vs rows read per transaction (100GB)");

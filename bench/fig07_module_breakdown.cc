@@ -6,7 +6,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   constexpr uint64_t kNominal = 100ULL << 30;
   const engine::EngineKind kEngines[] = {engine::EngineKind::kDbmsD,
                                          engine::EngineKind::kVoltDb,
@@ -21,15 +22,15 @@ int main() {
     base.nominal_bytes = kNominal;
     base.max_resident_rows = 2'000'000;
     core::MicroBenchmark schema_source(base);
-    core::ExperimentRunner runner(bench::HeavyTxnConfig(kind),
-                                  &schema_source);
+    auto runner =
+        bench::MakeRunner(bench::HeavyTxnConfig(kind), &schema_source);
     for (int rows : kRowCounts) {
       std::fprintf(stderr, "  running %s, %d rows...\n",
                    engine::EngineKindName(kind), rows);
       core::MicroConfig cfg = base;
       cfg.rows_per_txn = rows;
       core::MicroBenchmark wl(cfg);
-      const mcsim::WindowReport report = runner.Run(&wl);
+      const mcsim::WindowReport report = bench::RunWindow(*runner, &wl);
       const std::string label =
           bench::Label(kind, std::to_string(rows) + " rows");
       shares.push_back({label, report});

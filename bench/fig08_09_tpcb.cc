@@ -10,23 +10,22 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   std::vector<core::ReportRow> ipc, stalls, per_txn;
 
-  for (engine::EngineKind kind : bench::AllEngines()) {
-    std::fprintf(stderr, "  running %s...\n",
-                 engine::EngineKindName(kind));
+  bench::ForEachEngine([&](engine::EngineKind kind) {
     core::TpcbConfig tcfg;
     tcfg.nominal_bytes = 100ULL << 30;
     tcfg.max_resident_accounts = 2'000'000;
     core::TpcbBenchmark wl(tcfg);
     const mcsim::WindowReport report =
-        core::RunExperiment(bench::DefaultConfig(kind), &wl);
+        bench::RunOnce(bench::DefaultConfig(kind), &wl);
     const std::string label(engine::EngineKindName(kind));
     ipc.push_back({label, report});
     stalls.push_back({label, report});
     per_txn.push_back({label, report});
-  }
+  });
 
   bench::PrintHeader("Figure 8", "TPC-B IPC (100GB)");
   core::PrintIpc("TPC-B AccountUpdate", ipc);

@@ -12,23 +12,22 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   std::vector<core::ReportRow> ipc, stalls, per_txn;
 
-  for (engine::EngineKind kind : bench::AllEngines()) {
-    std::fprintf(stderr, "  running %s...\n",
-                 engine::EngineKindName(kind));
+  bench::ForEachEngine([&](engine::EngineKind kind) {
     core::TpccConfig tcfg;  // 8 warehouses, spread to full-scale density
     core::TpccBenchmark wl(tcfg);
     core::ExperimentConfig cfg = bench::HeavyTxnConfig(kind);
-    cfg.measure_txns = 2500;
+    cfg.measure_txns = bench::ScaleTxns(2500);
     cfg.engine_options.dbms_m_index = index::IndexKind::kBTreeCc;
-    const mcsim::WindowReport report = core::RunExperiment(cfg, &wl);
+    const mcsim::WindowReport report = bench::RunOnce(cfg, &wl);
     const std::string label(engine::EngineKindName(kind));
     ipc.push_back({label, report});
     stalls.push_back({label, report});
     per_txn.push_back({label, report});
-  }
+  });
 
   bench::PrintHeader("Figure 10", "TPC-C IPC (100GB-scale)");
   core::PrintIpc("TPC-C standard mix", ipc);

@@ -9,7 +9,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   constexpr uint64_t kNominal = 100ULL << 30;
   struct Cell {
     const char* label;
@@ -38,9 +39,9 @@ int main() {
         bench::HeavyTxnConfig(engine::EngineKind::kDbmsM);
     cfg.engine_options.dbms_m_index = cell.index;
     cfg.engine_options.compilation = cell.compilation;
-    core::ExperimentRunner runner(cfg, &ro);
-    ro_rows.push_back({cell.label, runner.Run(&ro)});
-    rw_rows.push_back({cell.label, runner.Run(&rw)});
+    auto runner = bench::MakeRunner(cfg, &ro);
+    ro_rows.push_back({cell.label, bench::RunWindow(*runner, &ro)});
+    rw_rows.push_back({cell.label, bench::RunWindow(*runner, &rw)});
   }
 
   bench::PrintHeader(

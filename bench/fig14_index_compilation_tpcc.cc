@@ -8,7 +8,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   struct Cell {
     const char* label;
     index::IndexKind index;
@@ -28,12 +29,12 @@ int main() {
     core::TpccBenchmark wl(tcfg);
     core::ExperimentConfig cfg =
         bench::HeavyTxnConfig(engine::EngineKind::kDbmsM);
-    cfg.measure_txns = 2500;
+    cfg.measure_txns = bench::ScaleTxns(2500);
     // "Hash" configures the point indexes; scan-dependent tables keep an
     // ordered structure in either case (the engine promotes them).
     cfg.engine_options.dbms_m_index = cell.index;
     cfg.engine_options.compilation = cell.compilation;
-    rows.push_back({cell.label, core::RunExperiment(cfg, &wl)});
+    rows.push_back({cell.label, bench::RunOnce(cfg, &wl)});
   }
 
   bench::PrintHeader("Figure 14",

@@ -8,7 +8,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   constexpr uint64_t kNominal = 100ULL << 30;
   const engine::EngineKind kEngines[] = {engine::EngineKind::kVoltDb,
                                          engine::EngineKind::kHyPer,
@@ -28,11 +29,11 @@ int main() {
       mcfg.read_write = true;
       core::MicroBenchmark rw(mcfg);
 
-      core::ExperimentRunner runner(bench::DefaultConfig(kind), &ro);
+      auto runner = bench::MakeRunner(bench::DefaultConfig(kind), &ro);
       const std::string label =
           bench::Label(kind, strings ? "String" : "Long");
-      ro_rows.push_back({label, runner.Run(&ro)});
-      rw_rows.push_back({label, runner.Run(&rw)});
+      ro_rows.push_back({label, bench::RunWindow(*runner, &ro)});
+      rw_rows.push_back({label, bench::RunWindow(*runner, &rw)});
     }
   }
 

@@ -10,7 +10,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   const engine::EngineKind kEngines[] = {
       engine::EngineKind::kShoreMt, engine::EngineKind::kDbmsD,
       engine::EngineKind::kVoltDb, engine::EngineKind::kDbmsM};
@@ -27,9 +28,9 @@ int main() {
     core::MicroBenchmark wl(mcfg);
     core::ExperimentConfig cfg = bench::DefaultConfig(kind);
     cfg.num_workers = kWorkers;
-    cfg.measure_txns = 3000;  // per worker
-    rows.push_back({engine::EngineKindName(kind),
-                    core::RunExperiment(cfg, &wl)});
+    cfg.measure_txns = bench::ScaleTxns(3000);  // per worker
+    rows.push_back(
+        {engine::EngineKindName(kind), bench::RunOnce(cfg, &wl)});
   }
 
   bench::PrintHeader("Figure 16",

@@ -10,7 +10,8 @@
 
 using namespace imoltp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   const engine::EngineKind kEngines[] = {
       engine::EngineKind::kShoreMt, engine::EngineKind::kDbmsD,
       engine::EngineKind::kVoltDb, engine::EngineKind::kDbmsM};
@@ -25,10 +26,10 @@ int main() {
     core::TpccBenchmark wl(tcfg);
     core::ExperimentConfig cfg = bench::HeavyTxnConfig(kind);
     cfg.num_workers = kWorkers;
-    cfg.measure_txns = 1200;  // per worker
+    cfg.measure_txns = bench::ScaleTxns(1200);  // per worker
     cfg.engine_options.dbms_m_index = index::IndexKind::kBTreeCc;
-    rows.push_back({engine::EngineKindName(kind),
-                    core::RunExperiment(cfg, &wl)});
+    rows.push_back(
+        {engine::EngineKindName(kind), bench::RunOnce(cfg, &wl)});
   }
 
   bench::PrintHeader("Figure 17", "Multi-threaded TPC-C IPC (4 workers)");

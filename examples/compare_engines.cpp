@@ -37,8 +37,13 @@ int main(int argc, char** argv) {
 
       core::ExperimentConfig cfg;
       cfg.engine = kind;
-      rows.push_back({engine::EngineKindName(kind),
-                      core::RunExperiment(cfg, &workload)});
+      const auto report = core::RunExperiment(cfg, &workload);
+      if (!report.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      rows.push_back({engine::EngineKindName(kind), *report});
     }
     std::printf("\n########## database size: %s ##########\n",
                 imoltp::FormatBytes(nominal).c_str());

@@ -103,8 +103,13 @@ int main(int argc, char** argv) {
   SessionStoreWorkload workload(mb << 20, 2'000'000);
   core::ExperimentConfig cfg;
   cfg.engine = kind;
-  const mcsim::WindowReport report =
-      core::RunExperiment(cfg, &workload);
+  const auto run = core::RunExperiment(cfg, &workload);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const mcsim::WindowReport report = *run;
 
   core::ReportRow row{std::string(engine::EngineKindName(kind)) + " " +
                           std::to_string(mb) + "MB",

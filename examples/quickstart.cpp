@@ -43,11 +43,22 @@ int main(int argc, char** argv) {
   // 2. Pick the engine archetype and run: populate, warm up, measure.
   core::ExperimentConfig cfg;
   cfg.engine = kind;
-  core::ExperimentRunner runner(cfg, &workload);
-  const mcsim::WindowReport report = runner.Run(&workload);
+  auto runner = core::ExperimentRunner::Create(cfg, &workload);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 runner.status().ToString().c_str());
+    return 1;
+  }
+  const auto run = (*runner)->Run(&workload);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const mcsim::WindowReport report = *run;
 
   // 3. Read the counters like a VTune session.
-  std::printf("engine           : %s\n", runner.engine()->name());
+  std::printf("engine           : %s\n", (*runner)->engine()->name());
   std::printf("database         : %lluMB (%llu rows)\n",
               static_cast<unsigned long long>(mb),
               static_cast<unsigned long long>(workload.num_rows()));

@@ -77,11 +77,23 @@ int main(int argc, char** argv) {
 
     std::printf("populating %d warehouses on %s...\n", tcfg.warehouses,
                 engine::EngineKindName(kind));
-    core::ExperimentRunner runner(cfg, &workload);
-    const mcsim::WindowReport report = runner.Run(&workload);
+    auto created = core::ExperimentRunner::Create(cfg, &workload);
+    if (!created.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    core::ExperimentRunner& runner = **created;
+    const auto run = runner.Run(&workload);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const mcsim::WindowReport report = *run;
     rows.push_back({engine::EngineKindName(kind), report});
 
-    const auto& mix = workload.mix_counts();
+    const auto mix = workload.mix_counts();
     std::printf(
         "  mix: %llu new-order, %llu payment, %llu order-status, "
         "%llu delivery, %llu stock-level\n",

@@ -5,13 +5,27 @@
 # schema-versioned JSON report there for archival and imoltp_diff
 # regression comparison (docs/OBSERVABILITY.md).
 #
-#   scripts/run_all_bench.sh [build-dir] [json-dir]
+#   scripts/run_all_bench.sh [-jN] [build-dir] [json-dir]
 #
-#   scripts/run_all_bench.sh                # build/, no JSON export
-#   scripts/run_all_bench.sh build reports/ # archive JSON per figure
+#   scripts/run_all_bench.sh                    # build/, no JSON export
+#   scripts/run_all_bench.sh build reports/     # archive JSON per figure
+#   scripts/run_all_bench.sh -j4 build reports/ # 4 figures at a time
+#
+# With -jN, up to N figure binaries run concurrently on spare host
+# cores. Each binary's output goes to a temp file and is concatenated
+# in name order afterwards, so bench_output.txt is byte-stable
+# regardless of N (each binary is internally deterministic — the
+# default ParallelMode is kDeterministic; see
+# docs/parallel_execution.md).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS=1
+if [[ "${1:-}" =~ ^-j([0-9]+)$ ]]; then
+  JOBS="${BASH_REMATCH[1]}"
+  shift
+fi
 BUILD="${1:-build}"
 JSON_DIR="${2:-}"
 
@@ -26,9 +40,43 @@ if [ -n "$JSON_DIR" ]; then
   export IMOLTP_JSON_DIR="$JSON_DIR"
 fi
 
+if [ "$JOBS" -le 1 ]; then
+  for b in "$BUILD"/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  done 2>&1 | tee bench_output.txt
+  exit 0
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+bins=()
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
-  echo "===== $(basename "$b") ====="
-  "$b"
-  echo
-done 2>&1 | tee bench_output.txt
+  bins+=("$b")
+done
+
+running=0
+fail=0
+for b in "${bins[@]}"; do
+  if [ "$running" -ge "$JOBS" ]; then
+    wait -n || fail=1
+    running=$((running - 1))
+  fi
+  {
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  } > "$TMP/$(basename "$b").out" 2>&1 &
+  running=$((running + 1))
+done
+while [ "$running" -gt 0 ]; do
+  wait -n || fail=1
+  running=$((running - 1))
+done
+
+cat "$TMP"/*.out | tee bench_output.txt
+exit "$fail"

@@ -1,40 +1,161 @@
 #include "core/experiment.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 namespace imoltp::core {
 
-ExperimentRunner::ExperimentRunner(const ExperimentConfig& config,
-                                   Workload* schema_source)
-    : ExperimentRunner(config, schema_source, nullptr) {}
+namespace {
 
-ExperimentRunner::ExperimentRunner(
-    const ExperimentConfig& config, Workload* schema_source,
-    const std::function<Status(mcsim::MachineSim*)>& pre_populate)
-    : config_(config) {
-  mcsim::MachineConfig mc = config.machine_config;
-  mc.num_cores = config.num_workers;
-  machine_ = std::make_unique<mcsim::MachineSim>(mc);
+/// Token-passing barrier for ParallelMode::kDeterministic: worker w may
+/// run its next transaction only while holding the token, which cycles
+/// 0, 1, ..., W-1, 0, ... — so the global execution order is exactly
+/// the serial nested loop's (transaction t on worker 0, then 1, ...).
+/// The mutex hand-off also sequences every access to shared runner
+/// state (histogram, abort counter) between workers.
+class Turnstile {
+ public:
+  explicit Turnstile(int workers) : workers_(workers) {}
 
-  engine::EngineOptions opts = config.engine_options;
-  opts.num_partitions = config.num_workers;
-  engine_ = engine::CreateEngine(config.engine, machine_.get(), opts);
-
-  if (pre_populate != nullptr) {
-    init_status_ = pre_populate(machine_.get());
-    if (!init_status_.ok()) return;
+  void Await(int worker) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return turn_ == worker; });
   }
 
-  const Status s = engine_->CreateDatabase(schema_source->Tables());
-  if (!s.ok()) {
-    std::fprintf(stderr, "CreateDatabase(%s) failed: %s\n",
-                 engine_->name(), s.ToString().c_str());
-    std::abort();
+  void Advance() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      turn_ = (turn_ + 1) % workers_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  const int workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int turn_ = 0;
+};
+
+}  // namespace
+
+const char* ParallelModeName(ParallelMode mode) {
+  switch (mode) {
+    case ParallelMode::kSerial:
+      return "serial";
+    case ParallelMode::kDeterministic:
+      return "deterministic";
+    case ParallelMode::kFree:
+      return "free";
+  }
+  return "?";
+}
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
+    : config_(config) {}
+
+StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
+    const ExperimentConfig& config, Workload* schema_source) {
+  std::unique_ptr<ExperimentRunner> runner(new ExperimentRunner(config));
+  const Status s = runner->Init(schema_source);
+  if (!s.ok()) return s;
+  return runner;
+}
+
+Status ExperimentRunner::Init(Workload* schema_source) {
+  mcsim::MachineConfig mc = config_.machine_config;
+  mc.num_cores = config_.num_workers;
+  machine_ = std::make_unique<mcsim::MachineSim>(mc);
+
+  engine::EngineOptions opts = config_.engine_options;
+  opts.num_partitions = config_.num_workers;
+  engine_ = engine::CreateEngine(config_.engine, machine_.get(), opts);
+
+  if (config_.hooks.pre_populate) {
+    const Status s = config_.hooks.pre_populate(machine_.get());
+    if (!s.ok()) return s;
+  }
+  return engine_->CreateDatabase(schema_source->Tables());
+}
+
+void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
+                                uint64_t txns, std::vector<Rng>* rngs,
+                                bool measure) {
+  const int workers = config_.num_workers;
+  const mcsim::CycleModelParams& params = machine_->config().cycle;
+
+  // One worker-transaction. Latency/abort accounting goes to the given
+  // sinks: the shared members for the serialized modes (every access is
+  // ordered by program order or the turnstile mutex), per-worker locals
+  // for kFree.
+  auto body = [&](int w, obs::LatencyHistogram* lat, uint64_t* aborts) {
+    Rng* rng = &(*rngs)[w];
+    if (!measure) {
+      (void)workload->RunTransaction(engine_.get(), w, rng);
+      return;
+    }
+    const mcsim::ModuleCounters before =
+        mcsim::AggregateCounters(machine_->core(w).counters());
+    const Status s = workload->RunTransaction(engine_.get(), w, rng);
+    if (!s.ok()) ++*aborts;
+    const mcsim::ModuleCounters delta =
+        mcsim::AggregateCounters(machine_->core(w).counters()) - before;
+    lat->Add(mcsim::SimulatedCycles(delta, params));
+  };
+
+  switch (mode) {
+    case ParallelMode::kSerial: {
+      for (uint64_t t = 0; t < txns; ++t) {
+        for (int w = 0; w < workers; ++w) {
+          body(w, &latency_, &aborts_);
+        }
+      }
+      return;
+    }
+    case ParallelMode::kDeterministic: {
+      Turnstile turnstile(workers);
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          for (uint64_t t = 0; t < txns; ++t) {
+            turnstile.Await(w);
+            body(w, &latency_, &aborts_);
+            turnstile.Advance();
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      return;
+    }
+    case ParallelMode::kFree: {
+      std::vector<obs::LatencyHistogram> local_lat(workers);
+      std::vector<uint64_t> local_aborts(workers, 0);
+      machine_->SetFreeRunning(true);
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          for (uint64_t t = 0; t < txns; ++t) {
+            body(w, &local_lat[w], &local_aborts[w]);
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      machine_->SetFreeRunning(false);
+      // Merge in worker order so repeated runs at least merge
+      // identically-shaped state the same way.
+      for (int w = 0; w < workers; ++w) {
+        latency_.Merge(local_lat[w]);
+        aborts_ += local_aborts[w];
+      }
+      return;
+    }
   }
 }
 
-mcsim::WindowReport ExperimentRunner::Run(Workload* workload) {
+StatusOr<mcsim::WindowReport> ExperimentRunner::Run(Workload* workload) {
   const int workers = config_.num_workers;
   std::vector<Rng> rngs;
   rngs.reserve(workers);
@@ -43,11 +164,20 @@ mcsim::WindowReport ExperimentRunner::Run(Workload* workload) {
   }
   ++runs_;
 
+  // A single worker needs no host threads, and an attached trace sink
+  // requires the one totally-ordered event stream only serial
+  // execution produces.
+  ParallelMode mode = config_.parallel_mode;
+  if (workers <= 1 || trace_sink_ != nullptr) {
+    mode = ParallelMode::kSerial;
+  }
+
   // Warm-up: simulation on (caches fill), profiler not yet attached.
-  for (uint64_t t = 0; t < config_.warmup_txns; ++t) {
-    for (int w = 0; w < workers; ++w) {
-      (void)workload->RunTransaction(engine_.get(), w, &rngs[w]);
-    }
+  RunPhase(workload, mode, config_.warmup_txns, &rngs, /*measure=*/false);
+
+  if (config_.hooks.post_warmup) {
+    const Status s = config_.hooks.post_warmup(machine_.get());
+    if (!s.ok()) return s;
   }
 
   // Measurement window, filtered to the worker cores. Lifecycle spans
@@ -57,30 +187,18 @@ mcsim::WindowReport ExperimentRunner::Run(Workload* workload) {
   for (int w = 0; w < workers; ++w) cores.push_back(w);
   engine_->span_collector()->Reset();
   latency_.Reset();
-  const mcsim::CycleModelParams& params = machine_->config().cycle;
   if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/true);
   profiler.BeginWindow(cores);
-  for (uint64_t t = 0; t < config_.measure_txns; ++t) {
-    for (int w = 0; w < workers; ++w) {
-      const mcsim::ModuleCounters before =
-          mcsim::AggregateCounters(machine_->core(w).counters());
-      const Status s =
-          workload->RunTransaction(engine_.get(), w, &rngs[w]);
-      if (!s.ok()) ++aborts_;
-      const mcsim::ModuleCounters delta =
-          mcsim::AggregateCounters(machine_->core(w).counters()) -
-          before;
-      latency_.Add(mcsim::SimulatedCycles(delta, params));
-    }
-  }
+  RunPhase(workload, mode, config_.measure_txns, &rngs, /*measure=*/true);
   if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/false);
   return profiler.EndWindow();
 }
 
-mcsim::WindowReport RunExperiment(const ExperimentConfig& config,
-                                  Workload* workload) {
-  ExperimentRunner runner(config, workload);
-  return runner.Run(workload);
+StatusOr<mcsim::WindowReport> RunExperiment(const ExperimentConfig& config,
+                                            Workload* workload) {
+  auto runner = ExperimentRunner::Create(config, workload);
+  if (!runner.ok()) return runner.status();
+  return (*runner)->Run(workload);
 }
 
 }  // namespace imoltp::core

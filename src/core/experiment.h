@@ -14,18 +14,53 @@
 
 namespace imoltp::core {
 
+/// How the per-worker transaction loops execute on the host. See
+/// docs/parallel_execution.md for the full threading model and
+/// determinism contract.
+enum class ParallelMode {
+  /// Legacy nested loop on the calling thread: transaction t runs on
+  /// worker 0, then 1, ... then W-1 before t+1 starts. The historical
+  /// reference interleaving.
+  kSerial,
+  /// One host thread per simulated core, turnstile-stepped so the
+  /// global transaction order is exactly kSerial's. Counters, spans,
+  /// latencies and trace replays are bit-identical to kSerial.
+  kDeterministic,
+  /// One free-running host thread per simulated core: full wall-clock
+  /// speed, data-race-free, but the interleaving (and therefore exact
+  /// counter values) varies run to run.
+  kFree,
+};
+
+const char* ParallelModeName(ParallelMode mode);
+
+/// Optional callouts into the runner's build/run lifecycle.
+struct ExperimentHooks {
+  /// Runs after the machine and engine exist (module table registered,
+  /// zero counters, cold caches) but before the database is populated
+  /// and the caches warmed — the only point where a TraceWriter can
+  /// open and attach so that every simulated event reaches the trace.
+  /// A failure aborts Create().
+  std::function<Status(mcsim::MachineSim*)> pre_populate;
+  /// Runs after the warm-up loop, before the profiler attaches. A
+  /// failure aborts that Run() call.
+  std::function<Status(mcsim::MachineSim*)> post_warmup;
+};
+
 /// Everything that parameterizes one measured run: the engine archetype,
 /// worker count (== simulated cores == partitions for the partitioned
-/// engines), warm-up and measurement windows (per worker), and the
-/// engine/machine options.
+/// engines), warm-up and measurement windows (per worker), the
+/// engine/machine options, and the host-parallelism mode.
 struct ExperimentConfig {
   engine::EngineKind engine = engine::EngineKind::kShoreMt;
   int num_workers = 1;
   uint64_t warmup_txns = 2000;   // per worker, profiler detached
   uint64_t measure_txns = 6000;  // per worker, profiler attached
   uint64_t seed = 42;
+  ParallelMode parallel_mode = ParallelMode::kDeterministic;
   engine::EngineOptions engine_options;
   mcsim::MachineConfig machine_config;
+  ExperimentHooks hooks;
 };
 
 /// Builds a machine + engine + populated database once and runs measured
@@ -35,29 +70,22 @@ struct ExperimentConfig {
 /// share a populated database).
 class ExperimentRunner {
  public:
-  /// Creates the engine and populates the database from `schema_source`'s
-  /// table definitions.
-  ExperimentRunner(const ExperimentConfig& config, Workload* schema_source);
-
-  /// Trace-capture variant: `pre_populate` runs after the machine and
-  /// engine exist (module table registered, zero counters, cold caches)
-  /// but before the database is populated and the caches warmed — the
-  /// only point where a TraceWriter can open and attach so that every
-  /// simulated event reaches the trace. A failure lands in
-  /// init_status() and skips population.
-  ExperimentRunner(
-      const ExperimentConfig& config, Workload* schema_source,
-      const std::function<Status(mcsim::MachineSim*)>& pre_populate);
-
-  /// Ok unless a pre_populate hook failed during construction.
-  const Status& init_status() const { return init_status_; }
+  /// Creates the engine, runs the pre_populate hook (if any), and
+  /// populates the database from `schema_source`'s table definitions.
+  /// Returns the first failure instead of a runner.
+  static StatusOr<std::unique_ptr<ExperimentRunner>> Create(
+      const ExperimentConfig& config, Workload* schema_source);
 
   ExperimentRunner(const ExperimentRunner&) = delete;
   ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
   /// Warm-up (profiler detached) then measurement window (attached).
-  /// Returns the paper's per-worker-averaged metrics.
-  mcsim::WindowReport Run(Workload* workload);
+  /// Returns the paper's per-worker-averaged metrics, or the first
+  /// post_warmup hook failure. With num_workers > 1 the windows run
+  /// one host thread per simulated core, scheduled per
+  /// config.parallel_mode; a single worker or an attached trace sink
+  /// always runs serially on the calling thread.
+  StatusOr<mcsim::WindowReport> Run(Workload* workload);
 
   engine::Engine* engine() { return engine_.get(); }
   mcsim::MachineSim* machine() { return machine_.get(); }
@@ -67,6 +95,8 @@ class ExperimentRunner {
   /// Run() bracket each measurement window with window markers, so a
   /// replay can reproduce the WindowReport. Attach before the first
   /// Run(): capture determinism assumes cold caches and zero counters.
+  /// While a sink is attached Run() executes serially — the trace
+  /// stream is a single totally-ordered event sequence.
   void set_trace_sink(mcsim::TraceSink* sink) {
     trace_sink_ = sink;
     machine_->SetTraceSink(sink);
@@ -86,19 +116,29 @@ class ExperimentRunner {
   }
 
  private:
+  explicit ExperimentRunner(const ExperimentConfig& config);
+
+  /// Builds machine + engine, runs hooks.pre_populate, populates.
+  Status Init(Workload* schema_source);
+
+  /// Runs `txns` transactions per worker under `mode`. When `measure`
+  /// is set, per-transaction latencies land in latency_ and failures
+  /// in aborts_ (merged in worker order for kFree).
+  void RunPhase(Workload* workload, ParallelMode mode, uint64_t txns,
+                std::vector<Rng>* rngs, bool measure);
+
   ExperimentConfig config_;
   std::unique_ptr<mcsim::MachineSim> machine_;
   std::unique_ptr<engine::Engine> engine_;
   obs::LatencyHistogram latency_;
-  Status init_status_;
   mcsim::TraceSink* trace_sink_ = nullptr;
   uint64_t aborts_ = 0;
   uint64_t runs_ = 0;
 };
 
 /// One-shot convenience: build, populate, run.
-mcsim::WindowReport RunExperiment(const ExperimentConfig& config,
-                                  Workload* workload);
+StatusOr<mcsim::WindowReport> RunExperiment(const ExperimentConfig& config,
+                                            Workload* workload);
 
 }  // namespace imoltp::core
 

@@ -1,6 +1,8 @@
 #ifndef IMOLTP_CORE_TPCB_H_
 #define IMOLTP_CORE_TPCB_H_
 
+#include <atomic>
+
 #include "core/workload.h"
 
 namespace imoltp::core {
@@ -44,7 +46,7 @@ class TpcbBenchmark final : public Workload {
   uint64_t tellers_;
   uint64_t accounts_;
   uint64_t accounts_per_branch_;
-  uint64_t history_counter_ = 0;
+  std::atomic<uint64_t> history_counter_{0};
 };
 
 }  // namespace imoltp::core

@@ -1,6 +1,8 @@
 #ifndef IMOLTP_CORE_TPCC_H_
 #define IMOLTP_CORE_TPCC_H_
 
+#include <atomic>
+
 #include "core/workload.h"
 
 namespace imoltp::core {
@@ -92,7 +94,9 @@ class TpccBenchmark final : public Workload {
   static constexpr int kCustomerByName = 0;  // secondary id on Customer
   static constexpr int kOrderByCustomer = 0;  // secondary id on Order
 
-  /// Counters for mix accounting (testing/reporting hook).
+  /// Counters for mix accounting (testing/reporting hook). Returned as
+  /// a plain snapshot; the live counters are atomics so concurrent
+  /// workers can bump them.
   struct MixCounts {
     uint64_t new_order = 0;
     uint64_t payment = 0;
@@ -100,7 +104,15 @@ class TpccBenchmark final : public Workload {
     uint64_t delivery = 0;
     uint64_t stock_level = 0;
   };
-  const MixCounts& mix_counts() const { return mix_; }
+  MixCounts mix_counts() const {
+    MixCounts c;
+    c.new_order = mix_.new_order.load(std::memory_order_relaxed);
+    c.payment = mix_.payment.load(std::memory_order_relaxed);
+    c.order_status = mix_.order_status.load(std::memory_order_relaxed);
+    c.delivery = mix_.delivery.load(std::memory_order_relaxed);
+    c.stock_level = mix_.stock_level.load(std::memory_order_relaxed);
+    return c;
+  }
 
  private:
   Status RunNewOrder(engine::Engine* engine, int worker, Rng* rng,
@@ -119,9 +131,17 @@ class TpccBenchmark final : public Workload {
 
   engine::TxnRequest Request(int type, uint64_t w) const;
 
+  struct AtomicMixCounts {
+    std::atomic<uint64_t> new_order{0};
+    std::atomic<uint64_t> payment{0};
+    std::atomic<uint64_t> order_status{0};
+    std::atomic<uint64_t> delivery{0};
+    std::atomic<uint64_t> stock_level{0};
+  };
+
   TpccConfig config_;
-  uint64_t history_counter_ = 0;
-  MixCounts mix_;
+  std::atomic<uint64_t> history_counter_{0};
+  AtomicMixCounts mix_;
 };
 
 }  // namespace imoltp::core

@@ -1,6 +1,7 @@
 #ifndef IMOLTP_ENGINE_DISK_ENGINE_H_
 #define IMOLTP_ENGINE_DISK_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -54,7 +55,7 @@ class DiskEngine final : public EngineBase {
   mcsim::CodeRegion heap_direct_;  // buffer-pool ablation
 
   txn::LockManager lock_manager_;
-  uint64_t next_txn_ = 0;
+  std::atomic<uint64_t> next_txn_{0};
 };
 
 }  // namespace imoltp::engine

@@ -10,7 +10,7 @@ EngineBase::EngineBase(mcsim::MachineSim* machine,
                        const EngineOptions& options)
     : machine_(machine),
       options_(options),
-      spans_(&machine->config().cycle) {
+      spans_(&machine->config().cycle, machine->num_cores()) {
   logs_.reserve(machine_->num_cores());
   for (int i = 0; i < machine_->num_cores(); ++i) {
     logs_.push_back(std::make_unique<txn::LogManager>());

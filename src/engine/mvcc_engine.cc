@@ -54,12 +54,11 @@ class MvccEngine::Ctx final : public TxnContext {
     core_->Retire(e_->tables_[table].def.schema.row_bytes() * 4);
     e_->Exec(core_, e_->mvcc_op_);
     auto& slice = e_->tables_[table].slices[0];
-    uint32_t version_len = 0;
-    const uint8_t* version = e_->mvcc_.Read(
-        core_, txn_id_, static_cast<uint64_t>(table), row, &version_len);
-    if (version != nullptr) {
+    std::vector<uint8_t> version;
+    if (e_->mvcc_.Read(core_, txn_id_, static_cast<uint64_t>(table), row,
+                       &version)) {
       // An older image is visible at this snapshot.
-      std::memcpy(out, version,
+      std::memcpy(out, version.data(),
                   e_->tables_[table].def.schema.row_bytes());
       return Status::Ok();
     }

@@ -25,8 +25,9 @@ PartitionedEngine::PartitionedEngine(EngineKind kind,
   }
 }
 
-const mcsim::CodeRegion& PartitionedEngine::CompiledRegion(
-    int txn_type, int statements) {
+mcsim::CodeRegion PartitionedEngine::CompiledRegion(int txn_type,
+                                                    int statements) {
+  std::lock_guard<std::mutex> guard(compiled_mu_);
   auto it = compiled_txns_.find(txn_type);
   if (it == compiled_txns_.end()) {
     // Compile on first use: code size and straight-line instruction
@@ -299,13 +300,14 @@ Status PartitionedEngine::Execute(
     if (!s.ok()) return s;
   }
 
-  const mcsim::CodeRegion* compiled_region =
-      compiled_ ? &CompiledRegion(request.type, request.statements)
-                : nullptr;
+  mcsim::CodeRegion compiled_region;
+  if (compiled_) {
+    compiled_region = CompiledRegion(request.type, request.statements);
+  }
   const mcsim::ModuleId op_module =
-      compiled_ ? compiled_region->module : ee_op_.module;
+      compiled_ ? compiled_region.module : ee_op_.module;
   Ctx ctx(this, core, txn_id, home, op_module);
-  if (compiled_) Exec(core, *compiled_region);
+  if (compiled_) Exec(core, compiled_region);
   Status s = body(ctx);
 
   if (!options_.single_site) {

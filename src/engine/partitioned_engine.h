@@ -1,6 +1,8 @@
 #ifndef IMOLTP_ENGINE_PARTITIONED_ENGINE_H_
 #define IMOLTP_ENGINE_PARTITIONED_ENGINE_H_
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 
 #include "engine/engine_base.h"
@@ -39,7 +41,7 @@ class PartitionedEngine final : public EngineBase {
   class Ctx;
   friend class Ctx;
 
-  const mcsim::CodeRegion& CompiledRegion(int txn_type, int statements);
+  mcsim::CodeRegion CompiledRegion(int txn_type, int statements);
 
   EngineKind kind_;
   bool compiled_;  // HyPer
@@ -48,10 +50,13 @@ class PartitionedEngine final : public EngineBase {
   HyPerProfile hyper_profile_;
   mcsim::CodeRegion dispatch_, ee_op_, index_op_, commit_, log_;
   mcsim::CodeRegion multi_site_;
+  // HyPer compiles a transaction type on first dispatch; with
+  // free-running workers two threads can race to compile.
+  std::mutex compiled_mu_;
   std::unordered_map<int, mcsim::CodeRegion> compiled_txns_;
 
   txn::PartitionManager partitions_;
-  uint64_t next_txn_ = 0;
+  std::atomic<uint64_t> next_txn_{0};
 };
 
 }  // namespace imoltp::engine

@@ -1,3 +1,6 @@
+#include <shared_mutex>
+#include <utility>
+
 #include "index/art.h"
 #include "index/btree.h"
 #include "index/hash_index.h"
@@ -5,7 +8,58 @@
 
 namespace imoltp::index {
 
-std::unique_ptr<Index> CreateIndex(IndexKind kind, uint32_t key_bytes) {
+namespace {
+
+/// Reader/writer locking decorator. The underlying structures (B-tree
+/// splits, ART node growth, hash rehash) move memory around on insert, so
+/// free-running parallel workers must not probe mid-restructure. Lookups
+/// and scans share the lock; mutations are exclusive. The simulated cost
+/// model is unchanged — the traced node walks happen inside the lock on
+/// the caller's own core.
+class LockedIndex final : public Index {
+ public:
+  explicit LockedIndex(std::unique_ptr<Index> inner)
+      : inner_(std::move(inner)) {}
+
+  IndexKind kind() const override { return inner_->kind(); }
+
+  Status Insert(mcsim::CoreSim* core, const Key& key,
+                uint64_t value) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return inner_->Insert(core, key, value);
+  }
+
+  bool Lookup(mcsim::CoreSim* core, const Key& key,
+              uint64_t* value) override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return inner_->Lookup(core, key, value);
+  }
+
+  bool Remove(mcsim::CoreSim* core, const Key& key) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return inner_->Remove(core, key);
+  }
+
+  uint64_t Scan(mcsim::CoreSim* core, const Key& from, uint64_t limit,
+                std::vector<uint64_t>* out) override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return inner_->Scan(core, from, limit, out);
+  }
+
+  uint64_t size() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return inner_->size();
+  }
+
+  bool ordered() const override { return inner_->ordered(); }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<Index> inner_;
+};
+
+std::unique_ptr<Index> CreateBareIndex(IndexKind kind,
+                                       uint32_t key_bytes) {
   switch (kind) {
     case IndexKind::kBTree8K:
       return std::make_unique<BTree>(8192, key_bytes, kind);
@@ -21,6 +75,14 @@ std::unique_ptr<Index> CreateIndex(IndexKind kind, uint32_t key_bytes) {
       return std::make_unique<HashIndex>(key_bytes);
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Index> CreateIndex(IndexKind kind, uint32_t key_bytes) {
+  auto inner = CreateBareIndex(kind, key_bytes);
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<LockedIndex>(std::move(inner));
 }
 
 }  // namespace imoltp::index

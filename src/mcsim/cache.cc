@@ -19,9 +19,19 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   set_mask_ = num_sets_ - 1;
   tags_.assign(num_sets_ * assoc_, 0);
   stamps_.assign(num_sets_ * assoc_, 0);
+  shard_mu_ = std::make_unique<std::mutex[]>(kShards);
 }
 
 void Cache::Invalidate(uint64_t line_addr) {
+  if (concurrent_) {
+    std::lock_guard<std::mutex> guard(ShardFor(line_addr));
+    InvalidateLocked(line_addr);
+    return;
+  }
+  InvalidateLocked(line_addr);
+}
+
+void Cache::InvalidateLocked(uint64_t line_addr) {
   const uint64_t set = SetIndex(line_addr);
   const uint64_t tag = line_addr | kValidBit;
   uint64_t* tags = &tags_[set * assoc_];
@@ -38,9 +48,9 @@ void Cache::Invalidate(uint64_t line_addr) {
 void Cache::Reset() {
   std::fill(tags_.begin(), tags_.end(), 0);
   std::fill(stamps_.begin(), stamps_.end(), 0);
-  tick_ = 0;
-  hits_ = 0;
-  misses_ = 0;
+  tick_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace imoltp::mcsim

@@ -106,6 +106,11 @@ void CoreSim::Reset() {
   mispredict_acc_ = 0.0;
   last_miss_line_ = 0;
   prefetches_issued_ = 0;
+  {
+    std::lock_guard<std::mutex> guard(mbox_mu_);
+    mbox_.clear();
+    mbox_pending_.store(false, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace imoltp::mcsim

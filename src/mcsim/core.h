@@ -1,7 +1,10 @@
 #ifndef IMOLTP_MCSIM_CORE_H_
 #define IMOLTP_MCSIM_CORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "mcsim/cache.h"
 #include "mcsim/code_region.h"
@@ -127,6 +130,9 @@ class CoreSim {
     if (!enabled_) return;
     if (trace_ != nullptr) trace_->OnBeginTransaction(core_id_);
     ++counters_.transactions;
+    if (mbox_pending_.load(std::memory_order_acquire)) {
+      DrainInvalidates();
+    }
   }
 
   const CoreCounters& counters() const { return counters_; }
@@ -146,6 +152,29 @@ class CoreSim {
     l1d_.Invalidate(line);
     l1i_.Invalidate(line);
     l2_.Invalidate(line);
+  }
+
+  /// Queues a cross-core invalidation posted from another host thread
+  /// (free-running parallel mode only). The writer thread cannot touch
+  /// this core's private caches directly, so the line is parked in a
+  /// mailbox and applied at this core's next transaction boundary —
+  /// coherence with transaction-granular lag, which is fine for the
+  /// statistical counters kFree mode produces.
+  void PostInvalidate(uint64_t line) {
+    std::lock_guard<std::mutex> guard(mbox_mu_);
+    mbox_.push_back(line);
+    mbox_pending_.store(true, std::memory_order_release);
+  }
+
+  /// Applies all queued cross-core invalidations (owner thread only).
+  void DrainInvalidates() {
+    std::vector<uint64_t> lines;
+    {
+      std::lock_guard<std::mutex> guard(mbox_mu_);
+      lines.swap(mbox_);
+      mbox_pending_.store(false, std::memory_order_relaxed);
+    }
+    for (uint64_t line : lines) InvalidateLine(line);
   }
 
   /// Lines the stream prefetcher pulled into L2 (0 when disabled).
@@ -198,6 +227,10 @@ class CoreSim {
   double mispredict_acc_ = 0.0;
   uint64_t window_state_;
   CoreCounters counters_;
+  // Cross-core invalidation mailbox (used in free-running mode only).
+  std::mutex mbox_mu_;
+  std::vector<uint64_t> mbox_;
+  std::atomic<bool> mbox_pending_{false};
 };
 
 /// RAII module scope: attributes all events inside the scope to `module`.

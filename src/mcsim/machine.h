@@ -12,9 +12,18 @@
 namespace imoltp::mcsim {
 
 /// The whole simulated machine: N cores with private L1I/L1D/L2 plus one
-/// shared LLC, mirroring Table 1 of the paper. All simulation runs on a
-/// single OS thread (multi-worker experiments interleave logical workers
-/// deterministically), so no synchronization is needed anywhere.
+/// shared LLC, mirroring Table 1 of the paper.
+///
+/// Threading model (docs/parallel_execution.md): each CoreSim is
+/// thread-confined — at most one host thread drives it at a time. In the
+/// serialized execution modes (kSerial / kDeterministic) core verbs are
+/// additionally totally ordered, so cross-core invalidation pokes sibling
+/// caches directly and every counter is bit-identical to the historical
+/// single-threaded interleaving. In free-running mode
+/// (`SetFreeRunning(true)`) one host thread runs per core concurrently:
+/// the shared LLC switches to sharded locking and cross-core
+/// invalidations are posted to per-core mailboxes instead of touching
+/// sibling caches from the writer's thread.
 class MachineSim {
  public:
   explicit MachineSim(const MachineConfig& config = MachineConfig());
@@ -31,14 +40,37 @@ class MachineSim {
   CodeSpace& code_space() { return code_space_; }
 
   /// Invalidates `line` in every private cache except `writer_core`'s.
-  /// Called on writes when more than one core is simulated.
+  /// Called on writes when more than one core is simulated. Serialized
+  /// modes check presence and invalidate in place; free-running mode
+  /// posts to each sibling's mailbox unconditionally (peeking at a
+  /// sibling's tags from the writer's thread would race — an invalidate
+  /// for an absent line is a no-op when drained).
   void InvalidateOthers(uint64_t line, int writer_core) {
+    if (free_running_) {
+      for (auto& core : cores_) {
+        if (core->core_id() != writer_core) core->PostInvalidate(line);
+      }
+      return;
+    }
     for (auto& core : cores_) {
       if (core->core_id() != writer_core && core->HoldsLine(line)) {
         core->InvalidateLine(line);
       }
     }
   }
+
+  /// Switches the machine between serialized execution (default) and
+  /// free-running parallel execution: the LLC takes sharded locks and
+  /// cross-core invalidation goes through per-core mailboxes. Flip only
+  /// while no worker threads are running.
+  void SetFreeRunning(bool on) {
+    free_running_ = on;
+    llc_.set_concurrent(on);
+    if (!on) {
+      for (auto& core : cores_) core->DrainInvalidates();
+    }
+  }
+  bool free_running() const { return free_running_; }
 
   void SetEnabled(bool enabled) {
     for (auto& core : cores_) core->set_enabled(enabled);
@@ -67,6 +99,7 @@ class MachineSim {
 
  private:
   MachineConfig config_;
+  bool free_running_ = false;
   Cache llc_;
   std::vector<std::unique_ptr<CoreSim>> cores_;
   ModuleRegistry modules_;

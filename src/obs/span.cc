@@ -16,18 +16,19 @@ ScopedSpan::ScopedSpan(SpanCollector* collector, mcsim::CoreSim* core,
                        SpanKind kind)
     : collector_(collector), core_(core), kind_(kind) {
   active_ = collector_ != nullptr && core_->enabled() &&
-            collector_->depth_ == 0;
+            collector_->lane_for(core_).depth == 0;
   if (!active_) return;
-  ++collector_->depth_;
+  ++collector_->lane_for(core_).depth;
   start_ = mcsim::AggregateCounters(core_->counters());
 }
 
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
-  --collector_->depth_;
+  SpanCollector::Lane& lane = collector_->lane_for(core_);
+  --lane.depth;
   const mcsim::ModuleCounters delta =
       mcsim::AggregateCounters(core_->counters()) - start_;
-  SpanStats& stats = collector_->stats_[static_cast<int>(kind_)];
+  SpanStats& stats = lane.stats[static_cast<int>(kind_)];
   stats.cycles += mcsim::SimulatedCycles(delta, *collector_->params_);
   ++stats.count;
 }

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "mcsim/core.h"
 #include "mcsim/counters.h"
@@ -29,26 +30,45 @@ struct SpanStats {
   uint64_t count = 0;
 };
 
-/// Per-engine accumulator of span-attributed simulated cycles. The
-/// simulator is single-threaded (workers interleave at transaction
-/// granularity), so one collector per engine needs no synchronization.
-/// Spans never nest effectively: an inner ScopedSpan opened while
-/// another is active records nothing, so summed span cycles never
-/// double-count and stay reconcilable with the profiler's window total.
+/// Per-engine accumulator of span-attributed simulated cycles.
+///
+/// Accumulation is striped into one lane per simulated core (a span only
+/// ever touches the lane of the core it measures), so worker threads in
+/// free-running parallel mode never share accumulator state. Readers
+/// (`stats()`, `total_cycles()`) sum the lanes; call them only while no
+/// worker threads are running. Spans never nest effectively: an inner
+/// ScopedSpan opened while another is active on the same core records
+/// nothing, so summed span cycles never double-count and stay
+/// reconcilable with the profiler's window total.
 class SpanCollector {
  public:
-  explicit SpanCollector(const mcsim::CycleModelParams* params)
-      : params_(params) {}
+  explicit SpanCollector(const mcsim::CycleModelParams* params,
+                         int num_cores = 1)
+      : params_(params),
+        lanes_(num_cores > 0 ? static_cast<size_t>(num_cores) : 1) {}
 
-  void Reset() { stats_ = {}; }
+  void Reset() {
+    for (Lane& lane : lanes_) {
+      lane.stats = {};
+      lane.depth = 0;
+    }
+  }
 
-  const SpanStats& stats(SpanKind kind) const {
-    return stats_[static_cast<int>(kind)];
+  /// Sum of all lanes for `kind` (call from the coordinating thread).
+  SpanStats stats(SpanKind kind) const {
+    SpanStats total;
+    for (const Lane& lane : lanes_) {
+      total.cycles += lane.stats[static_cast<int>(kind)].cycles;
+      total.count += lane.stats[static_cast<int>(kind)].count;
+    }
+    return total;
   }
 
   double total_cycles() const {
     double total = 0.0;
-    for (const SpanStats& s : stats_) total += s.cycles;
+    for (const Lane& lane : lanes_) {
+      for (const SpanStats& s : lane.stats) total += s.cycles;
+    }
     return total;
   }
 
@@ -57,15 +77,26 @@ class SpanCollector {
  private:
   friend class ScopedSpan;
 
-  std::array<SpanStats, kNumSpanKinds> stats_{};
+  // Cache-line aligned so adjacent lanes never false-share under
+  // free-running parallel execution.
+  struct alignas(64) Lane {
+    std::array<SpanStats, kNumSpanKinds> stats{};
+    int depth = 0;
+  };
+
+  Lane& lane_for(const mcsim::CoreSim* core) {
+    const size_t id = static_cast<size_t>(core->core_id());
+    return lanes_[id < lanes_.size() ? id : 0];
+  }
+
   const mcsim::CycleModelParams* params_;
-  int depth_ = 0;
+  std::vector<Lane> lanes_;
 };
 
 /// RAII phase marker. Snapshots the core's aggregate counters on entry
 /// and charges the simulated-cycle delta to `kind` on exit. No-op when
 /// the core's simulation is disabled (bulk load) or a span is already
-/// open on the collector.
+/// open on this core's lane.
 class ScopedSpan {
  public:
   ScopedSpan(SpanCollector* collector, mcsim::CoreSim* core,

@@ -101,6 +101,7 @@ uint32_t BufferPool::Evict() {
 }
 
 uint8_t* BufferPool::FixPage(mcsim::CoreSim* core, PageId page_id) {
+  std::lock_guard<std::mutex> guard(mu_);
   ++stats_.fixes;
 
   // Page-table probe: the traced walk over the open-addressing slots.
@@ -149,6 +150,7 @@ uint8_t* BufferPool::FixPage(mcsim::CoreSim* core, PageId page_id) {
 
 void BufferPool::UnfixPage(mcsim::CoreSim* core, PageId page_id,
                            bool dirty) {
+  std::lock_guard<std::mutex> guard(mu_);
   const uint32_t frame = FindFrame(page_id);
   if (frame == kNoFrame) return;
   FrameMeta& f = frames_[frame];

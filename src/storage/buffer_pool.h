@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,13 @@ inline constexpr PageId kInvalidPage = UINT64_MAX;
 ///
 /// Page-table probes and frame-header touches flow through the simulated
 /// hierarchy (they are real memory the engine walks on every access).
+///
+/// Thread safety: one mutex serializes fix/unfix (the real systems this
+/// models latch at finer grain, but the simulated cost is what matters —
+/// the traced probe stream is identical either way). Page bytes returned
+/// by FixPage stay valid until the matching UnfixPage: the pin count
+/// blocks eviction, and row-disjoint writes within a page are guaranteed
+/// by the engine's 2PL above.
 class BufferPool {
  public:
   struct Stats {
@@ -56,10 +64,14 @@ class BufferPool {
   const Stats& stats() const { return stats_; }
 
   /// Number of distinct pages ever created (resident + backed).
-  uint64_t num_pages() const { return known_pages_; }
+  uint64_t num_pages() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return known_pages_;
+  }
 
   /// True if the page is currently resident (testing hook).
   bool IsResident(PageId page_id) const {
+    std::lock_guard<std::mutex> guard(mu_);
     return FindFrame(page_id) != kNoFrame;
   }
 
@@ -88,6 +100,7 @@ class BufferPool {
     return reinterpret_cast<uint64_t>(&table_[slot]);
   }
 
+  mutable std::mutex mu_;
   uint32_t num_frames_;
   uint32_t page_bytes_;
   uint64_t table_mask_;

@@ -15,6 +15,7 @@ DiskHeapFile::DiskHeapFile(BufferPool* pool, uint32_t file_id,
 }
 
 RowId DiskHeapFile::Append(mcsim::CoreSim* core, const uint8_t* row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (;;) {
     const PageId pid = GlobalPage(append_page_);
     uint8_t* page = pool_->FixPage(core, pid);
@@ -33,7 +34,7 @@ RowId DiskHeapFile::Append(mcsim::CoreSim* core, const uint8_t* row) {
       const uint8_t* rec = SlottedPage::Get(page, slot);
       core->Write(reinterpret_cast<uint64_t>(rec), schema_.row_bytes());
       pool_->UnfixPage(core, pid, /*dirty=*/true);
-      ++num_rows_;
+      num_rows_.fetch_add(1, std::memory_order_relaxed);
       return (append_page_ << 16) | slot;
     }
     pool_->UnfixPage(core, pid, /*dirty=*/false);
@@ -42,6 +43,7 @@ RowId DiskHeapFile::Append(mcsim::CoreSim* core, const uint8_t* row) {
 }
 
 bool DiskHeapFile::Read(mcsim::CoreSim* core, RowId row, uint8_t* out) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const PageId pid = GlobalPage(PageNo(row));
   uint8_t* page = pool_->FixPage(core, pid);
   if (page == nullptr) return false;
@@ -58,6 +60,7 @@ bool DiskHeapFile::Read(mcsim::CoreSim* core, RowId row, uint8_t* out) {
 
 bool DiskHeapFile::WriteColumn(mcsim::CoreSim* core, RowId row,
                                uint32_t col, const void* value) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const PageId pid = GlobalPage(PageNo(row));
   uint8_t* page = pool_->FixPage(core, pid);
   if (page == nullptr) return false;
@@ -75,6 +78,7 @@ bool DiskHeapFile::WriteColumn(mcsim::CoreSim* core, RowId row,
 }
 
 bool DiskHeapFile::Delete(mcsim::CoreSim* core, RowId row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const PageId pid = GlobalPage(PageNo(row));
   uint8_t* page = pool_->FixPage(core, pid);
   if (page == nullptr) return false;
@@ -82,7 +86,7 @@ bool DiskHeapFile::Delete(mcsim::CoreSim* core, RowId row) {
   const bool ok = SlottedPage::Delete(page, Slot(row));
   if (ok) {
     core->Write(reinterpret_cast<uint64_t>(page), 16);
-    --num_rows_;
+    num_rows_.fetch_sub(1, std::memory_order_relaxed);
     if (PageNo(row) < append_page_) append_page_ = PageNo(row);
   }
   pool_->UnfixPage(core, pid, /*dirty=*/ok);

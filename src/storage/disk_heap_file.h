@@ -1,7 +1,9 @@
 #ifndef IMOLTP_STORAGE_DISK_HEAP_FILE_H_
 #define IMOLTP_STORAGE_DISK_HEAP_FILE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 
 #include "mcsim/core.h"
 #include "storage/buffer_pool.h"
@@ -18,6 +20,11 @@ namespace imoltp::storage {
 /// in-memory systems eliminate.
 ///
 /// RowIds encode (page_no << 16 | slot).
+///
+/// Thread safety: structural operations (Append / Delete mutate the slot
+/// directory, the append cursor and the row count) take the file lock
+/// exclusively; Read / WriteColumn share it. Row-disjointness of
+/// concurrent same-page writes is guaranteed by the engine's 2PL.
 class DiskHeapFile {
  public:
   DiskHeapFile(BufferPool* pool, uint32_t file_id, Schema schema);
@@ -34,7 +41,9 @@ class DiskHeapFile {
 
   bool Delete(mcsim::CoreSim* core, RowId row);
 
-  uint64_t num_rows() const { return num_rows_; }
+  uint64_t num_rows() const {
+    return num_rows_.load(std::memory_order_relaxed);
+  }
   const Schema& schema() const { return schema_; }
   uint32_t rows_per_page() const { return rows_per_page_; }
 
@@ -50,7 +59,8 @@ class DiskHeapFile {
   uint32_t file_id_;
   Schema schema_;
   uint32_t rows_per_page_;
-  uint64_t num_rows_ = 0;
+  std::shared_mutex mu_;
+  std::atomic<uint64_t> num_rows_{0};
   uint64_t append_page_ = 0;  // first page with free space
 };
 

@@ -1,7 +1,10 @@
 #include "storage/table.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +56,12 @@ void DefaultRowGenerator(const Schema& schema, RowId row, uint64_t seed,
 
 // ---------------------------------------------------------------------------
 // HeapTable: rows materialized in real memory.
+//
+// Thread safety: a reader/writer lock guards row storage. Readers
+// (ReadRow / RowAddress) share; mutations (WriteColumn / Append / Delete)
+// are exclusive — `deleted_` is a bit-packed vector<bool>, so even
+// row-disjoint mutations touch shared words, and MVCC installs can target
+// the same row from two committers.
 // ---------------------------------------------------------------------------
 
 class HeapTable final : public Table {
@@ -71,14 +80,18 @@ class HeapTable final : public Table {
     }
   }
 
-  uint64_t num_rows() const override { return num_rows_; }
+  uint64_t num_rows() const override {
+    return num_rows_.load(std::memory_order_relaxed);
+  }
 
   uint64_t RowAddress(RowId row) const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return reinterpret_cast<uint64_t>(SlotPtr(row));
   }
 
   bool ReadRow(mcsim::CoreSim* core, RowId row, uint8_t* out) override {
-    if (row >= num_rows_ || deleted_[row]) return false;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (row >= num_rows() || deleted_[row]) return false;
     const uint8_t* slot = SlotPtr(row);
     core->Read(reinterpret_cast<uint64_t>(slot), schema_.row_bytes());
     std::memcpy(out, slot, schema_.row_bytes());
@@ -87,7 +100,8 @@ class HeapTable final : public Table {
 
   void WriteColumn(mcsim::CoreSim* core, RowId row, uint32_t col,
                    const void* value) override {
-    if (row >= num_rows_ || deleted_[row]) return;
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (row >= num_rows() || deleted_[row]) return;
     uint8_t* slot = SlotPtr(row);
     uint8_t* dst = schema_.ColumnPtr(slot, col);
     core->Write(reinterpret_cast<uint64_t>(dst), schema_.column_width(col));
@@ -95,16 +109,18 @@ class HeapTable final : public Table {
   }
 
   RowId Append(mcsim::CoreSim* core, const uint8_t* row) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     uint8_t* slot = AllocateSlot();
     std::memcpy(slot, row, schema_.row_bytes());
     core->Write(reinterpret_cast<uint64_t>(slot), schema_.row_bytes());
-    return num_rows_ - 1;
+    return num_rows() - 1;
   }
 
   bool Delete(mcsim::CoreSim* core, RowId row) override {
-    if (row >= num_rows_ || deleted_[row]) return false;
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (row >= num_rows() || deleted_[row]) return false;
     deleted_[row] = true;
-    core->Write(RowAddress(row), 8);
+    core->Write(reinterpret_cast<uint64_t>(SlotPtr(row)), 8);
     return true;
   }
 
@@ -112,7 +128,7 @@ class HeapTable final : public Table {
   static constexpr uint64_t kRowsPerSegment = 4096;
 
   uint8_t* AllocateSlot() {
-    const RowId row = num_rows_++;
+    const RowId row = num_rows_.fetch_add(1, std::memory_order_relaxed);
     const uint64_t seg = row / kRowsPerSegment;
     if (seg >= segments_.size()) {
       segments_.push_back(
@@ -133,7 +149,8 @@ class HeapTable final : public Table {
 
   uint32_t stride_;
   uint64_t seed_;
-  uint64_t num_rows_ = 0;
+  std::atomic<uint64_t> num_rows_{0};
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<uint8_t[]>> segments_;
   std::vector<bool> deleted_;
 };
@@ -155,21 +172,23 @@ class SparseTable final : public Table {
         num_rows_(initial_rows) {
     // A private nominal address range, far away from real heap pointers
     // and from synthetic code addresses (see mcsim::CodeSpace).
-    static uint64_t next_base = 1ULL << 44;
-    base_ = next_base;
-    next_base += initial_rows * static_cast<uint64_t>(stride_) +
-                 (1ULL << 30);
+    static std::atomic<uint64_t> next_base{1ULL << 44};
+    base_ = next_base.fetch_add(
+        initial_rows * static_cast<uint64_t>(stride_) + (1ULL << 30));
   }
 
-  uint64_t num_rows() const override { return num_rows_; }
+  uint64_t num_rows() const override {
+    return num_rows_.load(std::memory_order_relaxed);
+  }
 
   uint64_t RowAddress(RowId row) const override {
     return base_ + row * static_cast<uint64_t>(stride_);
   }
 
   bool ReadRow(mcsim::CoreSim* core, RowId row, uint8_t* out) override {
-    if (row >= num_rows_) return false;
+    if (row >= num_rows()) return false;
     core->Read(RowAddress(row), schema_.row_bytes());
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = overlay_.find(row);
     if (it != overlay_.end()) {
       if (it->second.deleted) return false;
@@ -182,9 +201,10 @@ class SparseTable final : public Table {
 
   void WriteColumn(mcsim::CoreSim* core, RowId row, uint32_t col,
                    const void* value) override {
-    if (row >= num_rows_) return;
+    if (row >= num_rows()) return;
     core->Write(RowAddress(row) + schema_.column_offset(col),
                 schema_.column_width(col));
+    std::unique_lock<std::shared_mutex> lock(mu_);
     OverlayRow& o = Materialize(row);
     if (o.deleted) return;
     std::memcpy(o.bytes.data() + schema_.column_offset(col), value,
@@ -192,7 +212,8 @@ class SparseTable final : public Table {
   }
 
   RowId Append(mcsim::CoreSim* core, const uint8_t* row) override {
-    const RowId id = num_rows_++;
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const RowId id = num_rows_.fetch_add(1, std::memory_order_relaxed);
     OverlayRow& o = overlay_[id];
     o.bytes.assign(row, row + schema_.row_bytes());
     core->Write(RowAddress(id), schema_.row_bytes());
@@ -200,7 +221,8 @@ class SparseTable final : public Table {
   }
 
   bool Delete(mcsim::CoreSim* core, RowId row) override {
-    if (row >= num_rows_) return false;
+    if (row >= num_rows()) return false;
+    std::unique_lock<std::shared_mutex> lock(mu_);
     OverlayRow& o = Materialize(row);
     if (o.deleted) return false;
     o.deleted = true;
@@ -228,8 +250,9 @@ class SparseTable final : public Table {
   uint64_t seed_;
   RowGenerator generator_;
   uint64_t row_offset_;
-  uint64_t num_rows_;
+  std::atomic<uint64_t> num_rows_;
   uint64_t base_;
+  mutable std::shared_mutex mu_;
   std::unordered_map<RowId, OverlayRow> overlay_;
 };
 

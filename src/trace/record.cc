@@ -22,17 +22,21 @@ Status RecordExperiment(const core::ExperimentConfig& config,
   // Attach before the database is populated: cache warm-up runs with
   // simulation on, and a replay can only reproduce the live counters
   // if it sees those events too.
-  core::ExperimentRunner runner(
-      config, workload, [&](mcsim::MachineSim* machine) {
-        Status s = writer.Open(path, *machine, options);
-        if (!s.ok()) return s;
-        machine->SetTraceSink(&writer);
-        return Status::Ok();
-      });
-  if (!runner.init_status().ok()) return runner.init_status();
+  core::ExperimentConfig cfg = config;
+  cfg.hooks.pre_populate = [&](mcsim::MachineSim* machine) {
+    Status s = writer.Open(path, *machine, options);
+    if (!s.ok()) return s;
+    machine->SetTraceSink(&writer);
+    return Status::Ok();
+  };
+  auto created = core::ExperimentRunner::Create(cfg, workload);
+  if (!created.ok()) return created.status();
+  core::ExperimentRunner& runner = **created;
 
   runner.set_trace_sink(&writer);  // re-snapshot is benign; adds marks
-  result->window = runner.Run(workload);
+  const auto run = runner.Run(workload);
+  if (!run.ok()) return run.status();
+  result->window = *run;
   runner.set_trace_sink(nullptr);
 
   result->trace_id = writer.trace_id();

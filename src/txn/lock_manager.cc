@@ -29,58 +29,71 @@ LockManager::TxnLocks& LockManager::LocksOf(uint64_t txn_id) {
 
 Status LockManager::Acquire(mcsim::CoreSim* core, uint64_t txn_id,
                             uint64_t object_id, LockMode mode) {
-  auto& chain = buckets_[BucketOf(object_id)];
-  core->Read(reinterpret_cast<uint64_t>(&chain), 16);  // bucket head
-  core->Retire(14);                                    // hash + latch
+  const uint64_t bucket = BucketOf(object_id);
+  bool acquired = false;
+  {
+    std::lock_guard<std::mutex> stripe(StripeOf(bucket));
+    auto& chain = buckets_[bucket];
+    core->Read(reinterpret_cast<uint64_t>(&chain), 16);  // bucket head
+    core->Retire(14);                                    // hash + latch
 
-  LockHead* head = nullptr;
-  for (auto& l : chain) {
-    core->Read(reinterpret_cast<uint64_t>(&l), 24);
-    core->Retire(5);
-    if (l.object_id == object_id) {
-      head = &l;
-      break;
+    LockHead* head = nullptr;
+    for (auto& l : chain) {
+      core->Read(reinterpret_cast<uint64_t>(&l), 24);
+      core->Retire(5);
+      if (l.object_id == object_id) {
+        head = &l;
+        break;
+      }
+    }
+
+    if (head == nullptr) {
+      chain.push_back(LockHead{object_id, mode, {txn_id}});
+      core->Write(reinterpret_cast<uint64_t>(&chain.back()), 32);
+      core->Retire(12);
+      active_locks_.fetch_add(1, std::memory_order_relaxed);
+      acquired = true;
+    } else {
+      const bool already_holder =
+          std::find(head->holders.begin(), head->holders.end(), txn_id) !=
+          head->holders.end();
+
+      if (already_holder) {
+        if (mode == LockMode::kExclusive &&
+            head->mode == LockMode::kShared) {
+          if (head->holders.size() > 1) return Status::Aborted("upgrade");
+          head->mode = LockMode::kExclusive;
+          core->Write(reinterpret_cast<uint64_t>(head), 16);
+          core->Retire(6);
+        }
+        return Status::Ok();
+      }
+
+      if (head->mode == LockMode::kExclusive ||
+          mode == LockMode::kExclusive) {
+        return Status::Aborted("lock conflict");
+      }
+
+      head->holders.push_back(txn_id);
+      core->Write(reinterpret_cast<uint64_t>(head), 24);
+      core->Retire(8);
+      acquired = true;
     }
   }
-
-  if (head == nullptr) {
-    chain.push_back(LockHead{object_id, mode, {txn_id}});
-    core->Write(reinterpret_cast<uint64_t>(&chain.back()), 32);
-    core->Retire(12);
-    ++active_locks_;
+  // Record the acquisition outside the stripe lock; the txn-list mutex
+  // and the stripe mutexes are never held together.
+  if (acquired) {
+    std::lock_guard<std::mutex> guard(txn_mu_);
     LocksOf(txn_id).objects.push_back(object_id);
-    return Status::Ok();
   }
-
-  const bool already_holder =
-      std::find(head->holders.begin(), head->holders.end(), txn_id) !=
-      head->holders.end();
-
-  if (already_holder) {
-    if (mode == LockMode::kExclusive && head->mode == LockMode::kShared) {
-      if (head->holders.size() > 1) return Status::Aborted("upgrade");
-      head->mode = LockMode::kExclusive;
-      core->Write(reinterpret_cast<uint64_t>(head), 16);
-      core->Retire(6);
-    }
-    return Status::Ok();
-  }
-
-  if (head->mode == LockMode::kExclusive ||
-      mode == LockMode::kExclusive) {
-    return Status::Aborted("lock conflict");
-  }
-
-  head->holders.push_back(txn_id);
-  core->Write(reinterpret_cast<uint64_t>(head), 24);
-  core->Retire(8);
-  LocksOf(txn_id).objects.push_back(object_id);
   return Status::Ok();
 }
 
 void LockManager::Release(mcsim::CoreSim* core, uint64_t txn_id,
                           uint64_t object_id) {
-  auto& chain = buckets_[BucketOf(object_id)];
+  const uint64_t bucket = BucketOf(object_id);
+  std::lock_guard<std::mutex> stripe(StripeOf(bucket));
+  auto& chain = buckets_[bucket];
   core->Read(reinterpret_cast<uint64_t>(&chain), 16);
   core->Retire(10);
   for (size_t i = 0; i < chain.size(); ++i) {
@@ -92,25 +105,33 @@ void LockManager::Release(mcsim::CoreSim* core, uint64_t txn_id,
     core->Retire(8);
     if (holders.empty()) {
       chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(i));
-      --active_locks_;
+      active_locks_.fetch_sub(1, std::memory_order_relaxed);
     }
     return;
   }
 }
 
 void LockManager::ReleaseAll(mcsim::CoreSim* core, uint64_t txn_id) {
-  for (size_t t = 0; t < txn_locks_.size(); ++t) {
-    if (txn_locks_[t].txn_id != txn_id) continue;
-    for (uint64_t obj : txn_locks_[t].objects) {
-      Release(core, txn_id, obj);
+  std::vector<uint64_t> objects;
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    for (size_t t = 0; t < txn_locks_.size(); ++t) {
+      if (txn_locks_[t].txn_id != txn_id) continue;
+      objects = std::move(txn_locks_[t].objects);
+      txn_locks_.erase(txn_locks_.begin() +
+                       static_cast<std::ptrdiff_t>(t));
+      break;
     }
-    txn_locks_.erase(txn_locks_.begin() + static_cast<std::ptrdiff_t>(t));
-    return;
+  }
+  for (uint64_t obj : objects) {
+    Release(core, txn_id, obj);
   }
 }
 
 bool LockManager::Holds(uint64_t txn_id, uint64_t object_id) const {
-  const auto& chain = buckets_[BucketOf(object_id)];
+  const uint64_t bucket = BucketOf(object_id);
+  std::lock_guard<std::mutex> stripe(StripeOf(bucket));
+  const auto& chain = buckets_[bucket];
   for (const auto& l : chain) {
     if (l.object_id == object_id) {
       return std::find(l.holders.begin(), l.holders.end(), txn_id) !=

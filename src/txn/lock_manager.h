@@ -1,7 +1,10 @@
 #ifndef IMOLTP_TXN_LOCK_MANAGER_H_
 #define IMOLTP_TXN_LOCK_MANAGER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -18,8 +21,14 @@ enum class LockMode : uint8_t { kShared, kExclusive };
 /// in-memory systems design away (Section 2.1).
 ///
 /// Conflict policy is no-wait: a conflicting request returns kAborted and
-/// the caller aborts (single-worker runs never conflict; multi-worker
-/// runs interleave at transaction granularity, so waits cannot resolve).
+/// the caller aborts. In the serialized execution modes workers
+/// interleave at transaction granularity, so waits could never resolve;
+/// in free-running parallel mode no-wait keeps the simulation
+/// deadlock-free while 2PL sees real cross-thread contention.
+///
+/// Thread safety: bucket chains are guarded by striped mutexes (hashed
+/// bucket → stripe), the per-transaction lock lists by a separate mutex.
+/// The two are never held together, so there is no ordering hazard.
 class LockManager {
  public:
   explicit LockManager(uint64_t num_buckets = 1 << 14);
@@ -38,12 +47,16 @@ class LockManager {
   void ReleaseAll(mcsim::CoreSim* core, uint64_t txn_id);
 
   /// Number of distinct locked objects (testing hook).
-  uint64_t ActiveLocks() const { return active_locks_; }
+  uint64_t ActiveLocks() const {
+    return active_locks_.load(std::memory_order_relaxed);
+  }
 
   /// True if `txn_id` holds a lock on `object_id` (testing hook).
   bool Holds(uint64_t txn_id, uint64_t object_id) const;
 
  private:
+  static constexpr uint64_t kStripes = 64;
+
   struct LockHead {
     uint64_t object_id;
     LockMode mode;
@@ -55,12 +68,17 @@ class LockManager {
   };
 
   uint64_t BucketOf(uint64_t object_id) const;
+  std::mutex& StripeOf(uint64_t bucket) const {
+    return stripe_mu_[bucket & (kStripes - 1)];
+  }
   TxnLocks& LocksOf(uint64_t txn_id);
   void Release(mcsim::CoreSim* core, uint64_t txn_id, uint64_t object_id);
 
   std::vector<std::vector<LockHead>> buckets_;
   uint64_t mask_;
-  uint64_t active_locks_ = 0;
+  std::atomic<uint64_t> active_locks_{0};
+  mutable std::array<std::mutex, kStripes> stripe_mu_;
+  std::mutex txn_mu_;
   std::vector<TxnLocks> txn_locks_;  // small: one entry per live txn
 };
 

@@ -1,6 +1,7 @@
 #ifndef IMOLTP_TXN_LOG_MANAGER_H_
 #define IMOLTP_TXN_LOG_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -98,10 +99,12 @@ class LogManager {
     }
   }
 
-  /// Globally ordered LSNs (simulation is single-OS-threaded).
+  /// Globally ordered LSNs. Atomic so per-worker logs can append from
+  /// concurrent host threads in free-running parallel mode; every other
+  /// LogManager member is confined to its owning worker.
   static uint64_t NextLsn() {
-    static uint64_t next = 0;
-    return ++next;
+    static std::atomic<uint64_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
   uint32_t capacity_;

@@ -3,29 +3,31 @@
 namespace imoltp::txn {
 
 uint64_t MvccManager::Begin(mcsim::CoreSim* core) {
+  std::lock_guard<std::mutex> guard(mu_);
   const uint64_t txn_id = ++next_txn_;
   TxnState& t = txns_[txn_id];
-  t.read_ts = clock_;
+  t.read_ts = clock_.load(std::memory_order_relaxed);
   core->Retire(12);  // timestamp allocation
   return txn_id;
 }
 
-const uint8_t* MvccManager::Read(mcsim::CoreSim* core, uint64_t txn_id,
-                                 uint64_t table_id, uint64_t row,
-                                 uint32_t* length) {
+bool MvccManager::Read(mcsim::CoreSim* core, uint64_t txn_id,
+                       uint64_t table_id, uint64_t row,
+                       std::vector<uint8_t>* image) {
+  std::lock_guard<std::mutex> guard(mu_);
   TxnState& t = txns_[txn_id];
   const uint64_t key = RowKey(table_id, row);
   auto it = versions_.find(key);
   core->Retire(10);  // version-map probe
   if (it == versions_.end()) {
     t.reads.push_back(ReadEntry{key, 0});
-    return nullptr;  // base table content is the only version
+    return false;  // base table content is the only version
   }
   RowVersions& rv = it->second;
   core->Read(reinterpret_cast<uint64_t>(&rv), sizeof(RowVersions));
   if (t.read_ts >= rv.last_commit_ts) {
     t.reads.push_back(ReadEntry{key, rv.last_commit_ts});
-    return nullptr;  // newest committed version == table content
+    return false;  // newest committed version == table content
   }
   // Snapshot predates the newest version: the visible image is the one
   // replaced by the earliest commit after read_ts. History is ordered
@@ -36,17 +38,18 @@ const uint8_t* MvccManager::Read(mcsim::CoreSim* core, uint64_t txn_id,
                static_cast<uint32_t>(v.image.size()));
     core->Retire(8);
     if (v.commit_ts > t.read_ts) {
-      *length = static_cast<uint32_t>(v.image.size());
-      return v.image.data();
+      image->assign(v.image.begin(), v.image.end());
+      return true;
     }
   }
-  return nullptr;  // chain trimmed past the snapshot: newest is served
+  return false;  // chain trimmed past the snapshot: newest is served
 }
 
 Status MvccManager::StageWrite(mcsim::CoreSim* core, uint64_t txn_id,
                                uint64_t table_id, uint64_t row,
                                const uint8_t* new_image, uint32_t length,
                                const uint8_t* prior_image) {
+  std::lock_guard<std::mutex> guard(mu_);
   TxnState& t = txns_[txn_id];
   const uint64_t key = RowKey(table_id, row);
   RowVersions& rv = versions_[key];
@@ -71,6 +74,7 @@ Status MvccManager::StageWrite(mcsim::CoreSim* core, uint64_t txn_id,
 
 Status MvccManager::Commit(mcsim::CoreSim* core, uint64_t txn_id,
                            std::vector<StagedWrite>* installs) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::InvalidArgument("unknown txn");
   TxnState& t = it->second;
@@ -85,12 +89,13 @@ Status MvccManager::Commit(mcsim::CoreSim* core, uint64_t txn_id,
       core->Read(reinterpret_cast<uint64_t>(&vit->second), 16);
     }
     if (now_ts != r.observed_ts) {
-      Abort(core, txn_id);
+      AbortLocked(core, txn_id);
       return Status::Aborted("validation failure");
     }
   }
 
-  const uint64_t commit_ts = ++clock_;
+  const uint64_t commit_ts =
+      clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   for (size_t i = 0; i < t.writes.size(); ++i) {
     const StagedWrite& w = t.writes[i];
     RowVersions& rv = versions_[RowKey(w.table_id, w.row)];
@@ -110,6 +115,11 @@ Status MvccManager::Commit(mcsim::CoreSim* core, uint64_t txn_id,
 }
 
 void MvccManager::Abort(mcsim::CoreSim* core, uint64_t txn_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  AbortLocked(core, txn_id);
+}
+
+void MvccManager::AbortLocked(mcsim::CoreSim* core, uint64_t txn_id) {
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return;
   for (const StagedWrite& w : it->second.writes) {

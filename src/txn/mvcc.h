@@ -1,7 +1,9 @@
 #ifndef IMOLTP_TXN_MVCC_H_
 #define IMOLTP_TXN_MVCC_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +28,12 @@ namespace imoltp::txn {
 ///
 /// Version-chain entries are real allocations and every touch is traced,
 /// so the MVCC bookkeeping shows up in the simulated data-stall profile.
+///
+/// Thread safety: one mutex guards the version map, transaction table and
+/// clock, so concurrent worker threads (free-running parallel mode) can
+/// Begin/Read/StageWrite/Commit/Abort safely. Read copies the visible
+/// image out under the mutex — returning an interior pointer would dangle
+/// once another thread's commit trims the version chain.
 class MvccManager {
  public:
   struct StagedWrite {
@@ -41,11 +49,12 @@ class MvccManager {
   /// Starts a transaction; returns its id (== read timestamp snapshot).
   uint64_t Begin(mcsim::CoreSim* core);
 
-  /// Records a read of (table, row) in the read set and returns the
-  /// image visible at the reader's snapshot, or nullptr if the table's
+  /// Records a read of (table, row) in the read set. If an older image
+  /// from the version chain is visible at the reader's snapshot, copies
+  /// it into `*image` and returns true; returns false when the table's
   /// current content is the visible version.
-  const uint8_t* Read(mcsim::CoreSim* core, uint64_t txn_id,
-                      uint64_t table_id, uint64_t row, uint32_t* length);
+  bool Read(mcsim::CoreSim* core, uint64_t txn_id, uint64_t table_id,
+            uint64_t row, std::vector<uint8_t>* image);
 
   /// Stages a full-row write. `prior_image` is the committed image being
   /// replaced (kept for older snapshots). kAborted on a pending write by
@@ -62,7 +71,9 @@ class MvccManager {
 
   void Abort(mcsim::CoreSim* core, uint64_t txn_id);
 
-  uint64_t clock() const { return clock_; }
+  uint64_t clock() const {
+    return clock_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Version {
@@ -89,9 +100,12 @@ class MvccManager {
     return (table_id << 48) ^ row;
   }
 
+  void AbortLocked(mcsim::CoreSim* core, uint64_t txn_id);
+
   static constexpr size_t kMaxHistory = 4;
 
-  uint64_t clock_ = 1;
+  std::mutex mu_;
+  std::atomic<uint64_t> clock_{1};
   uint64_t next_txn_ = 0;
   std::unordered_map<uint64_t, RowVersions> versions_;
   std::unordered_map<uint64_t, TxnState> txns_;

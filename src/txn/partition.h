@@ -1,6 +1,7 @@
 #ifndef IMOLTP_TXN_PARTITION_H_
 #define IMOLTP_TXN_PARTITION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -19,7 +20,9 @@ namespace imoltp::txn {
 class PartitionManager {
  public:
   explicit PartitionManager(int num_partitions)
-      : owners_(static_cast<size_t>(num_partitions), kFree) {}
+      : owners_(static_cast<size_t>(num_partitions)) {
+    for (auto& o : owners_) o.store(kFree, std::memory_order_relaxed);
+  }
 
   PartitionManager(const PartitionManager&) = delete;
   PartitionManager& operator=(const PartitionManager&) = delete;
@@ -49,18 +52,23 @@ class PartitionManager {
 
   /// Multi-partition path: claims every partition in `partitions` for
   /// `worker` (fails if any is claimed by another multi-partition txn).
+  /// Claims are atomic compare-and-swaps so concurrent multi-partition
+  /// transactions race safely in free-running mode; the traced event
+  /// sequence (all check reads, then all claim writes) is unchanged from
+  /// the serial implementation, so serialized modes stay bit-identical.
   Status EnterMultiPartition(mcsim::CoreSim* core, int worker,
                              const std::vector<int>& partitions) {
     for (int p : partitions) {
       core->Read(reinterpret_cast<uint64_t>(&owners_[p]), 8);
       core->Retire(10);
-      if (owners_[p] != kFree && owners_[p] != worker) {
+      int expected = kFree;
+      if (!owners_[p].compare_exchange_strong(expected, worker) &&
+          expected != worker) {
         ReleaseMultiPartition(core, worker);
         return Status::Aborted("partition claimed");
       }
     }
     for (int p : partitions) {
-      owners_[p] = worker;
       core->Write(reinterpret_cast<uint64_t>(&owners_[p]), 8);
     }
     return Status::Ok();
@@ -68,18 +76,20 @@ class PartitionManager {
 
   void ReleaseMultiPartition(mcsim::CoreSim* core, int worker) {
     for (auto& o : owners_) {
-      if (o == worker) {
-        o = kFree;
+      if (o.load(std::memory_order_relaxed) == worker) {
+        o.store(kFree, std::memory_order_release);
         core->Write(reinterpret_cast<uint64_t>(&o), 8);
       }
     }
   }
 
-  int owner(int partition) const { return owners_[partition]; }
+  int owner(int partition) const {
+    return owners_[partition].load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr int kFree = -1;
-  std::vector<int> owners_;
+  std::vector<std::atomic<int>> owners_;
 };
 
 }  // namespace imoltp::txn

@@ -21,8 +21,9 @@ TEST(ExperimentTest, ReportHasSaneShape) {
   MicroConfig mcfg;
   mcfg.nominal_bytes = 1 << 20;
   MicroBenchmark wl(mcfg);
-  const mcsim::WindowReport r =
-      RunExperiment(FastConfig(EngineKind::kVoltDb), &wl);
+  const auto run = RunExperiment(FastConfig(EngineKind::kVoltDb), &wl);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const mcsim::WindowReport r = *run;
   EXPECT_EQ(r.num_workers, 1);
   EXPECT_DOUBLE_EQ(r.transactions, 500.0);
   EXPECT_GT(r.ipc, 0.0);
@@ -40,8 +41,10 @@ TEST(ExperimentTest, ReproducibleAcrossRuns) {
   MicroConfig mcfg;
   mcfg.nominal_bytes = 1 << 20;
   MicroBenchmark wl1(mcfg), wl2(mcfg);
-  const auto r1 = RunExperiment(FastConfig(EngineKind::kShoreMt), &wl1);
-  const auto r2 = RunExperiment(FastConfig(EngineKind::kShoreMt), &wl2);
+  const auto r1 =
+      RunExperiment(FastConfig(EngineKind::kShoreMt), &wl1).value();
+  const auto r2 =
+      RunExperiment(FastConfig(EngineKind::kShoreMt), &wl2).value();
   EXPECT_DOUBLE_EQ(r1.instructions, r2.instructions);
   EXPECT_DOUBLE_EQ(r1.transactions, r2.transactions);
   EXPECT_NEAR(r1.ipc, r2.ipc, 0.02 * r1.ipc);
@@ -52,9 +55,9 @@ TEST(ExperimentTest, SeedChangesTheRun) {
   mcfg.nominal_bytes = 1 << 20;
   MicroBenchmark wl1(mcfg), wl2(mcfg);
   ExperimentConfig cfg = FastConfig(EngineKind::kShoreMt);
-  const auto r1 = RunExperiment(cfg, &wl1);
+  const auto r1 = RunExperiment(cfg, &wl1).value();
   cfg.seed = 777;
-  const auto r2 = RunExperiment(cfg, &wl2);
+  const auto r2 = RunExperiment(cfg, &wl2).value();
   // Different random keys: same shape, not bit-identical counters.
   EXPECT_NE(r1.misses.l1d, r2.misses.l1d);
 }
@@ -66,12 +69,13 @@ TEST(ExperimentTest, MultiWorkerRunsUseAllCores) {
   MicroBenchmark wl(mcfg);
   ExperimentConfig cfg = FastConfig(EngineKind::kHyPer);
   cfg.num_workers = 2;
-  ExperimentRunner runner(cfg, &wl);
-  const auto r = runner.Run(&wl);
+  auto runner = ExperimentRunner::Create(cfg, &wl);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  const auto r = (*runner)->Run(&wl).value();
   EXPECT_EQ(r.num_workers, 2);
   EXPECT_DOUBLE_EQ(r.transactions, 500.0);  // per-worker average
-  EXPECT_EQ(runner.machine()->num_cores(), 2);
-  EXPECT_GT(runner.machine()->core(1).counters().transactions, 0u);
+  EXPECT_EQ((*runner)->machine()->num_cores(), 2);
+  EXPECT_GT((*runner)->machine()->core(1).counters().transactions, 0u);
 }
 
 TEST(ExperimentTest, RunnerSupportsMultipleWindows) {
@@ -82,9 +86,11 @@ TEST(ExperimentTest, RunnerSupportsMultipleWindows) {
   rw_cfg.read_write = true;
   MicroBenchmark rw(rw_cfg);
 
-  ExperimentRunner runner(FastConfig(EngineKind::kDbmsM), &ro);
-  const auto r1 = runner.Run(&ro);
-  const auto r2 = runner.Run(&rw);
+  auto runner =
+      ExperimentRunner::Create(FastConfig(EngineKind::kDbmsM), &ro);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  const auto r1 = (*runner)->Run(&ro).value();
+  const auto r2 = (*runner)->Run(&rw).value();
   // The read-write variant retires more instructions per transaction
   // (update path) than the read-only one on the same database.
   EXPECT_GT(r2.instructions_per_txn, r1.instructions_per_txn);
@@ -94,9 +100,11 @@ TEST(ExperimentTest, AbortsAreCountedNotFatal) {
   MicroConfig mcfg;
   mcfg.nominal_bytes = 1 << 20;
   MicroBenchmark wl(mcfg);
-  ExperimentRunner runner(FastConfig(EngineKind::kHyPer), &wl);
-  runner.Run(&wl);
-  EXPECT_EQ(runner.aborts(), 0u);
+  auto runner =
+      ExperimentRunner::Create(FastConfig(EngineKind::kHyPer), &wl);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  ASSERT_TRUE((*runner)->Run(&wl).ok());
+  EXPECT_EQ((*runner)->aborts(), 0u);
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ mcsim::WindowReport RunMicro(EngineKind kind, uint64_t nominal_bytes,
   MicroBenchmark wl(mcfg);
   ExperimentConfig cfg = Fast(kind);
   cfg.engine_options = opts;
-  return RunExperiment(cfg, &wl);
+  return RunExperiment(cfg, &wl).value();
 }
 
 constexpr uint64_t kSmall = 4ULL << 20;    // fits in the 20MB LLC
@@ -161,10 +161,10 @@ TEST(PaperFindingsTest, BTreeCausesMoreDataStallsThanHash) {
   ExperimentConfig cfg = Fast(EngineKind::kDbmsM);
   cfg.engine_options.dbms_m_index = index::IndexKind::kHash;
   MicroBenchmark wl1(mcfg);
-  const auto h = RunExperiment(cfg, &wl1);
+  const auto h = RunExperiment(cfg, &wl1).value();
   cfg.engine_options.dbms_m_index = index::IndexKind::kBTreeCc;
   MicroBenchmark wl2(mcfg);
-  const auto b = RunExperiment(cfg, &wl2);
+  const auto b = RunExperiment(cfg, &wl2).value();
   EXPECT_GT(b.stalls_per_kinstr.stalls[5],
             1.2 * h.stalls_per_kinstr.stalls[5]);
 }
@@ -178,7 +178,7 @@ TEST(PaperFindingsTest, TpcbHasBetterDataLocalityThanMicro) {
   tcfg.max_resident_accounts = 400000;
   TpcbBenchmark tpcb(tcfg);
   const auto tpcb_report =
-      RunExperiment(Fast(EngineKind::kVoltDb), &tpcb);
+      RunExperiment(Fast(EngineKind::kVoltDb), &tpcb).value();
 
   MicroConfig mcfg;
   mcfg.nominal_bytes = kHuge;
@@ -187,7 +187,7 @@ TEST(PaperFindingsTest, TpcbHasBetterDataLocalityThanMicro) {
   mcfg.max_resident_rows = 400000;
   MicroBenchmark micro(mcfg);
   const auto micro_report =
-      RunExperiment(Fast(EngineKind::kVoltDb), &micro);
+      RunExperiment(Fast(EngineKind::kVoltDb), &micro).value();
 
   EXPECT_LT(tpcb_report.stalls_per_kinstr.stalls[5],
             micro_report.stalls_per_kinstr.stalls[5]);
@@ -199,14 +199,15 @@ TEST(PaperFindingsTest, MultiThreadedBehavesLikeSingleThreaded) {
   mcfg.nominal_bytes = kHuge;
   mcfg.max_resident_rows = 400000;
   MicroBenchmark single(mcfg);
-  const auto r1 = RunExperiment(Fast(EngineKind::kVoltDb), &single);
+  const auto r1 =
+      RunExperiment(Fast(EngineKind::kVoltDb), &single).value();
 
   MicroConfig mt_cfg = mcfg;
   mt_cfg.num_partitions = 4;
   MicroBenchmark multi(mt_cfg);
   ExperimentConfig cfg = Fast(EngineKind::kVoltDb);
   cfg.num_workers = 4;
-  const auto r4 = RunExperiment(cfg, &multi);
+  const auto r4 = RunExperiment(cfg, &multi).value();
 
   EXPECT_LT(r4.ipc, 1.2);
   EXPECT_NEAR(r4.ipc, r1.ipc, 0.25 * r1.ipc);

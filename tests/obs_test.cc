@@ -245,8 +245,10 @@ TEST(ObsEndToEndTest, SpansAndLatencyReconcileWithWindow) {
   core::ExperimentConfig cfg = SmallConfig();
   core::MicroConfig mcfg = SmallMicro();
   core::MicroBenchmark wl(mcfg);
-  core::ExperimentRunner runner(cfg, &wl);
-  const mcsim::WindowReport report = runner.Run(&wl);
+  auto created = core::ExperimentRunner::Create(cfg, &wl);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  core::ExperimentRunner& runner = **created;
+  const mcsim::WindowReport report = runner.Run(&wl).value();
 
   // Histogram: one sample per (worker, measured transaction).
   const obs::LatencyHistogram& lat = runner.latency_histogram();
@@ -270,8 +272,10 @@ TEST(ObsEndToEndTest, RunReportJsonHasRequiredMetrics) {
   core::ExperimentConfig cfg = SmallConfig();
   core::MicroConfig mcfg = SmallMicro();
   core::MicroBenchmark wl(mcfg);
-  core::ExperimentRunner runner(cfg, &wl);
-  const mcsim::WindowReport report = runner.Run(&wl);
+  auto created = core::ExperimentRunner::Create(cfg, &wl);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  core::ExperimentRunner& runner = **created;
+  const mcsim::WindowReport report = runner.Run(&wl).value();
 
   obs::RunInfo info;
   info.engine = "voltdb";

@@ -163,8 +163,8 @@ TEST_F(MvccTest, AbortClearsPendingMarker) {
 TEST_F(MvccTest, ReaderValidationFailsWhenVersionMoves) {
   MvccManager mvcc;
   const uint64_t reader = mvcc.Begin(core_);
-  uint32_t len;
-  mvcc.Read(core_, reader, 0, 5, &len);  // observes version ts 0
+  std::vector<uint8_t> image;
+  mvcc.Read(core_, reader, 0, 5, &image);  // observes version ts 0
 
   const uint64_t writer = mvcc.Begin(core_);
   auto next = Image(2);
@@ -191,11 +191,10 @@ TEST_F(MvccTest, SnapshotReaderSeesOldImage) {
   std::vector<MvccManager::StagedWrite> installs;
   ASSERT_TRUE(mvcc.Commit(core_, writer, &installs).ok());
 
-  uint32_t len = 0;
-  const uint8_t* image = mvcc.Read(core_, reader, 0, 5, &len);
-  ASSERT_NE(image, nullptr);  // served from the version chain
-  EXPECT_EQ(len, 16u);
-  EXPECT_EQ(image[0], 1);  // the prior image
+  std::vector<uint8_t> image;
+  ASSERT_TRUE(mvcc.Read(core_, reader, 0, 5, &image));
+  EXPECT_EQ(image.size(), 16u);  // served from the version chain
+  EXPECT_EQ(image[0], 1);        // the prior image
 }
 
 TEST_F(MvccTest, FreshReaderSeesTableContent) {
@@ -210,16 +209,16 @@ TEST_F(MvccTest, FreshReaderSeesTableContent) {
   ASSERT_TRUE(mvcc.Commit(core_, writer, &installs).ok());
 
   const uint64_t reader = mvcc.Begin(core_);  // snapshot after commit
-  uint32_t len = 0;
-  EXPECT_EQ(mvcc.Read(core_, reader, 0, 5, &len), nullptr);
+  std::vector<uint8_t> image;
+  EXPECT_FALSE(mvcc.Read(core_, reader, 0, 5, &image));
 }
 
 TEST_F(MvccTest, ReadOnlyTransactionCommits) {
   MvccManager mvcc;
   const uint64_t t = mvcc.Begin(core_);
-  uint32_t len;
-  mvcc.Read(core_, t, 0, 1, &len);
-  mvcc.Read(core_, t, 0, 2, &len);
+  std::vector<uint8_t> image;
+  mvcc.Read(core_, t, 0, 1, &image);
+  mvcc.Read(core_, t, 0, 2, &image);
   std::vector<MvccManager::StagedWrite> installs;
   EXPECT_TRUE(mvcc.Commit(core_, t, &installs).ok());
   EXPECT_TRUE(installs.empty());

@@ -36,6 +36,7 @@ struct Flags {
   std::string index = "hash";
   bool compilation = true;
   uint64_t seed = 42;
+  std::string mode = "deterministic";  // serial|deterministic|free
   bool csv = false;
   bool csv_header = false;
   bool list = false;
@@ -121,6 +122,8 @@ inline bool ParseCommandLine(int argc, char* const* argv, Flags* flags,
       flags->warmup = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--index=")) {
       flags->index = v;
+    } else if (const char* v = value("--mode=")) {
+      flags->mode = v;
     } else if (const char* v = value("--seed=")) {
       flags->seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--json=")) {
@@ -169,6 +172,16 @@ inline bool BuildExperiment(const Flags& flags,
   cfg->measure_txns = flags.txns;
   cfg->warmup_txns = flags.warmup;
   cfg->seed = flags.seed;
+  if (flags.mode == "serial") {
+    cfg->parallel_mode = core::ParallelMode::kSerial;
+  } else if (flags.mode == "deterministic") {
+    cfg->parallel_mode = core::ParallelMode::kDeterministic;
+  } else if (flags.mode == "free") {
+    cfg->parallel_mode = core::ParallelMode::kFree;
+  } else {
+    *error = "unknown mode: " + flags.mode;
+    return false;
+  }
   cfg->engine_options.compilation = flags.compilation;
   cfg->engine_options.dbms_m_index = flags.index == "btree"
                                          ? index::IndexKind::kBTreeCc

@@ -19,6 +19,8 @@
 //   --warmup=N           warm-up transactions per worker
 //   --index=hash|btree   DBMS M index choice
 //   --no-compilation     disable DBMS M transaction compilation
+//   --mode=M             serial|deterministic|free host threading
+//                        (see docs/parallel_execution.md)
 //   --seed=N
 //   --csv                one CSV row (+ header with --csv-header)
 //   --json=FILE          full JSON report ("-" = stdout)
@@ -49,6 +51,7 @@ int Usage(const char* argv0, const std::string& error) {
                "[--warmup=N]\n"
                "          [--index=hash|btree] [--no-compilation] "
                "[--seed=N] [--csv]\n"
+               "          [--mode=serial|deterministic|free]\n"
                "          [--json=FILE] [--trace-out=FILE]\n"
                "engines: shore-mt dbms-d voltdb hyper dbms-m\n"
                "workloads: micro micro-rw micro-string tpcb tpcc\n",
@@ -79,7 +82,6 @@ int main(int argc, char** argv) {
   // populated: cache warm-up runs with simulation on, and a replay only
   // reproduces the live counters if those events are in the trace.
   trace::TraceWriter writer;
-  std::function<Status(mcsim::MachineSim*)> pre_populate;
   if (!flags.trace_out.empty()) {
     trace::TraceWriter::Options topts;
     topts.engine = flags.engine;
@@ -90,23 +92,30 @@ int main(int argc, char** argv) {
     topts.db_bytes = flags.db_bytes;
     topts.rows = flags.rows;
     topts.warehouses = flags.warehouses;
-    pre_populate = [&writer, &flags,
-                    topts](mcsim::MachineSim* machine) {
+    cfg.hooks.pre_populate = [&writer, &flags,
+                              topts](mcsim::MachineSim* machine) {
       const Status s = writer.Open(flags.trace_out, *machine, topts);
       if (!s.ok()) return s;
       machine->SetTraceSink(&writer);
       return Status::Ok();
     };
   }
-  core::ExperimentRunner runner(cfg, workload.get(), pre_populate);
-  if (!runner.init_status().ok()) {
+  auto created = core::ExperimentRunner::Create(cfg, workload.get());
+  if (!created.ok()) {
     std::fprintf(stderr, "%s: %s\n", argv[0],
-                 runner.init_status().ToString().c_str());
+                 created.status().ToString().c_str());
     return 1;
   }
+  core::ExperimentRunner& runner = **created;
   if (!flags.trace_out.empty()) runner.set_trace_sink(&writer);
 
-  const mcsim::WindowReport r = runner.Run(workload.get());
+  const auto run = runner.Run(workload.get());
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const mcsim::WindowReport r = *run;
 
   if (!flags.trace_out.empty()) {
     runner.set_trace_sink(nullptr);
