@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# UndefinedBehaviorSanitizer build and test run, split out of asan.sh so
+# the two sanitizers run (and fail) independently in CI. Trap-on-error
+# turns every UB report into a hard test failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build-ubsan -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=undefined -fno-omit-frame-pointer -O1"
+cmake --build build-ubsan
+ctest --test-dir build-ubsan --output-on-failure

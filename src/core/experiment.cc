@@ -1,12 +1,36 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "fault/fault_injector.h"
 
 namespace imoltp::core {
 
 namespace {
+
+/// Buckets one abort Status by cause, using the engines' stable abort
+/// message vocabulary (see docs/robustness.md).
+void ClassifyAbort(const Status& s, mcsim::AbortBreakdown* b) {
+  ++b->total;
+  const std::string& m = s.message();
+  if (m.find("injected") != std::string::npos) {
+    ++b->injected_fault;
+  } else if (m.find("lock conflict") != std::string::npos ||
+             m.find("upgrade") != std::string::npos) {
+    ++b->lock_conflict;
+  } else if (m.find("validation") != std::string::npos ||
+             m.find("write-write") != std::string::npos) {
+    ++b->validation;
+  } else if (m.find("partition") != std::string::npos) {
+    ++b->partition;
+  } else {
+    ++b->other;
+  }
+}
 
 /// Token-passing barrier for ParallelMode::kDeterministic: worker w may
 /// run its next transaction only while holding the token, which cycles
@@ -84,31 +108,95 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
                                 bool measure) {
   const int workers = config_.num_workers;
   const mcsim::CycleModelParams& params = machine_->config().cycle;
+  fault::FaultInjector* inj = config_.engine_options.fault_injector;
+  const int max_attempts = std::max(1, config_.retry.max_attempts);
+  const int retry_cap = std::max(0, config_.retry.max_inflight_retries);
 
-  // One worker-transaction. Latency/abort accounting goes to the given
-  // sinks: the shared members for the serialized modes (every access is
-  // ordered by program order or the turnstile mutex), per-worker locals
-  // for kFree.
-  auto body = [&](int w, obs::LatencyHistogram* lat, uint64_t* aborts) {
+  // A latched injected crash halts the phase: once any worker's engine
+  // call crashed, no worker starts another transaction (a crashed
+  // process executes nothing). Initialized from the injector so a crash
+  // in the warm-up phase also empties the measurement window.
+  std::atomic<bool> halt{inj != nullptr && inj->crash_pending()};
+
+  // One worker-transaction, including its retry loop. Latency/abort
+  // accounting goes to the given sinks: the shared members for the
+  // serialized modes (every access is ordered by program order or the
+  // turnstile mutex), per-worker locals for kFree. The latency sample
+  // covers every attempt plus backoff — the retry tail is exactly what
+  // the per-attempt averages would hide.
+  auto body = [&](int w, const PhaseSinks& sinks) {
     Rng* rng = &(*rngs)[w];
-    if (!measure) {
-      (void)workload->RunTransaction(engine_.get(), w, rng);
-      return;
-    }
+    mcsim::CoreSim* core = &machine_->core(w);
     const mcsim::ModuleCounters before =
-        mcsim::AggregateCounters(machine_->core(w).counters());
-    const Status s = workload->RunTransaction(engine_.get(), w, rng);
-    if (!s.ok()) ++*aborts;
-    const mcsim::ModuleCounters delta =
-        mcsim::AggregateCounters(machine_->core(w).counters()) - before;
-    lat->Add(mcsim::SimulatedCycles(delta, params));
+        measure ? mcsim::AggregateCounters(core->counters())
+                : mcsim::ModuleCounters{};
+    bool holds_retry_token = false;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      // Snapshot the RNG so a retry re-executes the same logical
+      // transaction (same keys, same values) rather than a fresh draw.
+      const Rng snapshot = *rng;
+      const Status s = workload->RunTransaction(engine_.get(), w, rng);
+      if (s.ok()) {
+        if (measure) {
+          ++*sinks.committed;
+          if (attempt > 1) ++sinks.retry->retry_successes;
+        }
+        break;
+      }
+      if (measure) {
+        ++*sinks.aborts;
+        ClassifyAbort(s, sinks.breakdown);
+      }
+      // A crashed process retries nothing.
+      if (inj != nullptr && inj->crash_pending()) break;
+      if (attempt >= max_attempts) break;
+      if (!holds_retry_token) {
+        // Admission cap: bounded concurrent retriers, or load-shed.
+        int cur = inflight_retries_.load(std::memory_order_relaxed);
+        bool admitted = false;
+        while (cur < retry_cap) {
+          if (inflight_retries_.compare_exchange_weak(cur, cur + 1)) {
+            admitted = true;
+            break;
+          }
+        }
+        if (!admitted) {
+          if (measure) ++sinks.retry->retry_rejections;
+          break;
+        }
+        holds_retry_token = true;
+      }
+      // Bounded exponential backoff, charged to the worker's core.
+      if (config_.retry.backoff_cycles > 0) {
+        core->Retire(config_.retry.backoff_cycles
+                     << std::min(attempt - 1, 16));
+      }
+      if (mode == ParallelMode::kFree) std::this_thread::yield();
+      *rng = snapshot;
+      if (measure) ++sinks.retry->retries;
+    }
+    if (holds_retry_token) {
+      inflight_retries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (inj != nullptr && inj->crash_pending()) {
+      halt.store(true, std::memory_order_release);
+    }
+    if (measure) {
+      const mcsim::ModuleCounters delta =
+          mcsim::AggregateCounters(core->counters()) - before;
+      sinks.lat->Add(mcsim::SimulatedCycles(delta, params));
+    }
   };
+
+  const PhaseSinks shared{&latency_, &aborts_, &breakdown_, &retry_stats_,
+                          &committed_};
 
   switch (mode) {
     case ParallelMode::kSerial: {
       for (uint64_t t = 0; t < txns; ++t) {
         for (int w = 0; w < workers; ++w) {
-          body(w, &latency_, &aborts_);
+          if (halt.load(std::memory_order_acquire)) return;
+          body(w, shared);
         }
       }
       return;
@@ -121,7 +209,9 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
         threads.emplace_back([&, w] {
           for (uint64_t t = 0; t < txns; ++t) {
             turnstile.Await(w);
-            body(w, &latency_, &aborts_);
+            // After a crash every worker keeps cycling the turnstile
+            // (so no one blocks) but runs nothing further.
+            if (!halt.load(std::memory_order_acquire)) body(w, shared);
             turnstile.Advance();
           }
         });
@@ -132,13 +222,23 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
     case ParallelMode::kFree: {
       std::vector<obs::LatencyHistogram> local_lat(workers);
       std::vector<uint64_t> local_aborts(workers, 0);
+      std::vector<mcsim::AbortBreakdown> local_breakdown(workers);
+      std::vector<RetryStats> local_retry(workers);
+      std::vector<uint64_t> local_committed(workers, 0);
       machine_->SetFreeRunning(true);
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (int w = 0; w < workers; ++w) {
         threads.emplace_back([&, w] {
+          const PhaseSinks local{&local_lat[w], &local_aborts[w],
+                                 &local_breakdown[w], &local_retry[w],
+                                 &local_committed[w]};
           for (uint64_t t = 0; t < txns; ++t) {
-            body(w, &local_lat[w], &local_aborts[w]);
+            if (halt.load(std::memory_order_acquire)) break;
+            // Simulated worker-core death: the thread stops issuing
+            // transactions; the rest of the fleet keeps running.
+            if (inj != nullptr && inj->Fires(fault::kCoreDeath)) break;
+            body(w, local);
           }
         });
       }
@@ -149,6 +249,17 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
       for (int w = 0; w < workers; ++w) {
         latency_.Merge(local_lat[w]);
         aborts_ += local_aborts[w];
+        committed_ += local_committed[w];
+        retry_stats_.retries += local_retry[w].retries;
+        retry_stats_.retry_successes += local_retry[w].retry_successes;
+        retry_stats_.retry_rejections += local_retry[w].retry_rejections;
+        const mcsim::AbortBreakdown& lb = local_breakdown[w];
+        breakdown_.total += lb.total;
+        breakdown_.lock_conflict += lb.lock_conflict;
+        breakdown_.validation += lb.validation;
+        breakdown_.partition += lb.partition;
+        breakdown_.injected_fault += lb.injected_fault;
+        breakdown_.other += lb.other;
       }
       return;
     }
@@ -187,11 +298,16 @@ StatusOr<mcsim::WindowReport> ExperimentRunner::Run(Workload* workload) {
   for (int w = 0; w < workers; ++w) cores.push_back(w);
   engine_->span_collector()->Reset();
   latency_.Reset();
+  breakdown_ = mcsim::AbortBreakdown{};
+  retry_stats_ = RetryStats{};
+  committed_ = 0;
   if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/true);
   profiler.BeginWindow(cores);
   RunPhase(workload, mode, config_.measure_txns, &rngs, /*measure=*/true);
   if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/false);
-  return profiler.EndWindow();
+  mcsim::WindowReport report = profiler.EndWindow();
+  report.aborts = breakdown_;
+  return report;
 }
 
 StatusOr<mcsim::WindowReport> RunExperiment(const ExperimentConfig& config,

@@ -1,6 +1,7 @@
 #ifndef IMOLTP_CORE_EXPERIMENT_H_
 #define IMOLTP_CORE_EXPERIMENT_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -34,6 +35,31 @@ enum class ParallelMode {
 
 const char* ParallelModeName(ParallelMode mode);
 
+/// Retry policy for aborted transactions (no-wait 2PL conflicts, MVCC
+/// validation failures). Each retry re-executes the *same* logical
+/// transaction — the worker's RNG is rewound to its pre-attempt state —
+/// after a bounded exponential backoff, CCBench-style. Crashed
+/// transactions (injected faults) are never retried: a dead process
+/// retries nothing.
+struct RetryPolicy {
+  /// Total executions allowed per transaction (1 = no retry).
+  int max_attempts = 1;
+  /// Backoff before retry k (1-based) is backoff_cycles << (k-1)
+  /// simulated instructions on the worker's core.
+  uint64_t backoff_cycles = 0;
+  /// Admission cap: at most this many workers may be in retry mode at
+  /// once; excess retries are rejected (the transaction stays aborted)
+  /// so a contention storm degrades to load-shedding, not livelock.
+  int max_inflight_retries = 4;
+};
+
+/// Retry-path counters for the most recent measurement window.
+struct RetryStats {
+  uint64_t retries = 0;           // re-executions performed
+  uint64_t retry_successes = 0;   // txns committed after >= 1 retry
+  uint64_t retry_rejections = 0;  // retries denied by the admission cap
+};
+
 /// Optional callouts into the runner's build/run lifecycle.
 struct ExperimentHooks {
   /// Runs after the machine and engine exist (module table registered,
@@ -58,6 +84,7 @@ struct ExperimentConfig {
   uint64_t measure_txns = 6000;  // per worker, profiler attached
   uint64_t seed = 42;
   ParallelMode parallel_mode = ParallelMode::kDeterministic;
+  RetryPolicy retry;
   engine::EngineOptions engine_options;
   mcsim::MachineConfig machine_config;
   ExperimentHooks hooks;
@@ -91,6 +118,17 @@ class ExperimentRunner {
   mcsim::MachineSim* machine() { return machine_.get(); }
   uint64_t aborts() const { return aborts_; }
 
+  /// Aborted attempts of the most recent measurement window, by cause
+  /// (also embedded in the returned WindowReport).
+  const mcsim::AbortBreakdown& abort_breakdown() const {
+    return breakdown_;
+  }
+  /// Retry-path counters of the most recent measurement window.
+  const RetryStats& retry_stats() const { return retry_stats_; }
+  /// Transactions that committed in the most recent measurement window
+  /// (summed over workers; counts final successes, not attempts).
+  uint64_t committed() const { return committed_; }
+
   /// Attaches a trace sink to the machine (nullptr detaches) and makes
   /// Run() bracket each measurement window with window markers, so a
   /// replay can reproduce the WindowReport. Attach before the first
@@ -121,9 +159,20 @@ class ExperimentRunner {
   /// Builds machine + engine, runs hooks.pre_populate, populates.
   Status Init(Workload* schema_source);
 
+  /// Per-phase accounting sinks: the shared members for the serialized
+  /// modes, per-worker locals (merged post-join) for kFree.
+  struct PhaseSinks {
+    obs::LatencyHistogram* lat = nullptr;
+    uint64_t* aborts = nullptr;
+    mcsim::AbortBreakdown* breakdown = nullptr;
+    RetryStats* retry = nullptr;
+    uint64_t* committed = nullptr;
+  };
+
   /// Runs `txns` transactions per worker under `mode`. When `measure`
   /// is set, per-transaction latencies land in latency_ and failures
-  /// in aborts_ (merged in worker order for kFree).
+  /// in aborts_ (merged in worker order for kFree). An injected crash
+  /// halts the phase: no worker starts another transaction.
   void RunPhase(Workload* workload, ParallelMode mode, uint64_t txns,
                 std::vector<Rng>* rngs, bool measure);
 
@@ -134,6 +183,10 @@ class ExperimentRunner {
   mcsim::TraceSink* trace_sink_ = nullptr;
   uint64_t aborts_ = 0;
   uint64_t runs_ = 0;
+  mcsim::AbortBreakdown breakdown_;
+  RetryStats retry_stats_;
+  uint64_t committed_ = 0;
+  std::atomic<int> inflight_retries_{0};
 };
 
 /// One-shot convenience: build, populate, run.

@@ -43,6 +43,7 @@ DiskEngine::DiskEngine(EngineKind kind, mcsim::MachineSim* machine,
   // region (no page table, no latching, no pin bookkeeping).
   heap_direct_ = DefineRegion(RegionSpec{
       "sm-heap-direct", true, 8 << 10, 4 << 10, 1800, 7.0, 0.9});
+  lock_manager_.set_fault_injector(options.fault_injector);
 }
 
 /// Stored-procedure context for the disk archetypes. Every data
@@ -347,8 +348,19 @@ Status DiskEngine::Execute(int worker, const TxnRequest& request,
   }
   Exec(core, xct_begin_);
 
+  // Crash before any work: nothing held, nothing logged.
+  if (FaultCrash(fault::kCrashPreBody)) {
+    return Status::Aborted("injected crash: pre_body");
+  }
+
   Ctx ctx(this, core, txn_id);
   Status s = body(ctx);
+
+  // Crash mid-commit: in-place changes stay dirty, locks stay held —
+  // recovery must drop this transaction (no commit record was logged).
+  if (s.ok() && FaultCrash(fault::kCrashMidCommit)) {
+    return Status::Aborted("injected crash: mid_commit");
+  }
 
   if (!s.ok()) {
     // Abort: undo in-place changes, release locks, log the abort.
@@ -378,6 +390,11 @@ Status DiskEngine::Execute(int worker, const TxnRequest& request,
     mcsim::ScopedModule mod(core, log_.module);
     Exec(core, log_);
     logs_[core->core_id()]->LogCommit(core, txn_id);
+  }
+  // Crash after the commit record but before lock release / flush: the
+  // commit is durable only up to the flushed log prefix.
+  if (FaultCrash(fault::kCrashPostCommit)) {
+    return Status::Aborted("injected crash: post_commit");
   }
   {
     obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLockAcquire);

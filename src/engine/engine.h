@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
 #include "index/index.h"
 #include "index/key.h"
 #include "mcsim/machine.h"
@@ -166,6 +167,16 @@ struct EngineOptions {
 
   /// Ablation: run a disk engine without its buffer pool layer.
   bool use_bufferpool = true;
+
+  /// Per-worker WAL ring size. Chaos runs shrink it to force frequent
+  /// asynchronous flushes (tightening the post-commit durability
+  /// window they crash into).
+  uint32_t log_buffer_bytes = 1u << 20;
+
+  /// Optional fault injector (not owned; must outlive the engine).
+  /// Wired into every LogManager, the 2PL lock table, and the engines'
+  /// crash points. Null ⇒ no fault checks at all.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 /// One OLTP engine archetype bound to a simulated machine. Workers map
@@ -197,6 +208,12 @@ class Engine {
   /// The engine's durable write-ahead log, merged across workers in LSN
   /// order (the simulated log device).
   virtual std::vector<txn::LogRecord> StableLog() const = 0;
+
+  /// The flushed prefix of the durable log: only records the
+  /// asynchronous background writer had pushed to the device. This is
+  /// what survives a crash that loses the in-memory log rings
+  /// (crash.post_commit faults recover from this, not StableLog).
+  virtual std::vector<txn::LogRecord> FlushedLog() const = 0;
 
   /// Crash recovery: REDOes the committed transactions of `log` onto
   /// this engine's tables and indexes. Call on a freshly created

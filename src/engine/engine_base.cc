@@ -13,7 +13,9 @@ EngineBase::EngineBase(mcsim::MachineSim* machine,
       spans_(&machine->config().cycle, machine->num_cores()) {
   logs_.reserve(machine_->num_cores());
   for (int i = 0; i < machine_->num_cores(); ++i) {
-    logs_.push_back(std::make_unique<txn::LogManager>());
+    logs_.push_back(
+        std::make_unique<txn::LogManager>(options_.log_buffer_bytes));
+    logs_.back()->set_fault_injector(options_.fault_injector);
   }
 }
 
@@ -293,11 +295,37 @@ std::vector<txn::LogRecord> EngineBase::StableLog() const {
   return merged;
 }
 
+std::vector<txn::LogRecord> EngineBase::FlushedLog() const {
+  std::vector<txn::LogRecord> merged;
+  for (const auto& log : logs_) {
+    const auto& records = log->stable_log();
+    merged.insert(merged.end(), records.begin(),
+                  records.begin() +
+                      static_cast<std::ptrdiff_t>(log->flushed_records()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const txn::LogRecord& a, const txn::LogRecord& b) {
+              return a.lsn < b.lsn;
+            });
+  return merged;
+}
+
 Status EngineBase::Replay(const std::vector<txn::LogRecord>& log) {
+  // A torn record (bad checksum on the device) ends the usable log:
+  // recovery scans forward and stops at the first record that fails
+  // verification, exactly like a real ARIES analysis pass.
+  size_t usable = log.size();
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (log[i].torn) {
+      usable = i;
+      break;
+    }
+  }
+
   // Analysis pass: which transactions committed?
   std::unordered_set<uint64_t> committed;
-  for (const txn::LogRecord& rec : log) {
-    if (rec.op == txn::LogOp::kCommit) committed.insert(rec.txn_id);
+  for (size_t i = 0; i < usable; ++i) {
+    if (log[i].op == txn::LogOp::kCommit) committed.insert(log[i].txn_id);
   }
 
   // REDO pass, in LSN order, committed transactions only. Recovery runs
@@ -305,7 +333,8 @@ Status EngineBase::Replay(const std::vector<txn::LogRecord>& log) {
   machine_->SetEnabled(false);
   mcsim::CoreSim* core = &machine_->core(0);
   Status result = Status::Ok();
-  for (const txn::LogRecord& rec : log) {
+  for (size_t i = 0; i < usable; ++i) {
+    const txn::LogRecord& rec = log[i];
     if (rec.op == txn::LogOp::kCommit || rec.op == txn::LogOp::kAbort ||
         rec.op == txn::LogOp::kCommand) {
       continue;  // kCommand is logical; physical REDO cannot replay it

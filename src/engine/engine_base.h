@@ -25,6 +25,7 @@ class EngineBase : public Engine {
 
   Status CreateDatabase(const std::vector<TableDef>& defs) override;
   std::vector<txn::LogRecord> StableLog() const override;
+  std::vector<txn::LogRecord> FlushedLog() const override;
   Status Replay(const std::vector<txn::LogRecord>& log) override;
 
  protected:
@@ -117,6 +118,19 @@ class EngineBase : public Engine {
                          const uint8_t* row, storage::RowId rid);
   void RemoveSecondaries(mcsim::CoreSim* core, TableRt& rt, Slice& slice,
                          const uint8_t* row);
+
+  /// Fault-point helpers over options_.fault_injector (null ⇒ never).
+  bool FaultFires(const char* point) {
+    return options_.fault_injector != nullptr &&
+           options_.fault_injector->Fires(point);
+  }
+  /// Crash-class point: latches crash_pending on the injector so the
+  /// experiment loop halts. The engine returns Aborted — a crashed
+  /// process does no further work in this transaction.
+  bool FaultCrash(const char* point) {
+    return options_.fault_injector != nullptr &&
+           options_.fault_injector->FireCrash(point);
+  }
 
   mcsim::MachineSim* machine_;
   EngineOptions options_;

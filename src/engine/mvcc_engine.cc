@@ -240,8 +240,21 @@ Status MvccEngine::Execute(int worker, const TxnRequest& request,
     mcsim::ScopedModule mod(core, txn_mgmt_.module);
     txn_id = mvcc_.Begin(core);
   }
+  // Crash before any work: the open snapshot just vanishes.
+  if (FaultCrash(fault::kCrashPreBody)) {
+    return Status::Aborted("injected crash: pre_body");
+  }
+
   Ctx ctx(this, core, txn_id);
   Status s = body(ctx);
+
+  // Crash mid-commit: staged versions die with the process; in-place
+  // inserts/deletes stay dirty and no commit record exists, so recovery
+  // drops the transaction.
+  if (s.ok() && FaultCrash(fault::kCrashMidCommit)) {
+    return Status::Aborted("injected crash: mid_commit");
+  }
+
   if (!s.ok()) {
     mvcc_.Abort(core, txn_id);
     ApplyUndo(core, ctx.undo);  // inserts/deletes applied in place
@@ -275,6 +288,11 @@ Status MvccEngine::Execute(int worker, const TxnRequest& request,
     obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLogAppend);
     Exec(core, log_);
     logs_[core->core_id()]->LogCommit(core, txn_id);
+  }
+  // Crash after the commit record: durable only up to the flushed
+  // prefix of the log.
+  if (FaultCrash(fault::kCrashPostCommit)) {
+    return Status::Aborted("injected crash: post_commit");
   }
   return Status::Ok();
 }

@@ -300,6 +300,11 @@ Status PartitionedEngine::Execute(
     if (!s.ok()) return s;
   }
 
+  // Crash before any work: the partition executor dies idle.
+  if (FaultCrash(fault::kCrashPreBody)) {
+    return Status::Aborted("injected crash: pre_body");
+  }
+
   mcsim::CodeRegion compiled_region;
   if (compiled_) {
     compiled_region = CompiledRegion(request.type, request.statements);
@@ -309,6 +314,12 @@ Status PartitionedEngine::Execute(
   Ctx ctx(this, core, txn_id, home, op_module);
   if (compiled_) Exec(core, compiled_region);
   Status s = body(ctx);
+
+  // Crash mid-commit: in-place changes stay dirty with no commit (or
+  // command) record, so recovery drops the transaction.
+  if (s.ok() && FaultCrash(fault::kCrashMidCommit)) {
+    return Status::Aborted("injected crash: mid_commit");
+  }
 
   if (!options_.single_site) {
     partitions_.ReleaseMultiPartition(core, worker);
@@ -339,6 +350,10 @@ Status PartitionedEngine::Execute(
     } else {
       logs_[core->core_id()]->LogCommit(core, txn_id);
     }
+  }
+  // Crash after the commit/command record hit the log ring.
+  if (FaultCrash(fault::kCrashPostCommit)) {
+    return Status::Aborted("injected crash: post_commit");
   }
   return Status::Ok();
 }

@@ -1,0 +1,330 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/tpcb.h"
+#include "core/tpcc.h"
+#include "obs/json.h"
+
+namespace imoltp::fault {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvByte(uint64_t h, uint8_t b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = FnvByte(h, static_cast<uint8_t>(v >> (8 * i)));
+  }
+  return h;
+}
+
+uint64_t FnvBytes(uint64_t h, const uint8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) h = FnvByte(h, p[i]);
+  return h;
+}
+
+uint64_t FnvString(uint64_t h, const std::string& s) {
+  h = FnvMix(h, s.size());
+  return FnvBytes(h, reinterpret_cast<const uint8_t*>(s.data()),
+                  s.size());
+}
+
+/// Digest of the surviving log's replayable content. LSNs and txn ids
+/// are deliberately excluded: both come from process-wide counters that
+/// keep advancing across cycles, so only their order (already implied
+/// by record order) is deterministic, not their values.
+uint64_t FnvLog(uint64_t h, const std::vector<txn::LogRecord>& log) {
+  h = FnvMix(h, log.size());
+  for (const txn::LogRecord& r : log) {
+    h = FnvByte(h, static_cast<uint8_t>(r.op));
+    h = FnvMix(h, static_cast<uint16_t>(r.table));
+    h = FnvMix(h, static_cast<uint16_t>(r.column));
+    h = FnvMix(h, static_cast<uint16_t>(r.slice));
+    h = FnvMix(h, r.row);
+    h = FnvByte(h, r.torn ? 1 : 0);
+    h = FnvMix(h, r.payload.size());
+    h = FnvBytes(h, r.payload.data(), r.payload.size());
+    h = FnvMix(h, r.key.size());
+    h = FnvBytes(h, r.key.data(), r.key.size());
+  }
+  return h;
+}
+
+uint64_t FnvInvariants(uint64_t h, const InvariantReport& rep) {
+  h = FnvByte(h, rep.ok ? 1 : 0);
+  h = FnvMix(h, rep.checksums.size());
+  for (int64_t v : rep.checksums) {
+    h = FnvMix(h, static_cast<uint64_t>(v));
+  }
+  return h;
+}
+
+void InvariantsToJson(obs::JsonWriter& w, const InvariantReport& rep) {
+  w.BeginObject();
+  w.KeyValue("ok", rep.ok);
+  w.Key("violations");
+  w.BeginArray();
+  for (const std::string& v : rep.violations) w.Value(v);
+  w.EndArray();
+  w.Key("checksums");
+  w.BeginArray();
+  for (int64_t v : rep.checksums) w.Value(v);
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
+  if (opt.workload != "tpcb" && opt.workload != "tpcc") {
+    return Status::InvalidArgument("chaos workload must be tpcb or tpcc");
+  }
+  if (opt.cycles < 1) {
+    return Status::InvalidArgument("chaos needs at least one cycle");
+  }
+  if (opt.workers < 1) {
+    return Status::InvalidArgument("chaos needs at least one worker");
+  }
+  if (opt.workload == "tpcc" &&
+      opt.tpcc_warehouses % opt.workers != 0) {
+    return Status::InvalidArgument(
+        "warehouses must be divisible by workers");
+  }
+
+  ChaosReport report;
+  uint64_t agg = kFnvOffset;
+
+  for (int c = 0; c < opt.cycles; ++c) {
+    ChaosCycleResult cyc;
+    cyc.cycle = c;
+
+    // Fresh injector per cycle, seeded from the campaign seed and the
+    // cycle index: re-running the campaign replays every schedule.
+    FaultInjector inj(opt.seed ^
+                      (0x9e3779b97f4a7c15ULL *
+                       static_cast<uint64_t>(c + 1)));
+    for (const auto& [name, point] : opt.points) inj.Arm(name, point);
+
+    // Fresh workload per cycle: its history-id counters restart at
+    // zero, which same-seed determinism depends on.
+    std::unique_ptr<core::Workload> workload;
+    core::TpcbBenchmark* tpcb = nullptr;
+    core::TpccConfig tpcc_cfg;
+    if (opt.workload == "tpcb") {
+      core::TpcbConfig cfg;
+      cfg.nominal_bytes = opt.tpcb_nominal_bytes;
+      cfg.num_partitions = opt.workers;
+      auto bench = std::make_unique<core::TpcbBenchmark>(cfg);
+      tpcb = bench.get();
+      workload = std::move(bench);
+    } else {
+      tpcc_cfg.warehouses = opt.tpcc_warehouses;
+      tpcc_cfg.orders_per_district = opt.tpcc_orders_per_district;
+      tpcc_cfg.num_partitions = opt.workers;
+      workload = std::make_unique<core::TpccBenchmark>(tpcc_cfg);
+    }
+
+    core::ExperimentConfig cfg;
+    cfg.engine = opt.engine;
+    cfg.num_workers = opt.workers;
+    cfg.warmup_txns = opt.warmup_txns;
+    cfg.measure_txns = opt.measure_txns;
+    cfg.seed = opt.seed + 131 * static_cast<uint64_t>(c);
+    cfg.parallel_mode = opt.mode;
+    cfg.retry = opt.retry;
+    cfg.machine_config = opt.machine_config;
+    cfg.engine_options.log_buffer_bytes = opt.log_buffer_bytes;
+    cfg.engine_options.fault_injector = &inj;
+
+    auto runner = core::ExperimentRunner::Create(cfg, workload.get());
+    if (!runner.ok()) return runner.status();
+    core::ExperimentRunner* r = runner->get();
+    auto window = r->Run(workload.get());
+    if (!window.ok()) return window.status();
+
+    cyc.committed = r->committed();
+    cyc.aborts = r->aborts();
+    cyc.breakdown = r->abort_breakdown();
+    cyc.retry = r->retry_stats();
+    cyc.crash_point = inj.crash_point();
+
+    // What the "disk" still holds. A post-commit crash happens after
+    // the commit was acknowledged but possibly before the background
+    // writer drained the ring — only the flushed prefix survives. The
+    // earlier crash points fire before the commit record exists, so
+    // the full stable log is the honest device image for them.
+    engine::Engine* live = r->engine();
+    std::vector<txn::LogRecord> log =
+        cyc.crash_point == kCrashPostCommit ? live->FlushedLog()
+                                            : live->StableLog();
+
+    // Seeded log surgery: when log.truncate_tail is armed, the device
+    // lost a suffix of whatever it had.
+    for (const auto& [name, point] : opt.points) {
+      if (name != kLogTruncateTail) continue;
+      const uint64_t max_drop =
+          std::min<uint64_t>(log.size(), 16);
+      cyc.dropped_records = inj.Uniform(max_drop + 1);
+      log.resize(log.size() - cyc.dropped_records);
+      break;
+    }
+    cyc.log_records = log.size();
+
+    // Recovery: a brand-new machine and engine, repopulated from the
+    // same table definitions, REDOing the surviving log. Recovery
+    // itself is not under test, so it runs without the injector.
+    mcsim::MachineConfig mc = opt.machine_config;
+    mc.num_cores = opt.workers;
+    mcsim::MachineSim machine2(mc);
+    engine::EngineOptions eopts = cfg.engine_options;
+    eopts.num_partitions = opt.workers;
+    eopts.fault_injector = nullptr;
+    std::unique_ptr<engine::Engine> recovered =
+        engine::CreateEngine(opt.engine, &machine2, eopts);
+    Status s = recovered->CreateDatabase(workload->Tables());
+    if (!s.ok()) return s;
+    s = recovered->Replay(log);
+    if (!s.ok()) return s;
+
+    if (tpcb != nullptr) {
+      cyc.recovered =
+          CheckTpcbInvariants(recovered.get(), *tpcb, opt.workers);
+    } else {
+      cyc.recovered =
+          CheckTpccInvariants(recovered.get(), tpcc_cfg, opt.workers);
+    }
+
+    // Without a crash the live database must also be consistent (a
+    // crash leaves it mid-transaction by design — only its log is
+    // meaningful then). Disarm first so the audit runs fault-free.
+    if (cyc.crash_point.empty()) {
+      inj.DisarmAll();
+      if (tpcb != nullptr) {
+        cyc.live = CheckTpcbInvariants(live, *tpcb, opt.workers);
+      } else {
+        cyc.live = CheckTpccInvariants(live, tpcc_cfg, opt.workers);
+      }
+      cyc.live_checked = true;
+    }
+
+    cyc.fault_stats = inj.Stats();
+
+    uint64_t fp = kFnvOffset;
+    fp = FnvMix(fp, cyc.committed);
+    fp = FnvMix(fp, cyc.breakdown.total);
+    fp = FnvMix(fp, cyc.breakdown.lock_conflict);
+    fp = FnvMix(fp, cyc.breakdown.validation);
+    fp = FnvMix(fp, cyc.breakdown.partition);
+    fp = FnvMix(fp, cyc.breakdown.injected_fault);
+    fp = FnvMix(fp, cyc.breakdown.other);
+    fp = FnvMix(fp, cyc.retry.retries);
+    fp = FnvMix(fp, cyc.retry.retry_successes);
+    fp = FnvMix(fp, cyc.retry.retry_rejections);
+    fp = FnvString(fp, cyc.crash_point);
+    fp = FnvMix(fp, cyc.dropped_records);
+    fp = FnvLog(fp, log);
+    fp = FnvInvariants(fp, cyc.recovered);
+    if (cyc.live_checked) fp = FnvInvariants(fp, cyc.live);
+    cyc.fingerprint = fp;
+    agg = FnvMix(agg, fp);
+
+    if (!cyc.recovered.ok || (cyc.live_checked && !cyc.live.ok)) {
+      report.ok = false;
+    }
+    report.cycles.push_back(std::move(cyc));
+  }
+
+  report.fingerprint = agg;
+  return report;
+}
+
+std::string ChaosReportToJson(const ChaosOptions& opt,
+                              const ChaosReport& report) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("schema", "imoltp.chaos.v1");
+  w.Key("options");
+  w.BeginObject();
+  w.KeyValue("engine", engine::EngineKindName(opt.engine));
+  w.KeyValue("workload", opt.workload);
+  w.KeyValue("cycles", opt.cycles);
+  w.KeyValue("workers", opt.workers);
+  w.KeyValue("warmup_txns", opt.warmup_txns);
+  w.KeyValue("measure_txns", opt.measure_txns);
+  w.KeyValue("seed", opt.seed);
+  w.KeyValue("mode", core::ParallelModeName(opt.mode));
+  w.KeyValue("retry_max_attempts", opt.retry.max_attempts);
+  w.KeyValue("retry_backoff_cycles", opt.retry.backoff_cycles);
+  w.KeyValue("log_buffer_bytes",
+             static_cast<uint64_t>(opt.log_buffer_bytes));
+  w.Key("points");
+  w.BeginObject();
+  for (const auto& [name, point] : opt.points) {
+    w.Key(name);
+    w.BeginObject();
+    w.KeyValue("probability", point.probability);
+    w.KeyValue("nth_hit", point.nth_hit);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+
+  w.KeyValue("ok", report.ok);
+  w.KeyValue("fingerprint", report.fingerprint);
+  w.Key("cycles");
+  w.BeginArray();
+  for (const ChaosCycleResult& c : report.cycles) {
+    w.BeginObject();
+    w.KeyValue("cycle", c.cycle);
+    w.KeyValue("committed", c.committed);
+    w.KeyValue("aborts", c.aborts);
+    w.Key("abort_breakdown");
+    w.BeginObject();
+    w.KeyValue("total", c.breakdown.total);
+    w.KeyValue("lock_conflict", c.breakdown.lock_conflict);
+    w.KeyValue("validation", c.breakdown.validation);
+    w.KeyValue("partition", c.breakdown.partition);
+    w.KeyValue("injected_fault", c.breakdown.injected_fault);
+    w.KeyValue("other", c.breakdown.other);
+    w.EndObject();
+    w.Key("retry");
+    w.BeginObject();
+    w.KeyValue("retries", c.retry.retries);
+    w.KeyValue("successes", c.retry.retry_successes);
+    w.KeyValue("rejections", c.retry.retry_rejections);
+    w.EndObject();
+    w.KeyValue("crash_point", c.crash_point);
+    w.KeyValue("log_records", c.log_records);
+    w.KeyValue("dropped_records", c.dropped_records);
+    w.Key("recovered");
+    InvariantsToJson(w, c.recovered);
+    if (c.live_checked) {
+      w.Key("live");
+      InvariantsToJson(w, c.live);
+    }
+    w.Key("fault_points");
+    w.BeginObject();
+    for (const FaultPointStats& p : c.fault_stats) {
+      w.Key(p.point);
+      w.BeginObject();
+      w.KeyValue("hits", p.hits);
+      w.KeyValue("fires", p.fires);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.KeyValue("fingerprint", c.fingerprint);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace imoltp::fault

@@ -17,6 +17,20 @@ struct ModuleShare {
   double fraction = 0.0;
 };
 
+/// Aborted-transaction counts by cause for one measurement window.
+/// The machine model knows nothing about transactions — the experiment
+/// harness classifies each abort Status and fills this in after
+/// EndWindow (zero-filled on replayed windows, which re-execute no
+/// transaction logic).
+struct AbortBreakdown {
+  uint64_t total = 0;
+  uint64_t lock_conflict = 0;   // no-wait 2PL conflicts and upgrades
+  uint64_t validation = 0;      // MVCC write-write / validation failures
+  uint64_t partition = 0;       // mis-routed / claimed-partition aborts
+  uint64_t injected_fault = 0;  // fault-injector crashes and conflicts
+  uint64_t other = 0;
+};
+
 /// Everything the paper reports for one measurement window, filtered to
 /// the worker threads and averaged across them (Section 3,
 /// "Measurements"): IPC, stall cycles per 1000 instructions and per
@@ -41,6 +55,10 @@ struct WindowReport {
   /// Fraction of modeled cycles spent in modules flagged inside_engine.
   double engine_cycle_fraction = 0.0;
   std::vector<ModuleShare> module_breakdown;
+
+  /// Filled by the experiment harness (not the profiler) — see
+  /// AbortBreakdown.
+  AbortBreakdown aborts;
 };
 
 /// VTune-lookalike sampling facade. Usage mirrors the paper's

@@ -86,6 +86,44 @@ void SpansToJson(JsonWriter& w, const SpanCollector& spans,
   w.EndObject();
 }
 
+void RobustnessToJson(JsonWriter& w, const RobustnessInfo& r) {
+  w.BeginObject();
+  w.Key("aborts");
+  w.BeginObject();
+  w.KeyValue("total", r.aborts.total);
+  w.KeyValue("lock_conflict", r.aborts.lock_conflict);
+  w.KeyValue("validation", r.aborts.validation);
+  w.KeyValue("partition", r.aborts.partition);
+  w.KeyValue("injected_fault", r.aborts.injected_fault);
+  w.KeyValue("other", r.aborts.other);
+  w.EndObject();
+  w.KeyValue("committed", r.committed);
+  w.Key("retry");
+  w.BeginObject();
+  w.KeyValue("max_attempts", r.retry_max_attempts);
+  w.KeyValue("retries", r.retries);
+  w.KeyValue("successes", r.retry_successes);
+  w.KeyValue("rejections", r.retry_rejections);
+  w.EndObject();
+  w.Key("faults");
+  w.BeginObject();
+  w.KeyValue("enabled", r.faults_enabled);
+  w.KeyValue("seed", r.fault_seed);
+  w.KeyValue("crash_point", r.crash_point);
+  w.Key("points");
+  w.BeginObject();
+  for (const fault::FaultPointStats& p : r.fault_points) {
+    w.Key(p.point);
+    w.BeginObject();
+    w.KeyValue("hits", p.hits);
+    w.KeyValue("fires", p.fires);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+}
+
 }  // namespace
 
 void WindowReportToJson(JsonWriter& w, const mcsim::WindowReport& report,
@@ -154,7 +192,8 @@ std::string RunReportToJson(const RunInfo& info,
                             const mcsim::WindowReport& report,
                             const mcsim::CycleModelParams& params,
                             const LatencyHistogram* latency,
-                            const SpanCollector* spans) {
+                            const SpanCollector* spans,
+                            const RobustnessInfo* robustness) {
   JsonWriter w;
   w.BeginObject();
   w.KeyValue("schema_version", kReportSchemaVersion);
@@ -192,6 +231,10 @@ std::string RunReportToJson(const RunInfo& info,
         report.cycles * (report.num_workers > 0 ? report.num_workers : 1);
     w.Key("spans");
     SpansToJson(w, *spans, window_total);
+  }
+  if (robustness != nullptr) {
+    w.Key("robustness");
+    RobustnessToJson(w, *robustness);
   }
 
   w.EndObject();

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
 #include "mcsim/profiler.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
@@ -15,7 +17,7 @@ namespace imoltp::obs {
 /// Version of the JSON report schema. Bump on any incompatible change
 /// (renamed/removed keys, changed units); imoltp_diff refuses to
 /// compare documents with different versions.
-inline constexpr int kReportSchemaVersion = 2;
+inline constexpr int kReportSchemaVersion = 3;
 
 /// Top-Down-style decomposition of the modeled cycles (per worker):
 /// retiring (inherent CPI work), frontend (instruction-miss refill),
@@ -56,6 +58,25 @@ struct RunInfo {
   bool replayed = false;
 };
 
+/// Robustness section of the report (schema v3): abort causes, the
+/// retry path, and the fault-injection schedule of the run. Zero-filled
+/// /absent for replayed windows (replay re-executes no transaction
+/// logic).
+struct RobustnessInfo {
+  mcsim::AbortBreakdown aborts;
+  uint64_t committed = 0;
+
+  int retry_max_attempts = 1;
+  uint64_t retries = 0;
+  uint64_t retry_successes = 0;
+  uint64_t retry_rejections = 0;
+
+  bool faults_enabled = false;
+  uint64_t fault_seed = 0;
+  std::string crash_point;  // "" = run finished without an injected crash
+  std::vector<fault::FaultPointStats> fault_points;
+};
+
 /// Serializes one WindowReport (IPC, both stall breakdowns, raw misses,
 /// module breakdown, cycle accounting) as a JSON object into `w`.
 /// `params` feeds the cycle-accounting decomposition.
@@ -63,13 +84,14 @@ void WindowReportToJson(JsonWriter& w, const mcsim::WindowReport& report,
                         const mcsim::CycleModelParams& params);
 
 /// The full schema-versioned report emitted by `imoltp_run --json`.
-/// `latency` and `spans` may be null (e.g. bench rows, which only have
-/// the window).
+/// `latency`, `spans`, and `robustness` may be null (e.g. bench rows,
+/// which only have the window).
 std::string RunReportToJson(const RunInfo& info,
                             const mcsim::WindowReport& report,
                             const mcsim::CycleModelParams& params,
                             const LatencyHistogram* latency,
-                            const SpanCollector* spans);
+                            const SpanCollector* spans,
+                            const RobustnessInfo* robustness = nullptr);
 
 /// Writes `json` to `path` ("-" = stdout). Atomic via rename.
 Status WriteJsonFile(const std::string& path, const std::string& json);

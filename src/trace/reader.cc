@@ -95,6 +95,9 @@ Status TraceReader::OpenBuffer(std::shared_ptr<const std::string> data) {
 }
 
 Status TraceReader::LoadNextBlock() {
+  if (fault_ != nullptr && fault_->Fires(fault::kTraceReadError)) {
+    return Corrupt("injected device read error");
+  }
   if (pos_ == size_) {
     return Corrupt("truncated (end-of-stream record missing)");
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
 #include "mcsim/code_region.h"
 #include "trace/format.h"
 #include "trace/meta.h"
@@ -73,6 +74,14 @@ class TraceReader {
   /// records, matching TraceWriter::events_written()).
   uint64_t events_decoded() const { return events_; }
 
+  /// Attaches a fault injector; null detaches. When the
+  /// `trace.read_error` point is armed, block loads fail with a
+  /// simulated device read error (a clean non-OK Status, exactly like
+  /// real corruption).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   Status LoadNextBlock();
   Status Corrupt(const std::string& what) const;
@@ -92,6 +101,7 @@ class TraceReader {
   std::vector<uint64_t> last_addr_;
   int cur_core_ = -1;
   uint64_t events_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 /// Reads a trace file into a buffer suitable for

@@ -29,6 +29,9 @@ LockManager::TxnLocks& LockManager::LocksOf(uint64_t txn_id) {
 
 Status LockManager::Acquire(mcsim::CoreSim* core, uint64_t txn_id,
                             uint64_t object_id, LockMode mode) {
+  if (fault_ != nullptr && fault_->Fires(fault::kLockConflict)) {
+    return Status::Aborted("injected lock conflict");
+  }
   const uint64_t bucket = BucketOf(object_id);
   bool acquired = false;
   {

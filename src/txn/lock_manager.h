@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
 #include "mcsim/core.h"
 
 namespace imoltp::txn {
@@ -54,6 +55,13 @@ class LockManager {
   /// True if `txn_id` holds a lock on `object_id` (testing hook).
   bool Holds(uint64_t txn_id, uint64_t object_id) const;
 
+  /// Attaches a fault injector; null detaches. When the
+  /// `lock.conflict` point is armed, acquisitions spuriously conflict —
+  /// a deterministic contention storm for exercising abort/retry paths.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   static constexpr uint64_t kStripes = 64;
 
@@ -76,6 +84,7 @@ class LockManager {
 
   std::vector<std::vector<LockHead>> buckets_;
   uint64_t mask_;
+  fault::FaultInjector* fault_ = nullptr;
   std::atomic<uint64_t> active_locks_{0};
   mutable std::array<std::mutex, kStripes> stripe_mu_;
   std::mutex txn_mu_;

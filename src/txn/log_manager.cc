@@ -32,6 +32,9 @@ uint64_t LogManager::Append(mcsim::CoreSim* core, LogOp op,
 
   // Durable side (the simulated log device).
   LogRecord rec;
+  if (fault_ != nullptr && fault_->Fires(fault::kLogTornRecord)) {
+    rec.torn = true;
+  }
   rec.lsn = NextLsn();
   rec.txn_id = txn_id;
   rec.op = op;

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "mcsim/core.h"
 
 namespace imoltp::txn {
@@ -31,6 +32,8 @@ struct LogRecord {
   int16_t column = -1;  // -1: full-row payload
   int16_t slice = 0;    // partition that produced the record
   uint64_t row = 0;
+  bool torn = false;  // injected torn write: record reached the device
+                      // with a bad checksum; recovery must stop here
   std::vector<uint8_t> payload;  // after-image bytes
   std::vector<uint8_t> key;      // primary key bytes (insert/delete)
 };
@@ -82,20 +85,49 @@ class LogManager {
   uint64_t bytes_logged() const { return bytes_logged_; }
   uint64_t records() const { return stable_.size(); }
   uint64_t flushes() const { return flushes_; }
+  uint32_t capacity() const { return capacity_; }
+
+  /// Number of leading stable-log records the asynchronous background
+  /// writer has pushed to the durable device. Records past this prefix
+  /// still sit in the in-memory ring and are lost by a crash before the
+  /// next flush (the paper's async-logging durability window).
+  uint64_t flushed_records() const { return flushed_records_; }
+
+  /// Attaches a fault injector; null detaches. When armed, the
+  /// `log.torn_record` point marks appended records as torn.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
 
   /// Drops retained records (post-checkpoint truncation).
-  void Truncate() { stable_.clear(); }
+  void Truncate() {
+    stable_.clear();
+    flushed_records_ = 0;
+  }
 
  private:
   static constexpr uint32_t kHeaderBytes = 32;
   static uint32_t Align8(uint32_t n) { return (n + 7) & ~7u; }
 
   void Reserve(uint32_t bytes) {
+    // A single record larger than the whole ring can never fit: wrapping
+    // the cursor alone would run the memcpy past the end of `buffer_`.
+    // Grow the ring (doubling) — real WALs size the buffer to the
+    // largest record the schema can produce.
+    while (Align8(bytes) + 8 > capacity_) {
+      uint32_t grown = capacity_ * 2;
+      auto bigger = std::make_unique<uint8_t[]>(grown);
+      std::memcpy(bigger.get(), buffer_.get(), capacity_);
+      buffer_ = std::move(bigger);
+      capacity_ = grown;
+    }
     if (offset_ + Align8(bytes) + 8 > capacity_) {
       // Simulated asynchronous flush: the background writer drained the
-      // buffer; the worker only wraps its cursor.
+      // buffer; the worker only wraps its cursor. Everything appended so
+      // far is now on the durable device.
       offset_ = 0;
       ++flushes_;
+      flushed_records_ = stable_.size();
     }
   }
 
@@ -111,6 +143,8 @@ class LogManager {
   uint32_t offset_ = 0;
   uint64_t bytes_logged_ = 0;
   uint64_t flushes_ = 0;
+  uint64_t flushed_records_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
   std::unique_ptr<uint8_t[]> buffer_;
   std::vector<LogRecord> stable_;
 };

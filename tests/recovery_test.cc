@@ -202,6 +202,133 @@ TEST_P(RecoveryTest, ReplayIsIdempotentOnFreshState) {
   EXPECT_EQ(ReadValue(recovered.get(), 9, &found), 4242);
 }
 
+TEST_P(RecoveryTest, AbortRecordSuppressesInterleavedDelete) {
+  // Two committed deletes produce a log of interleaved kDelete/kCommit
+  // records. Rewriting the second transaction's kCommit to kAbort must
+  // flip exactly that delete to a no-op on replay: recovery's analysis
+  // pass trusts the commit/abort records, not the presence of REDO
+  // records.
+  for (uint64_t key : {7u, 77u}) {
+    ASSERT_TRUE(Run([&](TxnContext& ctx) {
+                  storage::RowId rid;
+                  Status st =
+                      ctx.Probe(0, index::Key::FromUint64(key), &rid);
+                  if (!st.ok()) return st;
+                  return ctx.Delete(0, rid,
+                                    index::Key::FromUint64(key));
+                }).ok());
+  }
+  std::vector<txn::LogRecord> log = engine_->StableLog();
+  uint64_t aborted_txn = 0;
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    if (it->op == txn::LogOp::kCommit) {
+      it->op = txn::LogOp::kAbort;
+      aborted_txn = it->txn_id;
+      break;
+    }
+  }
+  ASSERT_NE(aborted_txn, 0u);  // a commit record existed to rewrite
+  bool has_delete_for_aborted = false;
+  for (const auto& rec : log) {
+    if (rec.op == txn::LogOp::kDelete && rec.txn_id == aborted_txn) {
+      has_delete_for_aborted = true;
+    }
+  }
+  ASSERT_TRUE(has_delete_for_aborted);
+
+  mcsim::MachineSim fresh(NoTlb());
+  auto recovered = CreateEngine(GetParam(), &fresh, EngineOptions());
+  ASSERT_TRUE(recovered->CreateDatabase({SimpleTable(kRows)}).ok());
+  ASSERT_TRUE(recovered->Replay(log).ok());
+  bool found = true;
+  ReadValue(recovered.get(), 7, &found);
+  EXPECT_FALSE(found) << "committed delete lost";
+  found = false;
+  ReadValue(recovered.get(), 77, &found);
+  EXPECT_TRUE(found) << "aborted delete applied on replay";
+}
+
+TEST_P(RecoveryTest, TruncatedMidTransactionDropsUncommittedTail) {
+  // Six committed updates, then the log loses its suffix starting at
+  // the last commit record — the crash hit mid-transaction from the
+  // device's point of view. Replay must apply the five transactions
+  // whose commits survived and ignore the commitless tail.
+  for (int64_t i = 0; i < 6; ++i) {
+    const int64_t v = 7000 + i;
+    ASSERT_TRUE(Run([&](TxnContext& ctx) {
+                  storage::RowId rid;
+                  Status st = ctx.Probe(
+                      0, index::Key::FromUint64(200 + i), &rid);
+                  if (!st.ok()) return st;
+                  return ctx.Update(0, rid, 1, &v);
+                }).ok());
+  }
+  std::vector<txn::LogRecord> log = engine_->StableLog();
+  size_t last_commit = log.size();
+  for (size_t i = log.size(); i-- > 0;) {
+    if (log[i].op == txn::LogOp::kCommit) {
+      last_commit = i;
+      break;
+    }
+  }
+  ASSERT_LT(last_commit, log.size());
+  log.resize(last_commit);  // the tail txn's records lack their commit
+
+  mcsim::MachineSim fresh(NoTlb());
+  auto recovered = CreateEngine(GetParam(), &fresh, EngineOptions());
+  ASSERT_TRUE(recovered->CreateDatabase({SimpleTable(kRows)}).ok());
+  ASSERT_TRUE(recovered->Replay(log).ok());
+  for (int64_t i = 0; i < 5; ++i) {
+    bool found = false;
+    EXPECT_EQ(ReadValue(recovered.get(), 200 + i, &found), 7000 + i);
+    EXPECT_TRUE(found) << i;
+  }
+  bool found = false;
+  EXPECT_NE(ReadValue(recovered.get(), 205, &found), 7005)
+      << "uncommitted tail transaction applied";
+  EXPECT_TRUE(found);  // the row itself still exists, unmodified
+}
+
+TEST_P(RecoveryTest, TornRecordEndsTheUsableLog) {
+  // A torn write (bad device checksum) ends the usable log: everything
+  // committed before it replays, everything after — even with a valid
+  // commit record — does not.
+  for (int64_t i = 0; i < 4; ++i) {
+    const int64_t v = 8000 + i;
+    ASSERT_TRUE(Run([&](TxnContext& ctx) {
+                  storage::RowId rid;
+                  Status st = ctx.Probe(
+                      0, index::Key::FromUint64(300 + i), &rid);
+                  if (!st.ok()) return st;
+                  return ctx.Update(0, rid, 1, &v);
+                }).ok());
+  }
+  std::vector<txn::LogRecord> log = engine_->StableLog();
+  size_t commits_seen = 0;
+  for (auto& rec : log) {
+    if (rec.op == txn::LogOp::kCommit && ++commits_seen == 3) {
+      rec.torn = true;  // the third txn's commit reached disk torn
+      break;
+    }
+  }
+  ASSERT_EQ(commits_seen, 3u);
+
+  mcsim::MachineSim fresh(NoTlb());
+  auto recovered = CreateEngine(GetParam(), &fresh, EngineOptions());
+  ASSERT_TRUE(recovered->CreateDatabase({SimpleTable(kRows)}).ok());
+  ASSERT_TRUE(recovered->Replay(log).ok());
+  for (int64_t i = 0; i < 2; ++i) {
+    bool found = false;
+    EXPECT_EQ(ReadValue(recovered.get(), 300 + i, &found), 8000 + i);
+  }
+  for (int64_t i = 2; i < 4; ++i) {
+    bool found = false;
+    EXPECT_NE(ReadValue(recovered.get(), 300 + i, &found), 8000 + i)
+        << "update past the torn record applied";
+    EXPECT_TRUE(found);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     ReplayableEngines, RecoveryTest, ::testing::ValuesIn(kReplayable),
     [](const ::testing::TestParamInfo<EngineKind>& i) {
@@ -239,6 +366,50 @@ TEST(CommandLogTest, VoltDbLogsCommandsNotPhysicalRecords) {
   EXPECT_TRUE(has_command);
   // Replay skips logical records without failing.
   EXPECT_TRUE(engine->Replay(log).ok());
+}
+
+TEST(CommandLogTest, VoltDbToleratesTruncatedAndAbortedCommandLog) {
+  // The fifth engine's logical log has no physical REDO content, but
+  // recovery must still accept a damaged one: a mid-transaction
+  // truncation or an interleaved abort record cannot make Replay fail
+  // or corrupt the freshly populated database.
+  mcsim::MachineSim m(NoTlb());
+  auto engine =
+      CreateEngine(EngineKind::kVoltDb, &m, EngineOptions());
+  ASSERT_TRUE(engine->CreateDatabase({SimpleTable(1000)}).ok());
+  const int64_t v = 5;
+  TxnRequest req;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine
+                    ->Execute(0, req,
+                              [&](TxnContext& ctx) {
+                                storage::RowId rid;
+                                Status st = ctx.Probe(
+                                    0, index::Key::FromUint64(3), &rid);
+                                if (!st.ok()) return st;
+                                return ctx.Update(0, rid, 1, &v);
+                              })
+                    .ok());
+  }
+  std::vector<txn::LogRecord> log = engine->StableLog();
+  ASSERT_GE(log.size(), 2u);
+  log.resize(log.size() - 1);          // lose the tail mid-transaction
+  log.back().op = txn::LogOp::kAbort;  // and interleave an abort record
+
+  mcsim::MachineSim fresh(NoTlb());
+  auto recovered =
+      CreateEngine(EngineKind::kVoltDb, &fresh, EngineOptions());
+  ASSERT_TRUE(recovered->CreateDatabase({SimpleTable(1000)}).ok());
+  EXPECT_TRUE(recovered->Replay(log).ok());
+  storage::RowId rid;
+  TxnRequest probe;
+  EXPECT_TRUE(recovered
+                  ->Execute(0, probe,
+                            [&](TxnContext& ctx) {
+                              return ctx.Probe(
+                                  0, index::Key::FromUint64(3), &rid);
+                            })
+                  .ok());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "core/experiment.h"
 #include "core/microbench.h"
+#include "fault/fault_injector.h"
 #include "trace/format.h"
 #include "trace/reader.h"
 #include "trace/record.h"
@@ -175,6 +176,38 @@ TEST_F(TraceRobustnessTest, DoubleOpenRejected) {
   TraceReader reader;
   ASSERT_TRUE(reader.Open(*path_).ok());
   EXPECT_FALSE(reader.Open(*path_).ok());
+}
+
+TEST_F(TraceRobustnessTest, InjectedDeviceReadErrorFailsCleanly) {
+  // The fault injector's trace.read_error point simulates a device
+  // that dies mid-read on an otherwise-intact file: the reader must
+  // surface it as the same clean corruption Status as real damage.
+  fault::FaultInjector inj(21);
+  inj.Arm(fault::kTraceReadError, {0.0, 2});
+  TraceReader reader;
+  reader.set_fault_injector(&inj);
+  ASSERT_TRUE(reader.Open(*path_).ok());
+  TraceEvent ev;
+  bool done = false;
+  Status s = Status::Ok();
+  while (!done) {
+    s = reader.Next(&ev, &done);
+    if (!s.ok()) break;
+  }
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("injected device read error"),
+            std::string::npos)
+      << s.ToString();
+
+  // An attached-but-unarmed injector must not perturb decoding.
+  fault::FaultInjector idle(21);
+  TraceReader clean;
+  clean.set_fault_injector(&idle);
+  ASSERT_TRUE(clean.Open(*path_).ok());
+  done = false;
+  while (!done) {
+    ASSERT_TRUE(clean.Next(&ev, &done).ok());
+  }
 }
 
 }  // namespace

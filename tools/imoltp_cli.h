@@ -14,11 +14,15 @@
 #include <memory>
 #include <string>
 
+#include <utility>
+#include <vector>
+
 #include "core/experiment.h"
 #include "core/microbench.h"
 #include "core/tpcb.h"
 #include "core/tpcc.h"
 #include "engine/engine.h"
+#include "fault/fault_injector.h"
 #include "mcsim/profiler.h"
 #include "obs/report_json.h"
 
@@ -42,7 +46,73 @@ struct Flags {
   bool list = false;
   std::string json_path;   // --json=FILE; "-" = stdout; empty = off
   std::string trace_out;   // --trace-out=FILE; empty = no capture
+
+  // Abort retry policy (docs/robustness.md). 1 attempt = no retry.
+  int retry_attempts = 1;
+  uint64_t retry_backoff = 0;  // simulated cycles before first retry
+  int retry_cap = 4;           // in-flight-retry admission cap
+
+  // Fault injection: a non-zero --chaos-seed (or any --chaos-points)
+  // arms the injector. Points format: NAME=PROB, NAME=PROB@NTH, or
+  // NAME=@NTH, comma-separated (e.g.
+  // "lock.conflict=0.05,crash.mid_commit=@200").
+  uint64_t chaos_seed = 0;
+  std::string chaos_points;
 };
+
+/// Parses a --chaos-points spec into (point, config) pairs. Returns
+/// false with `error` set on a malformed entry or unknown point name.
+inline bool ParseChaosPoints(
+    const std::string& spec,
+    std::vector<std::pair<std::string, fault::FaultPointConfig>>* out,
+    std::string* error) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "bad fault point entry (want NAME=PROB[@NTH]): " + entry;
+      return false;
+    }
+    const std::string name = entry.substr(0, eq);
+    if (!fault::IsKnownFaultPoint(name)) {
+      *error = "unknown fault point: " + name;
+      return false;
+    }
+    std::string rest = entry.substr(eq + 1);
+    fault::FaultPointConfig cfg;
+    const size_t at = rest.find('@');
+    if (at != std::string::npos) {
+      char* end = nullptr;
+      cfg.nth_hit = std::strtoull(rest.c_str() + at + 1, &end, 10);
+      if (end == rest.c_str() + at + 1 || *end != '\0' ||
+          cfg.nth_hit == 0) {
+        *error = "bad @NTH in fault point entry: " + entry;
+        return false;
+      }
+      rest = rest.substr(0, at);
+    }
+    if (!rest.empty()) {
+      char* end = nullptr;
+      cfg.probability = std::strtod(rest.c_str(), &end);
+      if (end == rest.c_str() || *end != '\0' || cfg.probability < 0 ||
+          cfg.probability > 1) {
+        *error = "bad probability in fault point entry: " + entry;
+        return false;
+      }
+    }
+    if (cfg.probability == 0 && cfg.nth_hit == 0) {
+      *error = "fault point entry arms nothing: " + entry;
+      return false;
+    }
+    out->push_back({name, cfg});
+  }
+  return true;
+}
 
 /// Parses a byte-size flag value like "10MB", "1GB", "512KB", or a bare
 /// number (interpreted as MB). Returns 0 on any malformed input: empty,
@@ -126,6 +196,26 @@ inline bool ParseCommandLine(int argc, char* const* argv, Flags* flags,
       flags->mode = v;
     } else if (const char* v = value("--seed=")) {
       flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--retry=")) {
+      if (!parse_positive_int(v, "--retry", &flags->retry_attempts)) {
+        return false;
+      }
+    } else if (const char* v = value("--retry-backoff=")) {
+      flags->retry_backoff = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--retry-cap=")) {
+      if (!parse_positive_int(v, "--retry-cap", &flags->retry_cap)) {
+        return false;
+      }
+    } else if (const char* v = value("--chaos-seed=")) {
+      flags->chaos_seed = std::strtoull(v, nullptr, 10);
+      if (flags->chaos_seed == 0) {
+        *error = "--chaos-seed= needs a non-zero seed";
+        return false;
+      }
+    } else if (const char* v = value("--chaos-points=")) {
+      std::vector<std::pair<std::string, fault::FaultPointConfig>> parsed;
+      if (!ParseChaosPoints(v, &parsed, error)) return false;
+      flags->chaos_points = v;
     } else if (const char* v = value("--json=")) {
       if (*v == '\0') {
         *error = "--json= needs a file path (or - for stdout)";
@@ -182,6 +272,9 @@ inline bool BuildExperiment(const Flags& flags,
     *error = "unknown mode: " + flags.mode;
     return false;
   }
+  cfg->retry.max_attempts = flags.retry_attempts;
+  cfg->retry.backoff_cycles = flags.retry_backoff;
+  cfg->retry.max_inflight_retries = flags.retry_cap;
   cfg->engine_options.compilation = flags.compilation;
   cfg->engine_options.dbms_m_index = flags.index == "btree"
                                          ? index::IndexKind::kBTreeCc

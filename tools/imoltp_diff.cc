@@ -31,12 +31,17 @@
 //   spans                         rtol 0.10, atol 500
 //   latency_cycles.bins           ignored — counts hop between adjacent
 //                                 log-spaced bins on tiny shifts
+//   robustness                    exact — commit/abort/retry/fault
+//                                 counters are deterministic under the
+//                                 serialized modes; free-mode runs need
+//                                 an explicit --metric-rtol=robustness=X
 //   everything else               default rtol (0.02)
 //
-// When either report has meta.trace.replayed == true, latency_cycles
-// and spans are ignored entirely: a replay re-simulates the recorded
-// reference stream without the engine, so it has no per-transaction
-// latency histogram or lifecycle spans, and their absence is not drift.
+// When either report has meta.trace.replayed == true, latency_cycles,
+// spans, and robustness are ignored entirely: a replay re-simulates the
+// recorded reference stream without the engine, so it has no
+// per-transaction latency histogram, lifecycle spans, or abort/retry
+// accounting, and their absence is not drift.
 
 #include <cmath>
 #include <cstdio>
@@ -82,6 +87,10 @@ const ToleranceRule kBuiltinRules[] = {
     {"latency_cycles.bins", -1.0, 0.0},
     {"latency_cycles", 0.10, 0.0},
     {"spans", 0.10, 500.0},
+    // Schema v3: deterministic-mode runs must match these exactly; any
+    // change in commit counts, abort causes, retry traffic, or the
+    // fault schedule is a real behavioral regression, not jitter.
+    {"robustness", 0.0, 0.0},
 };
 
 bool PrefixMatches(const std::string& path, const std::string& prefix) {
@@ -335,6 +344,7 @@ int main(int argc, char** argv) {
   if (is_replayed(base.value()) || is_replayed(cand.value())) {
     opts.user_rules.push_back({"latency_cycles", -1.0, 0.0});
     opts.user_rules.push_back({"spans", -1.0, 0.0});
+    opts.user_rules.push_back({"robustness", -1.0, 0.0});
   }
 
   std::vector<std::string> failures;

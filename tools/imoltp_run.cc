@@ -26,14 +26,24 @@
 //   --json=FILE          full JSON report ("-" = stdout)
 //   --trace-out=FILE     record the simulated reference stream for
 //                        later `imoltp_trace replay` (docs/tracing.md)
+//   --retry=N            attempts per transaction (1 = no retry)
+//   --retry-backoff=N    cycles before the first retry (doubles per
+//                        attempt; see docs/robustness.md)
+//   --retry-cap=N        in-flight-retry admission cap
+//   --chaos-seed=N       arm the fault injector with this seed
+//   --chaos-points=SPEC  NAME=PROB[@NTH],... fault points to arm
+//                        (e.g. lock.conflict=0.05,crash.mid_commit=@90)
 
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "fault/fault_injector.h"
 #include "obs/report_json.h"
 #include "tools/imoltp_cli.h"
 #include "trace/writer.h"
@@ -53,6 +63,9 @@ int Usage(const char* argv0, const std::string& error) {
                "[--seed=N] [--csv]\n"
                "          [--mode=serial|deterministic|free]\n"
                "          [--json=FILE] [--trace-out=FILE]\n"
+               "          [--retry=N] [--retry-backoff=N] "
+               "[--retry-cap=N]\n"
+               "          [--chaos-seed=N] [--chaos-points=SPEC]\n"
                "engines: shore-mt dbms-d voltdb hyper dbms-m\n"
                "workloads: micro micro-rw micro-string tpcb tpcc\n",
                argv0);
@@ -73,6 +86,22 @@ int main(int argc, char** argv) {
   std::unique_ptr<core::Workload> workload;
   if (!tools::BuildExperiment(flags, &cfg, &workload, &error)) {
     return Usage(argv[0], error);
+  }
+
+  // Fault injection: arm the seeded injector before the engine exists
+  // so every LogManager and lock table picks it up at construction.
+  const bool chaos_on =
+      flags.chaos_seed != 0 || !flags.chaos_points.empty();
+  const uint64_t fault_seed =
+      flags.chaos_seed != 0 ? flags.chaos_seed : flags.seed;
+  fault::FaultInjector injector(fault_seed);
+  if (chaos_on) {
+    std::vector<std::pair<std::string, fault::FaultPointConfig>> points;
+    if (!tools::ParseChaosPoints(flags.chaos_points, &points, &error)) {
+      return Usage(argv[0], error);
+    }
+    for (const auto& [name, point] : points) injector.Arm(name, point);
+    cfg.engine_options.fault_injector = &injector;
   }
 
   std::fprintf(stderr, "running %s / %s ...\n", flags.engine.c_str(),
@@ -130,15 +159,31 @@ int main(int argc, char** argv) {
                  flags.trace_out.c_str());
   }
 
+  if (chaos_on && injector.crash_pending()) {
+    std::fprintf(stderr, "injected crash at %s halted the run\n",
+                 injector.crash_point().c_str());
+  }
+
   if (!flags.json_path.empty()) {
     obs::RunInfo info;
     tools::FillRunInfo(flags, &info);
     info.aborts = runner.aborts();
     info.trace_file_id = writer.trace_id();
     info.replayed = false;
+    obs::RobustnessInfo robustness;
+    robustness.aborts = runner.abort_breakdown();
+    robustness.committed = runner.committed();
+    robustness.retry_max_attempts = cfg.retry.max_attempts;
+    robustness.retries = runner.retry_stats().retries;
+    robustness.retry_successes = runner.retry_stats().retry_successes;
+    robustness.retry_rejections = runner.retry_stats().retry_rejections;
+    robustness.faults_enabled = chaos_on;
+    robustness.fault_seed = chaos_on ? fault_seed : 0;
+    robustness.crash_point = injector.crash_point();
+    robustness.fault_points = injector.Stats();
     const std::string json = obs::RunReportToJson(
         info, r, runner.machine()->config().cycle,
-        &runner.latency_histogram(), &runner.spans());
+        &runner.latency_histogram(), &runner.spans(), &robustness);
     const Status s = obs::WriteJsonFile(flags.json_path, json);
     if (!s.ok()) {
       std::fprintf(stderr, "%s: %s\n", argv[0], s.ToString().c_str());
