@@ -16,7 +16,9 @@
 # in name order afterwards, so bench_output.txt is byte-stable
 # regardless of N (each binary is internally deterministic — the
 # default ParallelMode is kDeterministic; see
-# docs/parallel_execution.md).
+# docs/parallel_execution.md). A per-binary wall-clock table (slowest
+# first) goes to stderr at the end — stderr, not the output file,
+# because timings are non-deterministic.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,18 +42,38 @@ if [ -n "$JSON_DIR" ]; then
   export IMOLTP_JSON_DIR="$JSON_DIR"
 fi
 
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Per-binary wall-clock bookkeeping. Timings are inherently
+# non-deterministic, so the summary table goes to stderr only —
+# bench_output.txt stays byte-stable run over run.
+note_time() {  # note_time NAME START_NS END_NS
+  printf '%s %s\n' "$1" "$(( ($3 - $2) / 1000000 ))" >> "$TMP/times"
+}
+
+print_times() {
+  [ -f "$TMP/times" ] || return 0
+  {
+    echo
+    echo "wall-clock per benchmark (ms):"
+    sort -k2 -n -r "$TMP/times" | awk '{printf "  %-28s %8d\n", $1, $2}'
+    awk '{s += $2} END {printf "  %-28s %8d\n", "TOTAL", s}' "$TMP/times"
+  } >&2
+}
+
 if [ "$JOBS" -le 1 ]; then
   for b in "$BUILD"/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     echo "===== $(basename "$b") ====="
+    t0="$(date +%s%N)"
     "$b"
+    note_time "$(basename "$b")" "$t0" "$(date +%s%N)"
     echo
   done 2>&1 | tee bench_output.txt
+  print_times
   exit 0
 fi
-
-TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
 
 bins=()
 for b in "$BUILD"/bench/*; do
@@ -68,7 +90,9 @@ for b in "${bins[@]}"; do
   fi
   {
     echo "===== $(basename "$b") ====="
+    t0="$(date +%s%N)"
     "$b"
+    note_time "$(basename "$b")" "$t0" "$(date +%s%N)"
     echo
   } > "$TMP/$(basename "$b").out" 2>&1 &
   running=$((running + 1))
@@ -79,4 +103,5 @@ while [ "$running" -gt 0 ]; do
 done
 
 cat "$TMP"/*.out | tee bench_output.txt
+print_times
 exit "$fail"

@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -61,6 +62,40 @@ class Turnstile {
   std::condition_variable cv_;
   int turn_ = 0;
 };
+
+/// Auto-warmup convergence verdict: aggregates instructions and model
+/// cycles over the first- and second-half buckets of every worker
+/// core's sampled series, then compares the two halves' IPC. A window
+/// that was still warming up (caches ramping, a contention storm
+/// draining) shows a first half measurably slower or faster than its
+/// second.
+mcsim::ConvergenceCheck CheckConvergence(const mcsim::WindowReport& r,
+                                         double rtol) {
+  mcsim::ConvergenceCheck check;
+  check.tolerance = rtol;
+  double instr[2] = {0.0, 0.0};
+  double cycles[2] = {0.0, 0.0};
+  for (const mcsim::CoreSeries& series : r.timeseries) {
+    const size_t n = series.buckets.size();
+    if (n < 2) continue;
+    check.checked = true;
+    for (size_t i = 0; i < n; ++i) {
+      const int half = i < n / 2 ? 0 : 1;
+      instr[half] += static_cast<double>(series.buckets[i].instructions);
+      cycles[half] += series.buckets[i].model_cycles;
+    }
+  }
+  if (!check.checked) return check;
+  if (cycles[0] > 0) check.first_half_ipc = instr[0] / cycles[0];
+  if (cycles[1] > 0) check.second_half_ipc = instr[1] / cycles[1];
+  if (check.second_half_ipc > 0) {
+    check.divergence =
+        std::abs(check.first_half_ipc - check.second_half_ipc) /
+        check.second_half_ipc;
+  }
+  check.converged = check.divergence <= rtol;
+  return check;
+}
 
 }  // namespace
 
@@ -127,9 +162,12 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
   auto body = [&](int w, const PhaseSinks& sinks) {
     Rng* rng = &(*rngs)[w];
     mcsim::CoreSim* core = &machine_->core(w);
-    const mcsim::ModuleCounters before =
-        measure ? mcsim::AggregateCounters(core->counters())
-                : mcsim::ModuleCounters{};
+    // Full snapshot (per-module array included) so the final-outcome
+    // delta can feed both the latency histogram and the module×txn-type
+    // matrix. Warm-up skips the copy.
+    const mcsim::CoreCounters before =
+        measure ? core->counters() : mcsim::CoreCounters{};
+    bool committed_txn = false;
     bool holds_retry_token = false;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       // Snapshot the RNG so a retry re-executes the same logical
@@ -137,6 +175,7 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
       const Rng snapshot = *rng;
       const Status s = workload->RunTransaction(engine_.get(), w, rng);
       if (s.ok()) {
+        committed_txn = true;
         if (measure) {
           ++*sinks.committed;
           if (attempt > 1) ++sinks.retry->retry_successes;
@@ -181,15 +220,29 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
     if (inj != nullptr && inj->crash_pending()) {
       halt.store(true, std::memory_order_release);
     }
+    // Mark the final outcome on the core so the sampled time-series can
+    // report abort rate per bucket (cycle-model neutral: aborted_txns
+    // feeds no cycle math).
+    if (!committed_txn) core->CountAbort();
     if (measure) {
-      const mcsim::ModuleCounters delta =
-          mcsim::AggregateCounters(core->counters()) - before;
+      const mcsim::CoreCounters delta = core->counters() - before;
       sinks.lat->Add(mcsim::SimulatedCycles(delta, params));
+      // Module×txn-type attribution: the whole final-outcome delta
+      // (every attempt plus backoff) lands on this transaction's type.
+      const int type = workload->LastTransactionType(w);
+      if (sinks.matrix != nullptr && type >= 0 &&
+          static_cast<size_t>(type) < sinks.matrix->counts.size()) {
+        ++sinks.matrix->counts[type];
+        for (int m = 0; m < mcsim::kMaxModules; ++m) {
+          sinks.matrix->cycles[type][m] +=
+              mcsim::SimulatedCycles(delta.per_module[m], params);
+        }
+      }
     }
   };
 
   const PhaseSinks shared{&latency_, &aborts_, &breakdown_, &retry_stats_,
-                          &committed_};
+                          &committed_, &matrix_};
 
   switch (mode) {
     case ParallelMode::kSerial: {
@@ -225,6 +278,10 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
       std::vector<mcsim::AbortBreakdown> local_breakdown(workers);
       std::vector<RetryStats> local_retry(workers);
       std::vector<uint64_t> local_committed(workers, 0);
+      std::vector<TxnMatrixAcc> local_matrix(workers);
+      for (auto& m : local_matrix) {
+        m.Resize(static_cast<int>(matrix_.counts.size()));
+      }
       machine_->SetFreeRunning(true);
       std::vector<std::thread> threads;
       threads.reserve(workers);
@@ -232,7 +289,7 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
         threads.emplace_back([&, w] {
           const PhaseSinks local{&local_lat[w], &local_aborts[w],
                                  &local_breakdown[w], &local_retry[w],
-                                 &local_committed[w]};
+                                 &local_committed[w], &local_matrix[w]};
           for (uint64_t t = 0; t < txns; ++t) {
             if (halt.load(std::memory_order_acquire)) break;
             // Simulated worker-core death: the thread stops issuing
@@ -250,6 +307,7 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
         latency_.Merge(local_lat[w]);
         aborts_ += local_aborts[w];
         committed_ += local_committed[w];
+        matrix_.Merge(local_matrix[w]);
         retry_stats_.retries += local_retry[w].retries;
         retry_stats_.retry_successes += local_retry[w].retry_successes;
         retry_stats_.retry_rejections += local_retry[w].retry_rejections;
@@ -301,13 +359,50 @@ StatusOr<mcsim::WindowReport> ExperimentRunner::Run(Workload* workload) {
   breakdown_ = mcsim::AbortBreakdown{};
   retry_stats_ = RetryStats{};
   committed_ = 0;
+  matrix_.Resize(workload->NumTransactionTypes());
+  // Periodic sampling covers exactly the measurement window: armed
+  // here (warm-up never pays the per-retire check) and disarmed after
+  // EndWindow has drained the rings.
+  machine_->ArmSampler(config_.sampler);
   if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/true);
   profiler.BeginWindow(cores);
   RunPhase(workload, mode, config_.measure_txns, &rngs, /*measure=*/true);
   if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/false);
   mcsim::WindowReport report = profiler.EndWindow();
+  machine_->ArmSampler(mcsim::SamplerConfig{});
   report.aborts = breakdown_;
+  report.convergence = CheckConvergence(report, config_.convergence_rtol);
+  AttachTxnMatrix(workload, &report);
   return report;
+}
+
+void ExperimentRunner::AttachTxnMatrix(Workload* workload,
+                                       mcsim::WindowReport* report) const {
+  const mcsim::ModuleRegistry& modules = machine_->modules();
+  double matrix_total = 0.0;
+  for (const auto& row : matrix_.cycles) {
+    for (double c : row) matrix_total += c;
+  }
+  for (size_t t = 0; t < matrix_.counts.size(); ++t) {
+    if (matrix_.counts[t] == 0) continue;
+    mcsim::TxnTypeShare row;
+    row.txn_type = workload->TransactionTypeName(static_cast<int>(t));
+    row.count = matrix_.counts[t];
+    for (int m = 0; m < modules.size() && m < mcsim::kMaxModules; ++m) {
+      if (matrix_.cycles[t][m] <= 0) continue;
+      mcsim::ModuleShare share;
+      share.name = modules.info(m).name;
+      share.inside_engine = modules.info(m).inside_engine;
+      share.cycles = matrix_.cycles[t][m];
+      row.cycles += share.cycles;
+      row.modules.push_back(std::move(share));
+    }
+    for (auto& share : row.modules) {
+      share.fraction = row.cycles > 0 ? share.cycles / row.cycles : 0.0;
+    }
+    row.fraction = matrix_total > 0 ? row.cycles / matrix_total : 0.0;
+    report->txn_module_matrix.push_back(std::move(row));
+  }
 }
 
 StatusOr<mcsim::WindowReport> RunExperiment(const ExperimentConfig& config,

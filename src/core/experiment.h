@@ -1,6 +1,7 @@
 #ifndef IMOLTP_CORE_EXPERIMENT_H_
 #define IMOLTP_CORE_EXPERIMENT_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -88,6 +89,16 @@ struct ExperimentConfig {
   engine::EngineOptions engine_options;
   mcsim::MachineConfig machine_config;
   ExperimentHooks hooks;
+
+  /// Periodic counter sampling for the measurement window
+  /// (every_cycles == 0 keeps it off; see mcsim/sampler.h). Armed just
+  /// before each window and disarmed after it, so warm-up never pays
+  /// the sampling check.
+  mcsim::SamplerConfig sampler;
+  /// Tolerance of the auto-warmup convergence check over the sampled
+  /// series: the window is flagged unconverged when first- and
+  /// second-half IPC diverge by more than this relative amount.
+  double convergence_rtol = 0.10;
 };
 
 /// Builds a machine + engine + populated database once and runs measured
@@ -159,6 +170,27 @@ class ExperimentRunner {
   /// Builds machine + engine, runs hooks.pre_populate, populates.
   Status Init(Workload* schema_source);
 
+  /// Raw module×transaction-type cycle accumulator behind
+  /// WindowReport::txn_module_matrix. Indexed [type][module]; per-worker
+  /// locals are merged in worker order for kFree.
+  struct TxnMatrixAcc {
+    std::vector<uint64_t> counts;  // transactions per type, any outcome
+    std::vector<std::array<double, mcsim::kMaxModules>> cycles;
+
+    void Resize(int types) {
+      counts.assign(types, 0);
+      cycles.assign(types, {});
+    }
+    void Merge(const TxnMatrixAcc& o) {
+      for (size_t t = 0; t < o.counts.size() && t < counts.size(); ++t) {
+        counts[t] += o.counts[t];
+        for (int m = 0; m < mcsim::kMaxModules; ++m) {
+          cycles[t][m] += o.cycles[t][m];
+        }
+      }
+    }
+  };
+
   /// Per-phase accounting sinks: the shared members for the serialized
   /// modes, per-worker locals (merged post-join) for kFree.
   struct PhaseSinks {
@@ -167,6 +199,7 @@ class ExperimentRunner {
     mcsim::AbortBreakdown* breakdown = nullptr;
     RetryStats* retry = nullptr;
     uint64_t* committed = nullptr;
+    TxnMatrixAcc* matrix = nullptr;
   };
 
   /// Runs `txns` transactions per worker under `mode`. When `measure`
@@ -175,6 +208,12 @@ class ExperimentRunner {
   /// halts the phase: no worker starts another transaction.
   void RunPhase(Workload* workload, ParallelMode mode, uint64_t txns,
                 std::vector<Rng>* rngs, bool measure);
+
+  /// Converts the raw matrix_ accumulator into the report's
+  /// txn_module_matrix rows (names from the workload, module identities
+  /// from the machine's registry).
+  void AttachTxnMatrix(Workload* workload,
+                       mcsim::WindowReport* report) const;
 
   ExperimentConfig config_;
   std::unique_ptr<mcsim::MachineSim> machine_;
@@ -186,6 +225,7 @@ class ExperimentRunner {
   mcsim::AbortBreakdown breakdown_;
   RetryStats retry_stats_;
   uint64_t committed_ = 0;
+  TxnMatrixAcc matrix_;
   std::atomic<int> inflight_retries_{0};
 };
 

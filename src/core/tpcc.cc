@@ -1,5 +1,6 @@
 #include "core/tpcc.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace imoltp::core {
@@ -224,7 +225,27 @@ constexpr uint64_t kOrderLineNominal = 54;
 
 }  // namespace
 
-TpccBenchmark::TpccBenchmark(const TpccConfig& config) : config_(config) {}
+TpccBenchmark::TpccBenchmark(const TpccConfig& config)
+    : config_(config),
+      last_type_(static_cast<size_t>(std::max(1, config.num_partitions))) {}
+
+const char* TpccBenchmark::TransactionTypeName(int type) const {
+  switch (type) {
+    case 0: return "new_order";
+    case 1: return "payment";
+    case 2: return "order_status";
+    case 3: return "delivery";
+    case 4: return "stock_level";
+    default: return "?";
+  }
+}
+
+int TpccBenchmark::LastTransactionType(int worker) const {
+  if (worker < 0 || static_cast<size_t>(worker) >= last_type_.size()) {
+    return 0;
+  }
+  return last_type_[worker].type;
+}
 
 std::vector<engine::TableDef> TpccBenchmark::Tables() const {
   const uint64_t w = static_cast<uint64_t>(config_.warehouses);
@@ -328,25 +349,37 @@ Status TpccBenchmark::RunTransaction(engine::Engine* engine, int worker,
       static_cast<uint64_t>(config_.warehouses) * (worker + 1) / parts;
   const uint64_t w = rng->Range(w_lo, w_hi - 1);
 
-  // Standard TPC-C mix.
+  // Standard TPC-C mix. The dispatched type is recorded per worker so
+  // the harness can attribute the transaction's cycles to it; a retry
+  // rewinds the RNG, so re-execution re-records the same type.
+  auto record = [&](int type) {
+    if (static_cast<size_t>(worker) < last_type_.size()) {
+      last_type_[worker].type = type;
+    }
+  };
   const uint64_t roll = rng->Uniform(100);
   if (roll < 45) {
     ++mix_.new_order;
+    record(0);
     return RunNewOrder(engine, worker, rng, w);
   }
   if (roll < 88) {
     ++mix_.payment;
+    record(1);
     return RunPayment(engine, worker, rng, w);
   }
   if (roll < 92) {
     ++mix_.order_status;
+    record(2);
     return RunOrderStatus(engine, worker, rng, w);
   }
   if (roll < 96) {
     ++mix_.delivery;
+    record(3);
     return RunDelivery(engine, worker, rng, w);
   }
   ++mix_.stock_level;
+  record(4);
   return RunStockLevel(engine, worker, rng, w);
 }
 

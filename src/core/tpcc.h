@@ -30,6 +30,12 @@ class TpccBenchmark final : public Workload {
   Status RunTransaction(engine::Engine* engine, int worker,
                         Rng* rng) override;
 
+  // Txn-type vocabulary for the module×type attribution matrix: the
+  // five procedures of the mix, in mix order.
+  int NumTransactionTypes() const override { return 5; }
+  const char* TransactionTypeName(int type) const override;
+  int LastTransactionType(int worker) const override;
+
   // Table ids.
   static constexpr int kWarehouse = 0;
   static constexpr int kDistrict = 1;
@@ -139,9 +145,16 @@ class TpccBenchmark final : public Workload {
     std::atomic<uint64_t> stock_level{0};
   };
 
+  /// One cache line per worker: each free-running worker writes only
+  /// its own slot, so the mix dispatch stays data-race-free.
+  struct alignas(64) LastTypeSlot {
+    int type = 0;
+  };
+
   TpccConfig config_;
   std::atomic<uint64_t> history_counter_{0};
   AtomicMixCounts mix_;
+  std::vector<LastTypeSlot> last_type_;
 };
 
 }  // namespace imoltp::core

@@ -28,6 +28,24 @@ class Workload {
   /// VoltDB transactions access a single partition).
   virtual Status RunTransaction(engine::Engine* engine, int worker,
                                 Rng* rng) = 0;
+
+  /// Transaction-type vocabulary for the module×type attribution matrix
+  /// (WindowReport::txn_module_matrix). Single-procedure benchmarks
+  /// keep the defaults; mixes (TPC-C) override all three. Per-worker
+  /// last-type state must be thread-confined to `worker` — workers run
+  /// concurrently in ParallelMode::kFree.
+  virtual int NumTransactionTypes() const { return 1; }
+  virtual const char* TransactionTypeName(int type) const {
+    (void)type;
+    return name();
+  }
+  /// Type of the transaction the most recent RunTransaction on `worker`
+  /// executed (stable across the retry loop's re-executions: the RNG is
+  /// rewound, so the same type re-runs).
+  virtual int LastTransactionType(int worker) const {
+    (void)worker;
+    return 0;
+  }
 };
 
 }  // namespace imoltp::core

@@ -96,6 +96,18 @@ void CoreSim::AccessDataLine(uint64_t line, bool is_write) {
   ++counters_.per_module[module_].misses.llc_d;
 }
 
+void CoreSim::ArmSampler(const SamplerConfig& config) {
+  if (config.every_cycles == 0) {
+    sampler_ = nullptr;
+    sampler_owned_.reset();
+    return;
+  }
+  sampler_owned_ = std::make_unique<CoreSampler>(
+      config, &machine_->config().cycle);
+  sampler_owned_->Restart(counters_);
+  sampler_ = sampler_owned_.get();
+}
+
 void CoreSim::Reset() {
   l1i_.Reset();
   l1d_.Reset();
@@ -106,6 +118,7 @@ void CoreSim::Reset() {
   mispredict_acc_ = 0.0;
   last_miss_line_ = 0;
   prefetches_issued_ = 0;
+  if (sampler_ != nullptr) sampler_->Restart(counters_);
   {
     std::lock_guard<std::mutex> guard(mbox_mu_);
     mbox_.clear();

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "mcsim/code_region.h"
 #include "mcsim/config.h"
 #include "mcsim/counters.h"
+#include "mcsim/sampler.h"
 #include "mcsim/trace_sink.h"
 
 namespace imoltp::mcsim {
@@ -135,6 +137,25 @@ class CoreSim {
     }
   }
 
+  /// Marks the transaction the core just finished as aborted (final
+  /// outcome, not per attempt). Pure bookkeeping for the sampled
+  /// time-series — perturbs no simulated state.
+  void CountAbort() {
+    if (!enabled_) return;
+    ++counters_.aborted_txns;
+  }
+
+  /// Arms periodic counter sampling on this core (replacing any prior
+  /// sampler) or disarms it (every_cycles == 0). When disarmed the only
+  /// residue on the hot path is one well-predicted null check; sampling
+  /// itself never writes counters, so armed and disarmed runs retire
+  /// identical streams (ctest-enforced, tests/sampling_test.cc).
+  void ArmSampler(const SamplerConfig& config);
+
+  /// The armed sampler, or nullptr.
+  CoreSampler* sampler() { return sampler_; }
+  const CoreSampler* sampler() const { return sampler_; }
+
   const CoreCounters& counters() const { return counters_; }
   int core_id() const { return core_id_; }
 
@@ -194,6 +215,9 @@ class CoreSim {
     const double cycles = static_cast<double>(n) * cpi;
     counters_.base_cycles += cycles;
     counters_.per_module[module_].base_cycles += cycles;
+    // The retirement clock only advances here, so this is the one
+    // sampling hook the whole core needs.
+    if (sampler_ != nullptr) sampler_->MaybeSample(counters_);
   }
 
   // Small xorshift for window selection; independent of workload RNGs so
@@ -223,6 +247,8 @@ class CoreSim {
   double cpi_floor_;
   bool enabled_ = true;
   TraceSink* trace_ = nullptr;
+  std::unique_ptr<CoreSampler> sampler_owned_;
+  CoreSampler* sampler_ = nullptr;
   ModuleId module_ = kNoModule;
   double mispredict_acc_ = 0.0;
   uint64_t window_state_;

@@ -80,6 +80,11 @@ struct CoreCounters {
   uint64_t instructions = 0;
   uint64_t mispredictions = 0;
   uint64_t transactions = 0;
+  /// Transactions whose final attempt aborted. The machine model knows
+  /// nothing about transaction outcomes; the experiment harness marks
+  /// aborts via CoreSim::CountAbort so the sampled time-series can
+  /// report abort rate per bucket.
+  uint64_t aborted_txns = 0;
   uint64_t code_line_fetches = 0;
   uint64_t data_accesses = 0;
   uint64_t tlb_misses = 0;
@@ -92,6 +97,7 @@ struct CoreCounters {
     r.instructions = instructions - o.instructions;
     r.mispredictions = mispredictions - o.mispredictions;
     r.transactions = transactions - o.transactions;
+    r.aborted_txns = aborted_txns - o.aborted_txns;
     r.code_line_fetches = code_line_fetches - o.code_line_fetches;
     r.data_accesses = data_accesses - o.data_accesses;
     r.tlb_misses = tlb_misses - o.tlb_misses;

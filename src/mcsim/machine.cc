@@ -17,8 +17,11 @@ CoreCounters MachineSim::TotalCounters() const {
     total.instructions += c.instructions;
     total.mispredictions += c.mispredictions;
     total.transactions += c.transactions;
+    total.aborted_txns += c.aborted_txns;
     total.code_line_fetches += c.code_line_fetches;
     total.data_accesses += c.data_accesses;
+    total.tlb_misses += c.tlb_misses;
+    total.base_cycles += c.base_cycles;
     total.misses += c.misses;
     for (int m = 0; m < kMaxModules; ++m) {
       total.per_module[m] += c.per_module[m];

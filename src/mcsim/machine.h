@@ -90,6 +90,18 @@ class MachineSim {
     }
   }
 
+  /// Arms periodic counter sampling on every core (see mcsim/sampler.h)
+  /// or disarms it everywhere (config.every_cycles == 0). Arm/disarm
+  /// only while no worker threads are running — the sample rings are
+  /// thread-confined to their core, like everything else on CoreSim.
+  void ArmSampler(const SamplerConfig& config) {
+    for (auto& core : cores_) core->ArmSampler(config);
+  }
+
+  /// The armed sampler of core `i`, or nullptr when sampling is off.
+  CoreSampler* sampler(int i) { return cores_[i]->sampler(); }
+  const CoreSampler* sampler(int i) const { return cores_[i]->sampler(); }
+
   /// Sums per-core counters (used for machine-wide sanity checks; figures
   /// report per-worker averages through the profiler instead).
   CoreCounters TotalCounters() const;

@@ -20,6 +20,10 @@ void Profiler::BeginWindow(std::vector<int> worker_cores) {
   window_start_.reserve(worker_cores_.size());
   for (int c : worker_cores_) {
     window_start_.push_back(machine_->core(c).counters());
+    CoreSampler* sampler = machine_->sampler(c);
+    if (sampler != nullptr) {
+      sampler->Restart(machine_->core(c).counters());
+    }
   }
   window_open_ = true;
 }
@@ -87,7 +91,89 @@ WindowReport Profiler::EndWindow() {
     share.fraction = attributed > 0 ? share.cycles / attributed : 0.0;
   }
   r.engine_cycle_fraction = attributed > 0 ? engine / attributed : 0.0;
+
+  BuildTimeseries(&r);
   return r;
+}
+
+namespace {
+
+/// Delta between two cumulative samples, as one series bucket.
+SeriesBucket MakeBucket(const CounterSample& a, const CounterSample& b,
+                        double window_origin,
+                        const CycleModelParams& params) {
+  SeriesBucket bucket;
+  bucket.t0 = a.retire_cycles - window_origin;
+  bucket.t1 = b.retire_cycles - window_origin;
+  bucket.instructions = b.instructions - a.instructions;
+  bucket.transactions = b.transactions - a.transactions;
+  bucket.aborted_txns = b.aborted_txns - a.aborted_txns;
+  bucket.mispredictions = b.mispredictions - a.mispredictions;
+  bucket.tlb_misses = b.tlb_misses - a.tlb_misses;
+  bucket.misses = b.misses - a.misses;
+  bucket.model_cycles = b.model_cycles - a.model_cycles;
+  if (bucket.model_cycles > 0) {
+    bucket.ipc =
+        static_cast<double>(bucket.instructions) / bucket.model_cycles;
+  }
+  const double kinstr = static_cast<double>(bucket.instructions) / 1000.0;
+  if (kinstr > 0) {
+    bucket.stalls_per_kinstr =
+        ReportedStalls(bucket.misses, params).Scaled(1.0 / kinstr);
+  }
+  if (bucket.transactions > 0) {
+    bucket.abort_rate = static_cast<double>(bucket.aborted_txns) /
+                        static_cast<double>(bucket.transactions);
+  }
+  return bucket;
+}
+
+/// A cumulative pseudo-sample of a core's current counters, so the
+/// window start and window end can close the first and last buckets.
+CounterSample SampleNow(const CoreCounters& c,
+                        const CycleModelParams& params) {
+  CounterSample s;
+  s.retire_cycles = c.base_cycles;
+  s.model_cycles = SimulatedCycles(c, params);
+  s.instructions = c.instructions;
+  s.transactions = c.transactions;
+  s.aborted_txns = c.aborted_txns;
+  s.mispredictions = c.mispredictions;
+  s.tlb_misses = c.tlb_misses;
+  s.misses = c.misses;
+  return s;
+}
+
+}  // namespace
+
+void Profiler::BuildTimeseries(WindowReport* r) const {
+  const CycleModelParams& params = machine_->config().cycle;
+  for (size_t i = 0; i < worker_cores_.size(); ++i) {
+    const int c = worker_cores_[i];
+    const CoreSampler* sampler = machine_->sampler(c);
+    if (sampler == nullptr) continue;
+    r->sample_every = sampler->every_cycles();
+
+    CoreSeries series;
+    series.core = c;
+    series.dropped = sampler->dropped();
+    const std::vector<CounterSample> samples = sampler->SamplesSince(0);
+    const double origin = window_start_[i].base_cycles;
+
+    CounterSample prev = SampleNow(window_start_[i], params);
+    for (const CounterSample& s : samples) {
+      series.buckets.push_back(MakeBucket(prev, s, origin, params));
+      prev = s;
+    }
+    // Closing partial bucket: last sample → end-of-window counters
+    // (skipped when empty, e.g. the window ended exactly on a sample).
+    const CounterSample end =
+        SampleNow(machine_->core(c).counters(), params);
+    if (end.retire_cycles > prev.retire_cycles) {
+      series.buckets.push_back(MakeBucket(prev, end, origin, params));
+    }
+    r->timeseries.push_back(std::move(series));
+  }
 }
 
 }  // namespace imoltp::mcsim

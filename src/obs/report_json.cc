@@ -168,6 +168,29 @@ void WindowReportToJson(JsonWriter& w, const mcsim::WindowReport& report,
   }
   w.EndObject();
 
+  w.Key("txn_module_breakdown");
+  w.BeginObject();
+  for (const mcsim::TxnTypeShare& row : report.txn_module_matrix) {
+    w.Key(row.txn_type);
+    w.BeginObject();
+    w.KeyValue("count", row.count);
+    w.KeyValue("cycles", row.cycles);
+    w.KeyValue("fraction", row.fraction);
+    w.Key("modules");
+    w.BeginObject();
+    for (const mcsim::ModuleShare& share : row.modules) {
+      w.Key(share.name);
+      w.BeginObject();
+      w.KeyValue("inside_engine", share.inside_engine);
+      w.KeyValue("cycles", share.cycles);
+      w.KeyValue("fraction", share.fraction);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndObject();
+
   const CycleAccounting acc = ComputeCycleAccounting(report, params);
   w.Key("cycle_accounting");
   w.BeginObject();
@@ -219,6 +242,52 @@ std::string RunReportToJson(const RunInfo& info,
 
   w.Key("window");
   WindowReportToJson(w, report, params);
+
+  // Sampled time-series (schema v4): absent when sampling was off, so
+  // unsampled reports — goldens included — are byte-for-byte what v3
+  // produced plus the empty txn_module_breakdown.
+  if (report.sample_every > 0) {
+    w.Key("timeseries");
+    w.BeginObject();
+    w.KeyValue("sample_every", report.sample_every);
+    w.Key("convergence");
+    w.BeginObject();
+    w.KeyValue("checked", report.convergence.checked);
+    w.KeyValue("first_half_ipc", report.convergence.first_half_ipc);
+    w.KeyValue("second_half_ipc", report.convergence.second_half_ipc);
+    w.KeyValue("divergence", report.convergence.divergence);
+    w.KeyValue("tolerance", report.convergence.tolerance);
+    w.KeyValue("converged", report.convergence.converged);
+    w.EndObject();
+    w.Key("cores");
+    w.BeginArray();
+    for (const mcsim::CoreSeries& series : report.timeseries) {
+      w.BeginObject();
+      w.KeyValue("core", series.core);
+      w.KeyValue("dropped", series.dropped);
+      w.Key("buckets");
+      w.BeginArray();
+      for (const mcsim::SeriesBucket& b : series.buckets) {
+        w.BeginObject();
+        w.KeyValue("t0", b.t0);
+        w.KeyValue("t1", b.t1);
+        w.KeyValue("instructions", b.instructions);
+        w.KeyValue("transactions", b.transactions);
+        w.KeyValue("aborted_txns", b.aborted_txns);
+        w.KeyValue("mispredictions", b.mispredictions);
+        w.KeyValue("tlb_misses", b.tlb_misses);
+        w.KeyValue("model_cycles", b.model_cycles);
+        w.KeyValue("ipc", b.ipc);
+        w.KeyValue("stalls_per_kinstr", b.stalls_per_kinstr.total());
+        w.KeyValue("abort_rate", b.abort_rate);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
 
   if (latency != nullptr) {
     w.Key("latency_cycles");

@@ -17,7 +17,10 @@ namespace imoltp::obs {
 /// Version of the JSON report schema. Bump on any incompatible change
 /// (renamed/removed keys, changed units); imoltp_diff refuses to
 /// compare documents with different versions.
-inline constexpr int kReportSchemaVersion = 3;
+/// v4 added `window.txn_module_breakdown` and the top-level
+/// `timeseries` section (sampled per-core series + the auto-warmup
+/// convergence verdict; present only when sampling was on).
+inline constexpr int kReportSchemaVersion = 4;
 
 /// Top-Down-style decomposition of the modeled cycles (per worker):
 /// retiring (inherent CPI work), frontend (instruction-miss refill),

@@ -1,5 +1,7 @@
 #include "obs/span.h"
 
+#include "obs/timeline.h"
+
 namespace imoltp::obs {
 
 const char* SpanKindName(SpanKind kind) {
@@ -12,6 +14,14 @@ const char* SpanKindName(SpanKind kind) {
   return "?";
 }
 
+void SpanCollector::Reset() {
+  for (Lane& lane : lanes_) {
+    lane.stats = {};
+    lane.depth = 0;
+  }
+  if (recorder_ != nullptr) recorder_->Reset();
+}
+
 ScopedSpan::ScopedSpan(SpanCollector* collector, mcsim::CoreSim* core,
                        SpanKind kind)
     : collector_(collector), core_(core), kind_(kind) {
@@ -20,6 +30,10 @@ ScopedSpan::ScopedSpan(SpanCollector* collector, mcsim::CoreSim* core,
   if (!active_) return;
   ++collector_->lane_for(core_).depth;
   start_ = mcsim::AggregateCounters(core_->counters());
+  if (collector_->recorder_ != nullptr) {
+    start_model_cycles_ =
+        mcsim::SimulatedCycles(start_, *collector_->params_);
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
@@ -29,8 +43,14 @@ ScopedSpan::~ScopedSpan() {
   const mcsim::ModuleCounters delta =
       mcsim::AggregateCounters(core_->counters()) - start_;
   SpanStats& stats = lane.stats[static_cast<int>(kind_)];
-  stats.cycles += mcsim::SimulatedCycles(delta, *collector_->params_);
+  const double cycles = mcsim::SimulatedCycles(delta, *collector_->params_);
+  stats.cycles += cycles;
   ++stats.count;
+  if (collector_->recorder_ != nullptr) {
+    collector_->recorder_->Record(core_->core_id(), kind_,
+                                  start_model_cycles_,
+                                  start_model_cycles_ + cycles);
+  }
 }
 
 }  // namespace imoltp::obs

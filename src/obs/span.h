@@ -25,6 +25,8 @@ inline constexpr int kNumSpanKinds = 4;
 
 const char* SpanKindName(SpanKind kind);
 
+class TimelineRecorder;
+
 struct SpanStats {
   double cycles = 0.0;
   uint64_t count = 0;
@@ -47,12 +49,10 @@ class SpanCollector {
       : params_(params),
         lanes_(num_cores > 0 ? static_cast<size_t>(num_cores) : 1) {}
 
-  void Reset() {
-    for (Lane& lane : lanes_) {
-      lane.stats = {};
-      lane.depth = 0;
-    }
-  }
+  /// Zeroes every lane; also clears an attached TimelineRecorder, so a
+  /// window-start Reset leaves the timeline covering exactly the
+  /// window.
+  void Reset();
 
   /// Sum of all lanes for `kind` (call from the coordinating thread).
   SpanStats stats(SpanKind kind) const {
@@ -74,6 +74,13 @@ class SpanCollector {
 
   const mcsim::CycleModelParams& params() const { return *params_; }
 
+  /// Attaches a per-core interval recorder (nullptr detaches): every
+  /// effective span additionally logs its [start, end) model-cycle
+  /// interval for the Perfetto timeline export (obs/timeline.h). Off
+  /// by default — the hot path then pays only a null check.
+  void set_recorder(TimelineRecorder* recorder) { recorder_ = recorder; }
+  TimelineRecorder* recorder() const { return recorder_; }
+
  private:
   friend class ScopedSpan;
 
@@ -91,6 +98,7 @@ class SpanCollector {
 
   const mcsim::CycleModelParams* params_;
   std::vector<Lane> lanes_;
+  TimelineRecorder* recorder_ = nullptr;
 };
 
 /// RAII phase marker. Snapshots the core's aggregate counters on entry
@@ -112,6 +120,7 @@ class ScopedSpan {
   SpanKind kind_;
   bool active_;
   mcsim::ModuleCounters start_;
+  double start_model_cycles_ = 0.0;  // only set while a recorder is on
 };
 
 }  // namespace imoltp::obs

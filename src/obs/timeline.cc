@@ -1,0 +1,189 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/json.h"
+
+namespace imoltp::obs {
+
+namespace {
+
+/// Model cycles → trace-event microseconds at the configured clock.
+double ToMicros(double cycles, double clock_ghz) {
+  const double ghz = clock_ghz > 0 ? clock_ghz : 1.0;
+  return cycles / (ghz * 1000.0);
+}
+
+void MetadataEvent(JsonWriter& w, const char* name, int pid,
+                   const char* value) {
+  w.BeginObject();
+  w.KeyValue("name", name);
+  w.KeyValue("ph", "M");
+  w.KeyValue("pid", pid);
+  w.KeyValue("tid", 0);
+  w.Key("args");
+  w.BeginObject();
+  w.KeyValue("name", value);
+  w.EndObject();
+  w.EndObject();
+}
+
+void CounterEvent(JsonWriter& w, const char* name, int pid, double ts_us,
+                  const std::vector<std::pair<const char*, double>>& args) {
+  w.BeginObject();
+  w.KeyValue("name", name);
+  w.KeyValue("ph", "C");
+  w.KeyValue("pid", pid);
+  w.KeyValue("tid", 0);
+  w.KeyValue("ts", ts_us);
+  w.Key("args");
+  w.BeginObject();
+  for (const auto& [key, value] : args) w.KeyValue(key, value);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string TimelineToJson(const TimelineOptions& options,
+                           const mcsim::WindowReport& report,
+                           const TimelineRecorder* recorder) {
+  // Spans carry cumulative machine time; shift them so the earliest
+  // recorded event lands at t=0, like the (window-relative) counter
+  // buckets.
+  double span_origin = 0.0;
+  bool have_span = false;
+  if (recorder != nullptr) {
+    for (int c = 0; c < recorder->num_cores(); ++c) {
+      for (const TimelineEvent& e : recorder->events(c)) {
+        if (!have_span || e.t0 < span_origin) span_origin = e.t0;
+        have_span = true;
+      }
+    }
+  }
+
+  // One trace-event "process" per core that has spans or samples.
+  std::set<int> cores;
+  if (recorder != nullptr) {
+    for (int c = 0; c < recorder->num_cores(); ++c) {
+      if (!recorder->events(c).empty()) cores.insert(c);
+    }
+  }
+  for (const mcsim::CoreSeries& series : report.timeseries) {
+    cores.insert(series.core);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("displayTimeUnit", "ms");
+  w.Key("metadata");
+  w.BeginObject();
+  w.KeyValue("tool", "imoltp_timeline");
+  w.KeyValue("engine", options.engine);
+  w.KeyValue("workload", options.workload);
+  w.KeyValue("clock_ghz", options.clock_ghz);
+  w.KeyValue("sample_every", report.sample_every);
+  w.EndObject();
+
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (int c : cores) {
+    const std::string label = "core " + std::to_string(c);
+    MetadataEvent(w, "process_name", c, label.c_str());
+    MetadataEvent(w, "thread_name", c, "spans");
+  }
+
+  if (recorder != nullptr) {
+    for (int c = 0; c < recorder->num_cores(); ++c) {
+      for (const TimelineEvent& e : recorder->events(c)) {
+        w.BeginObject();
+        w.KeyValue("name", SpanKindName(e.kind));
+        w.KeyValue("cat", "span");
+        w.KeyValue("ph", "X");
+        w.KeyValue("pid", c);
+        w.KeyValue("tid", 0);
+        w.KeyValue("ts", ToMicros(e.t0 - span_origin, options.clock_ghz));
+        w.KeyValue("dur", ToMicros(e.t1 - e.t0, options.clock_ghz));
+        w.EndObject();
+      }
+    }
+  }
+
+  for (const mcsim::CoreSeries& series : report.timeseries) {
+    for (const mcsim::SeriesBucket& b : series.buckets) {
+      const double ts = ToMicros(b.t0, options.clock_ghz);
+      CounterEvent(w, "ipc", series.core, ts, {{"ipc", b.ipc}});
+      const auto& s = b.stalls_per_kinstr.stalls;
+      CounterEvent(w, "stalls/kinstr", series.core, ts,
+                   {{"L1I", s[0]},
+                    {"L2I", s[1]},
+                    {"LLC I", s[2]},
+                    {"L1D", s[3]},
+                    {"L2D", s[4]},
+                    {"LLC D", s[5]}});
+      CounterEvent(w, "abort_rate", series.core, ts,
+                   {{"abort_rate", b.abort_rate}});
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status ValidateTimelineJson(std::string_view json, uint64_t* span_events,
+                            uint64_t* counter_events) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument("timeline: root is not an object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument(
+        "timeline: missing traceEvents array");
+  }
+  uint64_t spans = 0;
+  uint64_t counters = 0;
+  for (const JsonValue& e : events->array) {
+    if (!e.is_object()) {
+      return Status::InvalidArgument(
+          "timeline: traceEvents entry is not an object");
+    }
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* name = e.Find("name");
+    if (ph == nullptr || !ph->is_string() || name == nullptr ||
+        !name->is_string()) {
+      return Status::InvalidArgument(
+          "timeline: event missing ph/name strings");
+    }
+    if (ph->string == "X" || ph->string == "C") {
+      const JsonValue* ts = e.Find("ts");
+      if (ts == nullptr || !ts->is_number()) {
+        return Status::InvalidArgument(
+            "timeline: " + ph->string + " event missing numeric ts");
+      }
+      if (ph->string == "X") {
+        const JsonValue* dur = e.Find("dur");
+        if (dur == nullptr || !dur->is_number()) {
+          return Status::InvalidArgument(
+              "timeline: X event missing numeric dur");
+        }
+        ++spans;
+      } else {
+        const JsonValue* args = e.Find("args");
+        if (args == nullptr || !args->is_object()) {
+          return Status::InvalidArgument(
+              "timeline: C event missing args object");
+        }
+        ++counters;
+      }
+    }
+  }
+  if (span_events != nullptr) *span_events = spans;
+  if (counter_events != nullptr) *counter_events = counters;
+  return Status::Ok();
+}
+
+}  // namespace imoltp::obs

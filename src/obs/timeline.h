@@ -1,0 +1,112 @@
+#ifndef IMOLTP_OBS_TIMELINE_H_
+#define IMOLTP_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "mcsim/profiler.h"
+#include "obs/span.h"
+
+namespace imoltp::obs {
+
+/// One recorded span interval on one core's timeline, in cumulative
+/// simulated model cycles (machine time, not wall-clock).
+struct TimelineEvent {
+  SpanKind kind = SpanKind::kIndexProbe;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+/// Per-core interval log behind the Perfetto timeline export.
+///
+/// Like SpanCollector, recording is striped into one lane per simulated
+/// core (a ScopedSpan only ever appends to the lane of the core it
+/// measures), so free-running worker threads never share lane state.
+/// Each lane is bounded: once `capacity_per_core` events are held,
+/// further events are dropped and counted — a runaway window degrades
+/// to a truncated timeline, never to unbounded memory. Readers
+/// (`events()`, `dropped()`) run on the coordinating thread only, after
+/// the workers have joined.
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(int num_cores = 1,
+                            size_t capacity_per_core = 1 << 16)
+      : capacity_(capacity_per_core > 0 ? capacity_per_core : 1),
+        lanes_(num_cores > 0 ? static_cast<size_t>(num_cores) : 1) {}
+
+  void Reset() {
+    for (Lane& lane : lanes_) {
+      lane.events.clear();
+      lane.dropped = 0;
+    }
+  }
+
+  void Record(int core, SpanKind kind, double t0, double t1) {
+    Lane& lane = lane_for(core);
+    if (lane.events.size() >= capacity_) {
+      ++lane.dropped;
+      return;
+    }
+    lane.events.push_back(TimelineEvent{kind, t0, t1});
+  }
+
+  int num_cores() const { return static_cast<int>(lanes_.size()); }
+  const std::vector<TimelineEvent>& events(int core) const {
+    return lanes_[static_cast<size_t>(core)].events;
+  }
+  uint64_t dropped(int core) const {
+    return lanes_[static_cast<size_t>(core)].dropped;
+  }
+
+ private:
+  // Cache-line aligned so adjacent lanes never false-share under
+  // free-running parallel execution.
+  struct alignas(64) Lane {
+    std::vector<TimelineEvent> events;
+    uint64_t dropped = 0;
+  };
+
+  Lane& lane_for(int core) {
+    const size_t id = static_cast<size_t>(core);
+    return lanes_[id < lanes_.size() ? id : 0];
+  }
+
+  size_t capacity_;
+  std::vector<Lane> lanes_;
+};
+
+/// Identity and clock of one exported timeline.
+struct TimelineOptions {
+  std::string engine;
+  std::string workload;
+  /// Simulated core clock used to map model cycles to trace-event
+  /// microseconds (the paper's machine runs at 2 GHz).
+  double clock_ghz = 2.0;
+};
+
+/// Renders one measurement window as Chrome trace-event JSON, loadable
+/// by Perfetto (ui.perfetto.dev) and chrome://tracing. One "process"
+/// per simulated core carries that core's lifecycle spans (complete
+/// "X" events from `recorder`, may be null) and its sampled counter
+/// tracks ("C" events — IPC, total stalls per kilo-instruction, abort
+/// rate — from `report.timeseries`). Span timestamps are normalized to
+/// the earliest recorded event so the window starts near t=0.
+std::string TimelineToJson(const TimelineOptions& options,
+                           const mcsim::WindowReport& report,
+                           const TimelineRecorder* recorder);
+
+/// Structural validation of a timeline document: parses the JSON and
+/// checks the trace-event contract (a `traceEvents` array whose entries
+/// carry `ph`/`name` and, for "X"/"C" events, numeric `ts`). Used by
+/// `imoltp_timeline validate` and CI. Returns counts through the
+/// optional out-params.
+Status ValidateTimelineJson(std::string_view json,
+                            uint64_t* span_events = nullptr,
+                            uint64_t* counter_events = nullptr);
+
+}  // namespace imoltp::obs
+
+#endif  // IMOLTP_OBS_TIMELINE_H_

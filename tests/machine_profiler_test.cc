@@ -196,6 +196,38 @@ TEST(ProfilerDeathTest, OutOfRangeCoreAborts) {
   EXPECT_DEATH(p.BeginWindow({0, 7}), "out of range");
 }
 
+TEST(ProfilerDeathTest, NegativeCoreAborts) {
+  MachineSim m(NoTlb(2));
+  Profiler p(&m);
+  EXPECT_DEATH(p.BeginWindow({-1}), "out of range");
+}
+
+TEST(ProfilerDeathTest, SecondEndWindowAborts) {
+  // A closed window must be re-opened before it can close again — a
+  // stray second EndWindow would report deltas against stale
+  // snapshots.
+  MachineSim m(NoTlb(1));
+  Profiler p(&m);
+  p.BeginWindow({0});
+  m.core(0).Retire(100);
+  p.EndWindow();
+  EXPECT_DEATH(p.EndWindow(), "EndWindow without a matching BeginWindow");
+}
+
+TEST(ProfilerTest, WindowReopensCleanlyAfterClose) {
+  // Begin/End is reusable: the second window reports only its own
+  // retirements, not the first window's.
+  MachineSim m(NoTlb(1));
+  Profiler p(&m);
+  p.BeginWindow({0});
+  m.core(0).Retire(900);
+  p.EndWindow();
+  p.BeginWindow({0});
+  m.core(0).Retire(300);
+  WindowReport r = p.EndWindow();
+  EXPECT_DOUBLE_EQ(r.instructions, 300.0);
+}
+
 TEST(ProfilerTest, WindowOpenTracksState) {
   MachineSim m(NoTlb(1));
   Profiler p(&m);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 
 #include "core/experiment.h"
@@ -9,6 +11,7 @@
 #include "obs/json.h"
 #include "obs/report_json.h"
 #include "obs/span.h"
+#include "obs/timeline.h"
 
 namespace imoltp {
 namespace {
@@ -313,6 +316,172 @@ TEST(ObsEndToEndTest, RunReportJsonHasRequiredMetrics) {
   EXPECT_FALSE(modules->object.empty());
   // IPC in the JSON matches the report bit for bit.
   EXPECT_DOUBLE_EQ(v.FindPath("window.ipc")->number, report.ipc);
+}
+
+// ------------------------------------------------------------ timeline
+
+TEST(TimelineRecorderTest, LaneCapacityBoundsMemory) {
+  obs::TimelineRecorder recorder(/*num_cores=*/1,
+                                 /*capacity_per_core=*/2);
+  recorder.Record(0, obs::SpanKind::kIndexProbe, 0.0, 10.0);
+  recorder.Record(0, obs::SpanKind::kLogAppend, 10.0, 20.0);
+  recorder.Record(0, obs::SpanKind::kLockAcquire, 20.0, 30.0);
+  EXPECT_EQ(recorder.events(0).size(), 2u);
+  EXPECT_EQ(recorder.dropped(0), 1u);
+
+  recorder.Reset();
+  EXPECT_TRUE(recorder.events(0).empty());
+  EXPECT_EQ(recorder.dropped(0), 0u);
+}
+
+TEST(TimelineRecorderTest, OutOfRangeCoreFoldsToLaneZero) {
+  obs::TimelineRecorder recorder(/*num_cores=*/2);
+  recorder.Record(7, obs::SpanKind::kIndexProbe, 0.0, 1.0);
+  EXPECT_EQ(recorder.events(0).size(), 1u);
+  EXPECT_TRUE(recorder.events(1).empty());
+}
+
+/// A two-bucket, one-core sampled report for the export tests.
+mcsim::WindowReport SampledReport() {
+  mcsim::WindowReport r;
+  r.sample_every = 100;
+  mcsim::CoreSeries series;
+  series.core = 0;
+  for (int i = 0; i < 2; ++i) {
+    mcsim::SeriesBucket b;
+    b.t0 = 100.0 * i;
+    b.t1 = 100.0 * (i + 1);
+    b.instructions = 300;
+    b.ipc = 1.5;
+    series.buckets.push_back(b);
+  }
+  r.timeseries.push_back(std::move(series));
+  return r;
+}
+
+TEST(TimelineTest, ExportValidatesAndCountsEvents) {
+  obs::TimelineRecorder recorder(/*num_cores=*/2);
+  recorder.Record(0, obs::SpanKind::kIndexProbe, 1000.0, 1200.0);
+  recorder.Record(0, obs::SpanKind::kStorageAccess, 1200.0, 1500.0);
+  recorder.Record(1, obs::SpanKind::kLogAppend, 1100.0, 1400.0);
+
+  obs::TimelineOptions opts;
+  opts.engine = "voltdb";
+  opts.workload = "micro";
+  const std::string json =
+      obs::TimelineToJson(opts, SampledReport(), &recorder);
+
+  uint64_t spans = 0;
+  uint64_t counters = 0;
+  const Status s = obs::ValidateTimelineJson(json, &spans, &counters);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(spans, 3u);
+  // Three counter tracks (ipc, stalls/kinstr, abort rate) per bucket.
+  EXPECT_EQ(counters, 6u);
+
+  auto doc = obs::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue& v = doc.value();
+  EXPECT_EQ(v.FindPath("metadata.engine")->string, "voltdb");
+  EXPECT_EQ(v.FindPath("metadata.workload")->string, "micro");
+  EXPECT_DOUBLE_EQ(v.FindPath("metadata.sample_every")->number, 100.0);
+  ASSERT_NE(v.FindPath("traceEvents"), nullptr);
+  EXPECT_TRUE(v.FindPath("traceEvents")->is_array());
+}
+
+TEST(TimelineTest, SpanTimestampsNormalizeToTheEarliestEvent) {
+  // Spans arrive in cumulative machine time (warm-up included); the
+  // export must shift them so the window starts near t=0.
+  obs::TimelineRecorder recorder(/*num_cores=*/1);
+  recorder.Record(0, obs::SpanKind::kIndexProbe, 500000.0, 500200.0);
+  recorder.Record(0, obs::SpanKind::kLogAppend, 500200.0, 500600.0);
+
+  obs::TimelineOptions opts;
+  const std::string json =
+      obs::TimelineToJson(opts, mcsim::WindowReport{}, &recorder);
+  auto doc = obs::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  double min_ts = 1e300;
+  for (const obs::JsonValue& e : doc.value().FindPath("traceEvents")->array) {
+    const obs::JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->string != "X") continue;
+    min_ts = std::min(min_ts, e.Find("ts")->number);
+  }
+  EXPECT_DOUBLE_EQ(min_ts, 0.0);
+}
+
+TEST(TimelineTest, NullRecorderStillEmitsCounterTracks) {
+  obs::TimelineOptions opts;
+  const std::string json =
+      obs::TimelineToJson(opts, SampledReport(), nullptr);
+  uint64_t spans = 0;
+  uint64_t counters = 0;
+  ASSERT_TRUE(obs::ValidateTimelineJson(json, &spans, &counters).ok());
+  EXPECT_EQ(spans, 0u);
+  EXPECT_GT(counters, 0u);
+}
+
+TEST(TimelineValidateTest, RejectsContractViolations) {
+  // Not JSON at all.
+  EXPECT_FALSE(obs::ValidateTimelineJson("not json").ok());
+  // Missing / mistyped traceEvents.
+  EXPECT_FALSE(obs::ValidateTimelineJson("{}").ok());
+  EXPECT_FALSE(obs::ValidateTimelineJson("{\"traceEvents\":5}").ok());
+  // Event without a phase.
+  EXPECT_FALSE(obs::ValidateTimelineJson(
+                   "{\"traceEvents\":[{\"name\":\"x\"}]}")
+                   .ok());
+  // Complete event without a duration.
+  EXPECT_FALSE(
+      obs::ValidateTimelineJson(
+          "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"x\",\"ts\":1}]}")
+          .ok());
+  // Counter event without args.
+  EXPECT_FALSE(
+      obs::ValidateTimelineJson(
+          "{\"traceEvents\":[{\"ph\":\"C\",\"name\":\"x\",\"ts\":1}]}")
+          .ok());
+  // Minimal valid documents pass.
+  EXPECT_TRUE(obs::ValidateTimelineJson("{\"traceEvents\":[]}").ok());
+  EXPECT_TRUE(
+      obs::ValidateTimelineJson(
+          "{\"traceEvents\":[{\"ph\":\"M\",\"name\":\"process_name\"}]}")
+          .ok());
+}
+
+TEST(TimelineEndToEndTest, ExperimentTimelineValidates) {
+  // The full imoltp_run wiring: sampler armed, recorder attached to the
+  // engine's span collector, export validated — the same check CI runs
+  // on a freshly emitted timeline.
+  core::ExperimentConfig cfg = SmallConfig();
+  cfg.sampler.every_cycles = 2000;
+  core::MicroConfig mcfg = SmallMicro();
+  core::MicroBenchmark wl(mcfg);
+  auto created = core::ExperimentRunner::Create(cfg, &wl);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  core::ExperimentRunner& runner = **created;
+
+  obs::TimelineRecorder recorder(cfg.num_workers);
+  runner.engine()->span_collector()->set_recorder(&recorder);
+  const auto run = runner.Run(&wl);
+  runner.engine()->span_collector()->set_recorder(nullptr);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  obs::TimelineOptions opts;
+  opts.engine = "voltdb";
+  opts.workload = "micro";
+  const std::string json = obs::TimelineToJson(opts, *run, &recorder);
+
+  uint64_t spans = 0;
+  uint64_t counters = 0;
+  const Status s = obs::ValidateTimelineJson(json, &spans, &counters);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  // The micro-benchmark probes an index on every transaction, and the
+  // sampled window produced counter buckets for both cores.
+  EXPECT_GT(spans, 0u);
+  EXPECT_GT(counters, 0u);
+  ASSERT_EQ(run->timeseries.size(), 2u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,60 @@ TEST(ParseCommandLineTest, EmptyJsonPathFails) {
   Flags flags;
   auto [ok, error] = Parse({"--json="}, &flags);
   EXPECT_FALSE(ok);
+}
+
+TEST(ParseCommandLineTest, ParsesSamplingFlags) {
+  Flags flags;
+  auto [ok, error] =
+      Parse({"--sample-every=5000", "--timeline-out=run.json"}, &flags);
+  EXPECT_TRUE(ok) << error;
+  EXPECT_EQ(flags.sample_every, 5000u);
+  EXPECT_EQ(flags.timeline_out, "run.json");
+}
+
+TEST(ParseCommandLineTest, RejectsBadSampleEvery) {
+  // Zero means "off" and is spelled by omitting the flag; a malformed
+  // period must not silently disable sampling.
+  for (const char* arg :
+       {"--sample-every=0", "--sample-every=abc", "--sample-every=",
+        "--sample-every=5k"}) {
+    Flags flags;
+    auto [ok, error] = Parse({arg}, &flags);
+    EXPECT_FALSE(ok) << arg;
+    EXPECT_NE(error.find("--sample-every"), std::string::npos) << arg;
+  }
+}
+
+TEST(ParseCommandLineTest, EmptyTimelineOutFails) {
+  Flags flags;
+  auto [ok, error] = Parse({"--timeline-out="}, &flags);
+  EXPECT_FALSE(ok);
+}
+
+TEST(BuildExperimentTest, SamplerPeriodFollowsFlags) {
+  // Explicit period wins; a timeline request defaults the period on;
+  // neither leaves sampling off.
+  struct Case {
+    uint64_t sample_every;
+    const char* timeline_out;
+    uint64_t want;
+  };
+  for (const Case& c : {Case{5000, "t.json", 5000},
+                        Case{0, "t.json", 20000},
+                        Case{5000, "", 5000},
+                        Case{0, "", 0}}) {
+    Flags flags;
+    flags.sample_every = c.sample_every;
+    flags.timeline_out = c.timeline_out;
+    core::ExperimentConfig cfg;
+    std::unique_ptr<core::Workload> workload;
+    std::string error;
+    ASSERT_TRUE(BuildExperiment(flags, &cfg, &workload, &error))
+        << error;
+    EXPECT_EQ(cfg.sampler.every_cycles, c.want)
+        << "sample_every=" << c.sample_every << " timeline_out='"
+        << c.timeline_out << "'";
+  }
 }
 
 TEST(ParseEngineTest, AllFiveEnginesParse) {

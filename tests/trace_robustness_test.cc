@@ -4,6 +4,7 @@
 // driver out-of-range ids (ASAN in CI backs the "no UB" half).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -21,7 +22,11 @@ namespace imoltp::trace {
 namespace {
 
 std::string TmpPath(const std::string& name) {
-  return testing::TempDir() + "imoltp_trace_robust_" + name + ".trace";
+  // Per-process suffix: ctest -j runs each discovered test in its own
+  // process, and every process re-records the suite fixture — a shared
+  // path would let two processes race on the same file.
+  return testing::TempDir() + "imoltp_trace_robust_" + name + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".trace";
 }
 
 /// Records one small real trace and hands tests its raw bytes.

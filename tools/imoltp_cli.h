@@ -47,6 +47,13 @@ struct Flags {
   std::string json_path;   // --json=FILE; "-" = stdout; empty = off
   std::string trace_out;   // --trace-out=FILE; empty = no capture
 
+  // Time-resolved profiling (docs/OBSERVABILITY.md): sample the worker
+  // cores' counters every N retire cycles (0 = off) and/or write a
+  // Perfetto-loadable timeline. --timeline-out with no --sample-every
+  // picks a default period so the timeline has counter tracks.
+  uint64_t sample_every = 0;   // --sample-every=N retire cycles
+  std::string timeline_out;    // --timeline-out=FILE; empty = off
+
   // Abort retry policy (docs/robustness.md). 1 attempt = no retry.
   int retry_attempts = 1;
   uint64_t retry_backoff = 0;  // simulated cycles before first retry
@@ -228,6 +235,19 @@ inline bool ParseCommandLine(int argc, char* const* argv, Flags* flags,
         return false;
       }
       flags->trace_out = v;
+    } else if (const char* v = value("--sample-every=")) {
+      char* end = nullptr;
+      flags->sample_every = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || flags->sample_every == 0) {
+        *error = std::string("bad value for --sample-every: ") + v;
+        return false;
+      }
+    } else if (const char* v = value("--timeline-out=")) {
+      if (*v == '\0') {
+        *error = "--timeline-out= needs a file path";
+        return false;
+      }
+      flags->timeline_out = v;
     } else if (arg == "--no-compilation") {
       flags->compilation = false;
     } else if (arg == "--csv") {
@@ -275,6 +295,12 @@ inline bool BuildExperiment(const Flags& flags,
   cfg->retry.max_attempts = flags.retry_attempts;
   cfg->retry.backoff_cycles = flags.retry_backoff;
   cfg->retry.max_inflight_retries = flags.retry_cap;
+  cfg->sampler.every_cycles = flags.sample_every;
+  // A timeline without counter samples is only half a timeline: default
+  // to a period that yields a few hundred buckets for typical runs.
+  if (!flags.timeline_out.empty() && flags.sample_every == 0) {
+    cfg->sampler.every_cycles = 20000;
+  }
   cfg->engine_options.compilation = flags.compilation;
   cfg->engine_options.dbms_m_index = flags.index == "btree"
                                          ? index::IndexKind::kBTreeCc

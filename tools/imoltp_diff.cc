@@ -6,12 +6,17 @@
 //
 //   imoltp_diff baseline.json candidate.json
 //   imoltp_diff --rtol=0.05 --metric-rtol=spans=0.2 a.json b.json
+//   imoltp_diff --json a.json b.json   # machine-readable verdict
 //
 // Flags:
 //   --rtol=X                default relative tolerance (default 0.02)
 //   --metric-rtol=PREFIX=X  override for metrics whose dotted path
 //                           starts with PREFIX (repeatable)
 //   --ignore=PREFIX         skip metrics under PREFIX (repeatable)
+//   --json                  emit the verdict as one JSON object on
+//                           stdout ({verdict, baseline, candidate,
+//                           failures:[{path, detail}]}) instead of the
+//                           human-readable lines
 //
 // Exit codes: 0 = within tolerance, 1 = drift (offending metrics are
 // printed), 2 = usage or parse error.
@@ -35,13 +40,24 @@
 //                                 counters are deterministic under the
 //                                 serialized modes; free-mode runs need
 //                                 an explicit --metric-rtol=robustness=X
+//   timeseries.sample_every       exact — different sampling periods
+//                                 produce incomparable bucket grids
+//   timeseries.convergence        ignored — an advisory warm-up verdict,
+//                                 not a metric (its boolean flips on
+//                                 noise exactly at the tolerance edge)
+//   timeseries                    rtol 0.10, atol 2.0 — bucket-wise;
+//                                 per-bucket miss-derived values are
+//                                 noisier than whole-window averages
+//   window.txn_module_breakdown   rtol 0.05, atol 1000 (per-type module
+//                                 cycles inherit the miss-count jitter)
 //   everything else               default rtol (0.02)
 //
 // When either report has meta.trace.replayed == true, latency_cycles,
-// spans, and robustness are ignored entirely: a replay re-simulates the
-// recorded reference stream without the engine, so it has no
-// per-transaction latency histogram, lifecycle spans, or abort/retry
-// accounting, and their absence is not drift.
+// spans, robustness, timeseries, and window.txn_module_breakdown are
+// ignored entirely: a replay re-simulates the recorded reference stream
+// without the engine, so it has no per-transaction latency histogram,
+// lifecycle spans, abort/retry accounting, sampled series, or per-type
+// attribution, and their absence is not drift.
 
 #include <cmath>
 #include <cstdio>
@@ -69,6 +85,13 @@ struct Options {
   std::vector<ToleranceRule> user_rules;  // from flags, highest priority
   std::string baseline_path;
   std::string candidate_path;
+  bool json_output = false;
+};
+
+/// One metric beyond tolerance: the dotted path and what differed.
+struct Failure {
+  std::string path;
+  std::string detail;
 };
 
 // The cache simulator hashes real heap addresses, so ASLR perturbs
@@ -91,6 +114,15 @@ const ToleranceRule kBuiltinRules[] = {
     // change in commit counts, abort causes, retry traffic, or the
     // fault schedule is a real behavioral regression, not jitter.
     {"robustness", 0.0, 0.0},
+    // Schema v4: the sampled time-series compares bucket-wise. Bucket
+    // boundaries and retired-work counts are deterministic, but the
+    // per-bucket miss-derived values (model_cycles, ipc, stalls) are
+    // noisier than whole-window averages — fewer events average the
+    // placement jitter out. The convergence verdict is advisory.
+    {"timeseries.sample_every", 0.0, 0.0},
+    {"timeseries.convergence", -1.0, 0.0},
+    {"timeseries", 0.10, 2.0},
+    {"window.txn_module_breakdown", 0.05, 1000.0},
 };
 
 bool PrefixMatches(const std::string& path, const std::string& prefix) {
@@ -130,10 +162,10 @@ const char* TypeName(JsonValue::Type t) {
   return "?";
 }
 
-void Fail(std::vector<std::string>* failures, const std::string& path,
+void Fail(std::vector<Failure>* failures, const std::string& path,
           const std::string& what) {
-  failures->push_back((path.empty() ? std::string("<root>") : path) +
-                      ": " + what);
+  failures->push_back(
+      Failure{path.empty() ? std::string("<root>") : path, what});
 }
 
 std::string Join(const std::string& path, const std::string& key) {
@@ -142,7 +174,7 @@ std::string Join(const std::string& path, const std::string& key) {
 
 void Compare(const JsonValue& a, const JsonValue& b,
              const std::string& path, const Options& opts,
-             std::vector<std::string>* failures) {
+             std::vector<Failure>* failures) {
   const ToleranceRule rule = RuleFor(path, opts);
   const double rtol = rule.rtol;
   if (rtol < 0) return;  // ignored subtree
@@ -229,7 +261,8 @@ void Compare(const JsonValue& a, const JsonValue& b,
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--rtol=X] [--metric-rtol=PREFIX=X]... "
-               "[--ignore=PREFIX]... baseline.json candidate.json\n",
+               "[--ignore=PREFIX]... [--json] "
+               "baseline.json candidate.json\n",
                argv0);
   return 2;
 }
@@ -285,6 +318,8 @@ int main(int argc, char** argv) {
       opts.user_rules.push_back({spec.substr(0, eq), rtol});
     } else if (arg.rfind("--ignore=", 0) == 0) {
       opts.user_rules.push_back({arg.substr(9), -1.0});
+    } else if (arg == "--json") {
+      opts.json_output = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
       return Usage(argv[0]);
@@ -345,17 +380,44 @@ int main(int argc, char** argv) {
     opts.user_rules.push_back({"latency_cycles", -1.0, 0.0});
     opts.user_rules.push_back({"spans", -1.0, 0.0});
     opts.user_rules.push_back({"robustness", -1.0, 0.0});
+    opts.user_rules.push_back({"timeseries", -1.0, 0.0});
+    opts.user_rules.push_back({"window.txn_module_breakdown", -1.0, 0.0});
   }
 
-  std::vector<std::string> failures;
+  std::vector<Failure> failures;
   Compare(base.value(), cand.value(), "", opts, &failures);
+
+  if (opts.json_output) {
+    imoltp::obs::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("verdict", failures.empty() ? "ok" : "drift");
+    w.KeyValue("baseline", opts.baseline_path);
+    w.KeyValue("candidate", opts.candidate_path);
+    w.KeyValue("default_rtol", opts.default_rtol);
+    w.KeyValue("failure_count",
+               static_cast<uint64_t>(failures.size()));
+    w.Key("failures");
+    w.BeginArray();
+    for (const Failure& f : failures) {
+      w.BeginObject();
+      w.KeyValue("path", f.path);
+      w.KeyValue("detail", f.detail);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return failures.empty() ? 0 : 1;
+  }
+
   if (failures.empty()) {
     std::printf("OK: %s and %s match within tolerance\n",
                 opts.baseline_path.c_str(), opts.candidate_path.c_str());
     return 0;
   }
-  for (const std::string& f : failures) {
-    std::fprintf(stderr, "DRIFT %s\n", f.c_str());
+  for (const Failure& f : failures) {
+    std::fprintf(stderr, "DRIFT %s: %s\n", f.path.c_str(),
+                 f.detail.c_str());
   }
   std::fprintf(stderr, "%zu metric(s) drifted beyond tolerance\n",
                failures.size());

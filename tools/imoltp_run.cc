@@ -7,6 +7,7 @@
 //   imoltp_run --engine=dbms-m --workload=tpcc --warehouses=8 --csv
 //   imoltp_run --engine=voltdb --workload=tpcc --json=report.json
 //   imoltp_run --engine=voltdb --trace-out=run.trace
+//   imoltp_run --sample-every=20000 --timeline-out=run.trace.json
 //
 // Flags:
 //   --engine=shore-mt|dbms-d|voltdb|hyper|dbms-m      (default voltdb)
@@ -26,6 +27,12 @@
 //   --json=FILE          full JSON report ("-" = stdout)
 //   --trace-out=FILE     record the simulated reference stream for
 //                        later `imoltp_trace replay` (docs/tracing.md)
+//   --sample-every=N     sample worker-core counters every N retire
+//                        cycles during the measurement window (adds a
+//                        timeseries section to the JSON report)
+//   --timeline-out=FILE  write a Perfetto-loadable trace-event timeline
+//                        (spans + sampled counter tracks per core; see
+//                        imoltp_timeline)
 //   --retry=N            attempts per transaction (1 = no retry)
 //   --retry-backoff=N    cycles before the first retry (doubles per
 //                        attempt; see docs/robustness.md)
@@ -45,6 +52,7 @@
 #include "core/report.h"
 #include "fault/fault_injector.h"
 #include "obs/report_json.h"
+#include "obs/timeline.h"
 #include "tools/imoltp_cli.h"
 #include "trace/writer.h"
 
@@ -63,6 +71,7 @@ int Usage(const char* argv0, const std::string& error) {
                "[--seed=N] [--csv]\n"
                "          [--mode=serial|deterministic|free]\n"
                "          [--json=FILE] [--trace-out=FILE]\n"
+               "          [--sample-every=N] [--timeline-out=FILE]\n"
                "          [--retry=N] [--retry-backoff=N] "
                "[--retry-cap=N]\n"
                "          [--chaos-seed=N] [--chaos-points=SPEC]\n"
@@ -138,6 +147,13 @@ int main(int argc, char** argv) {
   core::ExperimentRunner& runner = **created;
   if (!flags.trace_out.empty()) runner.set_trace_sink(&writer);
 
+  // Timeline capture: every effective lifecycle span also logs its
+  // interval, one lane per worker core.
+  obs::TimelineRecorder recorder(flags.workers);
+  if (!flags.timeline_out.empty()) {
+    runner.engine()->span_collector()->set_recorder(&recorder);
+  }
+
   const auto run = runner.Run(workload.get());
   if (!run.ok()) {
     std::fprintf(stderr, "%s: %s\n", argv[0],
@@ -162,6 +178,23 @@ int main(int argc, char** argv) {
   if (chaos_on && injector.crash_pending()) {
     std::fprintf(stderr, "injected crash at %s halted the run\n",
                  injector.crash_point().c_str());
+  }
+
+  if (!flags.timeline_out.empty()) {
+    runner.engine()->span_collector()->set_recorder(nullptr);
+    obs::TimelineOptions topts;
+    topts.engine = flags.engine;
+    topts.workload = flags.workload;
+    const std::string timeline = obs::TimelineToJson(topts, r, &recorder);
+    const Status s = obs::WriteJsonFile(flags.timeline_out, timeline);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], s.ToString().c_str());
+      return 1;
+    }
+    if (flags.timeline_out != "-") {
+      std::fprintf(stderr, "wrote timeline %s\n",
+                   flags.timeline_out.c_str());
+    }
   }
 
   if (!flags.json_path.empty()) {

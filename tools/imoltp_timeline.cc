@@ -1,0 +1,229 @@
+// imoltp_timeline — inspects, validates, and renders the Perfetto
+// (Chrome trace-event) timelines written by `imoltp_run
+// --timeline-out=FILE` (docs/OBSERVABILITY.md).
+//
+//   imoltp_timeline validate run.timeline.json
+//   imoltp_timeline info run.timeline.json
+//   imoltp_timeline render run.timeline.json
+//
+// Subcommands:
+//   validate FILE   structural check of the trace-event contract
+//                   (traceEvents array, ph/name on every event, numeric
+//                   ts/dur where required); prints the event census and
+//                   exits non-zero on any violation — CI runs this on
+//                   every freshly-emitted timeline
+//   info FILE       one-line metadata summary plus per-core event
+//                   counts and the covered time range
+//   render FILE     terminal rendering: per core, an IPC sparkline over
+//                   the sampled buckets and the span census with total
+//                   duration per kind
+//
+// Exit codes: 0 = ok, 1 = validation failure, 2 = usage/parse error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/timeline.h"
+
+using imoltp::Status;
+using imoltp::obs::JsonValue;
+using imoltp::obs::ParseJson;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s validate|info|render FILE\n"
+               "FILE is a timeline written by imoltp_run "
+               "--timeline-out=FILE\n",
+               argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out,
+              std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) *error = "read error on " + path;
+  return ok;
+}
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string StringOr(const JsonValue* v, const std::string& fallback) {
+  return v != nullptr && v->is_string() ? v->string : fallback;
+}
+
+/// Per-core census of one parsed timeline.
+struct CoreSummary {
+  uint64_t spans = 0;
+  uint64_t counters = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  bool any = false;
+  std::map<std::string, double> span_dur;   // kind -> total µs
+  std::vector<double> ipc;                  // sampled ipc track, in order
+
+  void Cover(double t) {
+    if (!any) {
+      t_min = t_max = t;
+      any = true;
+      return;
+    }
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+  }
+};
+
+std::map<int, CoreSummary> Summarize(const JsonValue& root) {
+  std::map<int, CoreSummary> cores;
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) return cores;
+  for (const JsonValue& e : events->array) {
+    if (!e.is_object()) continue;
+    const std::string ph = StringOr(e.Find("ph"), "");
+    if (ph != "X" && ph != "C") continue;
+    const int pid = static_cast<int>(NumberOr(e.Find("pid"), 0));
+    const double ts = NumberOr(e.Find("ts"), 0.0);
+    CoreSummary& core = cores[pid];
+    core.Cover(ts);
+    if (ph == "X") {
+      ++core.spans;
+      const double dur = NumberOr(e.Find("dur"), 0.0);
+      core.Cover(ts + dur);
+      core.span_dur[StringOr(e.Find("name"), "?")] += dur;
+    } else {
+      ++core.counters;
+      if (StringOr(e.Find("name"), "") == "ipc") {
+        const JsonValue* args = e.Find("args");
+        core.ipc.push_back(
+            args != nullptr ? NumberOr(args->Find("ipc"), 0.0) : 0.0);
+      }
+    }
+  }
+  return cores;
+}
+
+void PrintMeta(const JsonValue& root) {
+  const JsonValue* meta = root.Find("metadata");
+  if (meta == nullptr || !meta->is_object()) return;
+  std::printf("engine=%s workload=%s clock_ghz=%g sample_every=%.0f\n",
+              StringOr(meta->Find("engine"), "?").c_str(),
+              StringOr(meta->Find("workload"), "?").c_str(),
+              NumberOr(meta->Find("clock_ghz"), 0.0),
+              NumberOr(meta->Find("sample_every"), 0.0));
+}
+
+int RunValidate(const char* argv0, const std::string& path,
+                const std::string& text) {
+  uint64_t spans = 0;
+  uint64_t counters = 0;
+  const Status s =
+      imoltp::obs::ValidateTimelineJson(text, &spans, &counters);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: %s (%llu span events, %llu counter events)\n",
+              path.c_str(), static_cast<unsigned long long>(spans),
+              static_cast<unsigned long long>(counters));
+  return 0;
+}
+
+int RunInfo(const JsonValue& root) {
+  PrintMeta(root);
+  const std::map<int, CoreSummary> cores = Summarize(root);
+  for (const auto& [pid, core] : cores) {
+    std::printf(
+        "core %d: %llu spans, %llu counter events, %.1f..%.1f us\n", pid,
+        static_cast<unsigned long long>(core.spans),
+        static_cast<unsigned long long>(core.counters), core.t_min,
+        core.t_max);
+  }
+  if (cores.empty()) std::printf("no span or counter events\n");
+  return 0;
+}
+
+int RunRender(const JsonValue& root) {
+  PrintMeta(root);
+  // Eight-level unicode sparkline, min..max scaled per core.
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  const std::map<int, CoreSummary> cores = Summarize(root);
+  for (const auto& [pid, core] : cores) {
+    std::printf("core %d (%.1f..%.1f us)\n", pid, core.t_min, core.t_max);
+    if (!core.ipc.empty()) {
+      double lo = core.ipc[0];
+      double hi = core.ipc[0];
+      for (double v : core.ipc) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      std::string line;
+      // Cap the sparkline at 64 cells by averaging adjacent buckets.
+      const size_t cells = std::min<size_t>(core.ipc.size(), 64);
+      for (size_t i = 0; i < cells; ++i) {
+        const size_t a = i * core.ipc.size() / cells;
+        const size_t b =
+            std::max(a + 1, (i + 1) * core.ipc.size() / cells);
+        double sum = 0.0;
+        for (size_t j = a; j < b; ++j) sum += core.ipc[j];
+        const double v = sum / static_cast<double>(b - a);
+        const int level =
+            hi > lo ? static_cast<int>((v - lo) / (hi - lo) * 7.0) : 0;
+        line += kBlocks[std::clamp(level, 0, 7)];
+      }
+      std::printf("  ipc [%0.3f..%0.3f] %s\n", lo, hi, line.c_str());
+    }
+    for (const auto& [kind, dur] : core.span_dur) {
+      std::printf("  span %-16s %10.1f us\n", kind.c_str(), dur);
+    }
+  }
+  if (cores.empty()) std::printf("no span or counter events\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return Usage(argv[0]);
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  if (cmd != "validate" && cmd != "info" && cmd != "render") {
+    return Usage(argv[0]);
+  }
+
+  std::string text, error;
+  if (!ReadFile(path, &text, &error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    return 2;
+  }
+  if (cmd == "validate") return RunValidate(argv[0], path, text);
+
+  auto parsed = ParseJson(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  if (cmd == "info") return RunInfo(parsed.value());
+  return RunRender(parsed.value());
+}
