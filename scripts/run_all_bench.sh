@@ -19,6 +19,13 @@
 # docs/parallel_execution.md). A per-binary wall-clock table (slowest
 # first) goes to stderr at the end — stderr, not the output file,
 # because timings are non-deterministic.
+#
+# The same wall-clock table is also written as a timing-only bench
+# matrix (bench_times.json, bench_schema_version 1: one cell per
+# binary, id "bench/<name>", wall_seconds) so two runs — or a run and
+# a committed baseline — diff through imoltp_compare:
+#
+#   imoltp_compare --max-regress=0.5 old/bench_times.json bench_times.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,6 +67,26 @@ print_times() {
     sort -k2 -n -r "$TMP/times" | awk '{printf "  %-28s %8d\n", $1, $2}'
     awk '{s += $2} END {printf "  %-28s %8d\n", "TOTAL", s}' "$TMP/times"
   } >&2
+  emit_times_json
+}
+
+# Timing-only bench matrix for imoltp_compare: the wall-clock table as
+# bench_schema_version-1 JSON. Goes next to the archived reports when a
+# JSON directory was given, else into the working directory.
+emit_times_json() {
+  local out="bench_times.json"
+  [ -n "$JSON_DIR" ] && out="$JSON_DIR/bench_times.json"
+  sort "$TMP/times" | awk -v label="run_all_bench" '
+    BEGIN {
+      printf "{\"bench_schema_version\":1,\"label\":\"%s\",\"cells\":[", label
+    }
+    {
+      if (NR > 1) printf ","
+      printf "{\"id\":\"bench/%s\",\"wall_seconds\":%.3f}", $1, $2 / 1000.0
+    }
+    END { print "]}" }
+  ' > "$out"
+  echo "wrote $out" >&2
 }
 
 if [ "$JOBS" -le 1 ]; then

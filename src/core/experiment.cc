@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "fault/fault_injector.h"
+#include "obs/timeline.h"
 
 namespace imoltp::core {
 
@@ -63,12 +64,13 @@ class Turnstile {
   int turn_ = 0;
 };
 
-/// Auto-warmup convergence verdict: aggregates instructions and model
-/// cycles over the first- and second-half buckets of every worker
-/// core's sampled series, then compares the two halves' IPC. A window
-/// that was still warming up (caches ramping, a contention storm
-/// draining) shows a first half measurably slower or faster than its
-/// second.
+}  // namespace
+
+/// Aggregates instructions and model cycles over the first- and
+/// second-half buckets of every worker core's sampled series, then
+/// compares the two halves' IPC. A window that was still warming up
+/// (caches ramping, a contention storm draining) shows a first half
+/// measurably slower or faster than its second.
 mcsim::ConvergenceCheck CheckConvergence(const mcsim::WindowReport& r,
                                          double rtol) {
   mcsim::ConvergenceCheck check;
@@ -97,8 +99,6 @@ mcsim::ConvergenceCheck CheckConvergence(const mcsim::WindowReport& r,
   return check;
 }
 
-}  // namespace
-
 const char* ParallelModeName(ParallelMode mode) {
   switch (mode) {
     case ParallelMode::kSerial:
@@ -123,6 +123,7 @@ StatusOr<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
 }
 
 Status ExperimentRunner::Init(Workload* schema_source) {
+  obs::PhaseTimer populate_timer(&host_perf_.populate_seconds);
   mcsim::MachineConfig mc = config_.machine_config;
   mc.num_cores = config_.num_workers;
   machine_ = std::make_unique<mcsim::MachineSim>(mc);
@@ -153,6 +154,12 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
   // in the warm-up phase also empties the measurement window.
   std::atomic<bool> halt{inj != nullptr && inj->crash_pending()};
 
+  // Retry attempts are sliced onto the timeline (with a shared flow id
+  // per logical transaction) only while a recorder is attached to the
+  // measured window — warm-up and recorder-less runs pay nothing.
+  obs::TimelineRecorder* recorder =
+      measure ? engine_->span_collector()->recorder() : nullptr;
+
   // One worker-transaction, including its retry loop. Latency/abort
   // accounting goes to the given sinks: the shared members for the
   // serialized modes (every access is ordered by program order or the
@@ -169,11 +176,24 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
         measure ? core->counters() : mcsim::CoreCounters{};
     bool committed_txn = false;
     bool holds_retry_token = false;
+    std::vector<obs::AttemptEvent> attempt_log;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      const double attempt_t0 =
+          recorder != nullptr
+              ? mcsim::SimulatedCycles(core->counters(), params)
+              : 0.0;
       // Snapshot the RNG so a retry re-executes the same logical
       // transaction (same keys, same values) rather than a fresh draw.
       const Rng snapshot = *rng;
       const Status s = workload->RunTransaction(engine_.get(), w, rng);
+      if (recorder != nullptr) {
+        obs::AttemptEvent ev;
+        ev.attempt = attempt;
+        ev.committed = s.ok();
+        ev.t0 = attempt_t0;
+        ev.t1 = mcsim::SimulatedCycles(core->counters(), params);
+        attempt_log.push_back(ev);
+      }
       if (s.ok()) {
         committed_txn = true;
         if (measure) {
@@ -217,6 +237,16 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
     if (holds_retry_token) {
       inflight_retries_.fetch_sub(1, std::memory_order_relaxed);
     }
+    // Single-attempt transactions draw no flow id: flow arrows only
+    // mean something when there is a second slice to point at.
+    if (recorder != nullptr && attempt_log.size() > 1) {
+      const uint64_t flow =
+          next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+      for (obs::AttemptEvent& ev : attempt_log) {
+        ev.flow_id = flow;
+        recorder->RecordAttempt(w, ev);
+      }
+    }
     if (inj != nullptr && inj->crash_pending()) {
       halt.store(true, std::memory_order_release);
     }
@@ -256,6 +286,9 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
     }
     case ParallelMode::kDeterministic: {
       Turnstile turnstile(workers);
+      // Per-worker host CPU: each thread exists for exactly this phase,
+      // so its thread-CPU clock at exit is the phase's consumption.
+      std::vector<double> cpu_seconds(workers, 0.0);
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (int w = 0; w < workers; ++w) {
@@ -267,9 +300,15 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
             if (!halt.load(std::memory_order_acquire)) body(w, shared);
             turnstile.Advance();
           }
+          cpu_seconds[w] = obs::ThreadCpuSeconds();
         });
       }
       for (auto& th : threads) th.join();
+      if (measure) {
+        for (int w = 0; w < workers; ++w) {
+          host_perf_.workers.push_back({w, cpu_seconds[w], 0.0});
+        }
+      }
       return;
     }
     case ParallelMode::kFree: {
@@ -283,6 +322,7 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
         m.Resize(static_cast<int>(matrix_.counts.size()));
       }
       machine_->SetFreeRunning(true);
+      std::vector<double> cpu_seconds(workers, 0.0);
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (int w = 0; w < workers; ++w) {
@@ -297,10 +337,16 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
             if (inj != nullptr && inj->Fires(fault::kCoreDeath)) break;
             body(w, local);
           }
+          cpu_seconds[w] = obs::ThreadCpuSeconds();
         });
       }
       for (auto& th : threads) th.join();
       machine_->SetFreeRunning(false);
+      if (measure) {
+        for (int w = 0; w < workers; ++w) {
+          host_perf_.workers.push_back({w, cpu_seconds[w], 0.0});
+        }
+      }
       // Merge in worker order so repeated runs at least merge
       // identically-shaped state the same way.
       for (int w = 0; w < workers; ++w) {
@@ -341,8 +387,17 @@ StatusOr<mcsim::WindowReport> ExperimentRunner::Run(Workload* workload) {
     mode = ParallelMode::kSerial;
   }
 
+  // Host self-observability for this Run: warm-up accumulates across
+  // calls, the measurement fields cover the newest window only.
+  host_perf_.parallel_mode = ParallelModeName(mode);
+  host_perf_.workers.clear();
+
   // Warm-up: simulation on (caches fill), profiler not yet attached.
-  RunPhase(workload, mode, config_.warmup_txns, &rngs, /*measure=*/false);
+  {
+    obs::PhaseTimer warmup_timer(&host_perf_.warmup_seconds);
+    RunPhase(workload, mode, config_.warmup_txns, &rngs,
+             /*measure=*/false);
+  }
 
   if (config_.hooks.post_warmup) {
     const Status s = config_.hooks.post_warmup(machine_.get());
@@ -366,11 +421,35 @@ StatusOr<mcsim::WindowReport> ExperimentRunner::Run(Workload* workload) {
   machine_->ArmSampler(config_.sampler);
   if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/true);
   profiler.BeginWindow(cores);
+  const mcsim::CoreCounters window_start = machine_->TotalCounters();
+  const double wall_start = obs::MonotonicSeconds();
   RunPhase(workload, mode, config_.measure_txns, &rngs, /*measure=*/true);
+  const double wall = obs::MonotonicSeconds() - wall_start;
+  const mcsim::CoreCounters work =
+      machine_->TotalCounters() - window_start;
   if (trace_sink_ != nullptr) trace_sink_->OnWindowMark(/*begin=*/false);
   mcsim::WindowReport report = profiler.EndWindow();
   machine_->ArmSampler(mcsim::SamplerConfig{});
   report.aborts = breakdown_;
+
+  // Host-side throughput of the window: simulated references (code-line
+  // fetches + data accesses — the unit the raw-speed ROADMAP item
+  // tracks) and retired instructions per host second.
+  host_perf_.measure_seconds = wall;
+  host_perf_.simulated_refs =
+      work.code_line_fetches + work.data_accesses;
+  host_perf_.simulated_instructions = work.instructions;
+  if (wall > 0) {
+    host_perf_.refs_per_second =
+        static_cast<double>(host_perf_.simulated_refs) / wall;
+    host_perf_.instructions_per_second =
+        static_cast<double>(work.instructions) / wall;
+    host_perf_.txns_per_second = static_cast<double>(committed_) / wall;
+    for (obs::WorkerHostUtilization& u : host_perf_.workers) {
+      u.utilization = u.cpu_seconds / wall;
+    }
+  }
+  host_perf_.peak_rss_bytes = obs::PeakRssBytes();
   report.convergence = CheckConvergence(report, config_.convergence_rtol);
   AttachTxnMatrix(workload, &report);
   return report;

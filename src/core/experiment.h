@@ -12,6 +12,7 @@
 #include "mcsim/machine.h"
 #include "mcsim/profiler.h"
 #include "obs/histogram.h"
+#include "obs/host_metrics.h"
 #include "obs/span.h"
 
 namespace imoltp::core {
@@ -35,6 +36,14 @@ enum class ParallelMode {
 };
 
 const char* ParallelModeName(ParallelMode mode);
+
+/// Auto-warmup convergence verdict over a window's sampled time-series:
+/// compares first- and second-half IPC across every worker core's
+/// buckets. `checked` stays false (and `converged` true) when sampling
+/// was off or no core produced at least two buckets — an empty or
+/// single-bucket series can't show a trend, so it never flags.
+mcsim::ConvergenceCheck CheckConvergence(const mcsim::WindowReport& report,
+                                         double rtol);
 
 /// Retry policy for aborted transactions (no-wait 2PL conflicts, MVCC
 /// validation failures). Each retry re-executes the *same* logical
@@ -164,6 +173,14 @@ class ExperimentRunner {
     return *engine_->span_collector();
   }
 
+  /// Host-side self-observability of the most recent Run(): wall-clock
+  /// per phase (populate is Create()'s share), simulated references and
+  /// instructions retired per host second across the measurement
+  /// window, peak RSS, and per-worker host-thread CPU utilization
+  /// (threaded modes only). Never deterministic — excluded from every
+  /// replay/fingerprint comparison (see docs/OBSERVABILITY.md).
+  const obs::HostPerf& host_perf() const { return host_perf_; }
+
  private:
   explicit ExperimentRunner(const ExperimentConfig& config);
 
@@ -205,7 +222,9 @@ class ExperimentRunner {
   /// Runs `txns` transactions per worker under `mode`. When `measure`
   /// is set, per-transaction latencies land in latency_ and failures
   /// in aborts_ (merged in worker order for kFree). An injected crash
-  /// halts the phase: no worker starts another transaction.
+  /// halts the phase: no worker starts another transaction. Measured
+  /// threaded phases additionally record each worker host thread's CPU
+  /// seconds into host_perf_.
   void RunPhase(Workload* workload, ParallelMode mode, uint64_t txns,
                 std::vector<Rng>* rngs, bool measure);
 
@@ -227,6 +246,10 @@ class ExperimentRunner {
   uint64_t committed_ = 0;
   TxnMatrixAcc matrix_;
   std::atomic<int> inflight_retries_{0};
+  obs::HostPerf host_perf_;
+  /// Flow ids linking retry attempts of one logical transaction in the
+  /// timeline export. Only drawn while a TimelineRecorder is attached.
+  std::atomic<uint64_t> next_flow_id_{1};
 };
 
 /// One-shot convenience: build, populate, run.

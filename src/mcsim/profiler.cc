@@ -99,9 +99,13 @@ WindowReport Profiler::EndWindow() {
 namespace {
 
 /// Delta between two cumulative samples, as one series bucket.
+/// `module_count` > 0 additionally emits per-module cycle deltas for
+/// the first `module_count` module ids (the registered ones — the rest
+/// of the kMaxModules array is always zero).
 SeriesBucket MakeBucket(const CounterSample& a, const CounterSample& b,
                         double window_origin,
-                        const CycleModelParams& params) {
+                        const CycleModelParams& params,
+                        int module_count) {
   SeriesBucket bucket;
   bucket.t0 = a.retire_cycles - window_origin;
   bucket.t1 = b.retire_cycles - window_origin;
@@ -125,13 +129,22 @@ SeriesBucket MakeBucket(const CounterSample& a, const CounterSample& b,
     bucket.abort_rate = static_cast<double>(bucket.aborted_txns) /
                         static_cast<double>(bucket.transactions);
   }
+  if (module_count > 0 &&
+      a.module_cycles.size() >= static_cast<size_t>(module_count) &&
+      b.module_cycles.size() >= static_cast<size_t>(module_count)) {
+    bucket.module_cycles.resize(module_count);
+    for (int m = 0; m < module_count; ++m) {
+      bucket.module_cycles[m] = b.module_cycles[m] - a.module_cycles[m];
+    }
+  }
   return bucket;
 }
 
 /// A cumulative pseudo-sample of a core's current counters, so the
 /// window start and window end can close the first and last buckets.
+/// `per_module` mirrors CoreSampler::TakeSample's snapshot shape.
 CounterSample SampleNow(const CoreCounters& c,
-                        const CycleModelParams& params) {
+                        const CycleModelParams& params, bool per_module) {
   CounterSample s;
   s.retire_cycles = c.base_cycles;
   s.model_cycles = SimulatedCycles(c, params);
@@ -141,6 +154,12 @@ CounterSample SampleNow(const CoreCounters& c,
   s.mispredictions = c.mispredictions;
   s.tlb_misses = c.tlb_misses;
   s.misses = c.misses;
+  if (per_module) {
+    s.module_cycles.resize(kMaxModules);
+    for (int m = 0; m < kMaxModules; ++m) {
+      s.module_cycles[m] = SimulatedCycles(c.per_module[m], params);
+    }
+  }
   return s;
 }
 
@@ -148,11 +167,21 @@ CounterSample SampleNow(const CoreCounters& c,
 
 void Profiler::BuildTimeseries(WindowReport* r) const {
   const CycleModelParams& params = machine_->config().cycle;
+  const ModuleRegistry& modules = machine_->modules();
+  const int module_count =
+      modules.size() < kMaxModules ? modules.size() : kMaxModules;
   for (size_t i = 0; i < worker_cores_.size(); ++i) {
     const int c = worker_cores_[i];
     const CoreSampler* sampler = machine_->sampler(c);
     if (sampler == nullptr) continue;
     r->sample_every = sampler->every_cycles();
+    const bool per_module = sampler->per_module();
+    const int bucket_modules = per_module ? module_count : 0;
+    if (per_module && r->sampled_module_names.empty()) {
+      for (int m = 0; m < module_count; ++m) {
+        r->sampled_module_names.push_back(modules.info(m).name);
+      }
+    }
 
     CoreSeries series;
     series.core = c;
@@ -160,17 +189,19 @@ void Profiler::BuildTimeseries(WindowReport* r) const {
     const std::vector<CounterSample> samples = sampler->SamplesSince(0);
     const double origin = window_start_[i].base_cycles;
 
-    CounterSample prev = SampleNow(window_start_[i], params);
+    CounterSample prev = SampleNow(window_start_[i], params, per_module);
     for (const CounterSample& s : samples) {
-      series.buckets.push_back(MakeBucket(prev, s, origin, params));
+      series.buckets.push_back(
+          MakeBucket(prev, s, origin, params, bucket_modules));
       prev = s;
     }
     // Closing partial bucket: last sample → end-of-window counters
     // (skipped when empty, e.g. the window ended exactly on a sample).
     const CounterSample end =
-        SampleNow(machine_->core(c).counters(), params);
+        SampleNow(machine_->core(c).counters(), params, per_module);
     if (end.retire_cycles > prev.retire_cycles) {
-      series.buckets.push_back(MakeBucket(prev, end, origin, params));
+      series.buckets.push_back(
+          MakeBucket(prev, end, origin, params, bucket_modules));
     }
     r->timeseries.push_back(std::move(series));
   }

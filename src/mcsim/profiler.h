@@ -51,6 +51,10 @@ struct SeriesBucket {
   double ipc = 0.0;
   StallBreakdown stalls_per_kinstr;
   double abort_rate = 0.0;  // aborted / (committed + aborted)
+  /// Modeled-cycle delta per module, index-aligned with
+  /// WindowReport::sampled_module_names. Empty unless the sampler was
+  /// armed with SamplerConfig::per_module.
+  std::vector<double> module_cycles;
 };
 
 /// The sampled time-series of one worker core across a measurement
@@ -121,6 +125,10 @@ struct WindowReport {
   /// Empty when sampling was off for the window (sample_every == 0).
   uint64_t sample_every = 0;  // retire-cycle period of the samples
   std::vector<CoreSeries> timeseries;
+
+  /// Names for SeriesBucket::module_cycles indices, in registry order.
+  /// Empty unless the sampler ran with SamplerConfig::per_module.
+  std::vector<std::string> sampled_module_names;
 
   /// Auto-warmup convergence verdict over `timeseries` (experiment
   /// harness; `checked` stays false when sampling was off).

@@ -31,12 +31,20 @@ struct SamplerConfig {
   /// window survives, which is the steady-state end a convergence
   /// check cares about.
   size_t capacity = 4096;
+  /// Also snapshot per-module modeled cycles at every sample, so the
+  /// time-series (and the Perfetto export) carries one counter track
+  /// per code module. Off by default: it multiplies the per-sample cost
+  /// by kMaxModules and the ring footprint by ~5×.
+  bool per_module = false;
 };
 
 /// One snapshot of a core's cumulative aggregate counters. Compact on
-/// purpose: the per-module array is not sampled (module attribution
-/// stays whole-window — see WindowReport::txn_module_matrix), so a
-/// 4096-deep ring costs ~0.5MB per core, not ~20MB.
+/// purpose: the full per-module counter array is not sampled (module
+/// attribution stays whole-window — see WindowReport::txn_module_matrix)
+/// so a 4096-deep ring costs ~0.5MB per core, not ~20MB. With
+/// SamplerConfig::per_module the *modeled cycles* per module (one
+/// double each) are additionally snapshotted — enough for per-module
+/// timeline tracks at ~5× the footprint, still far from the full array.
 struct CounterSample {
   double retire_cycles = 0.0;  // base_cycles at snapshot (sample clock)
   double model_cycles = 0.0;   // full cycle-model time at snapshot
@@ -46,6 +54,9 @@ struct CounterSample {
   uint64_t mispredictions = 0;
   uint64_t tlb_misses = 0;
   LevelMisses misses;
+  /// Cumulative modeled cycles per module id. Empty unless the sampler
+  /// was armed with per_module; sized kMaxModules otherwise.
+  std::vector<double> module_cycles;
 };
 
 /// Per-core sample ring. Thread-confinement mirrors CoreSim: the owning
@@ -56,6 +67,7 @@ class CoreSampler {
   CoreSampler(const SamplerConfig& config, const CycleModelParams* params)
       : every_(config.every_cycles > 0 ? config.every_cycles : 1),
         params_(params),
+        per_module_(config.per_module),
         ring_(config.capacity > 0 ? config.capacity : 1) {}
 
   /// Fast path, called from CoreSim::RetireInternal — one double
@@ -73,6 +85,7 @@ class CoreSampler {
     return seq_ > ring_.size() ? seq_ - ring_.size() : 0;
   }
   uint64_t every_cycles() const { return every_; }
+  bool per_module() const { return per_module_; }
 
   /// Samples with sequence number >= `since`, oldest first. Sequence
   /// numbers already evicted from the ring are silently absent.
@@ -111,11 +124,18 @@ class CoreSampler {
     s.mispredictions = c.mispredictions;
     s.tlb_misses = c.tlb_misses;
     s.misses = c.misses;
+    if (per_module_) {
+      s.module_cycles.resize(kMaxModules);
+      for (int m = 0; m < kMaxModules; ++m) {
+        s.module_cycles[m] = SimulatedCycles(c.per_module[m], *params_);
+      }
+    }
     ++seq_;
   }
 
   uint64_t every_;
   const CycleModelParams* params_;
+  bool per_module_;
   std::vector<CounterSample> ring_;
   uint64_t seq_ = 0;
   double next_at_ = 0.0;

@@ -216,7 +216,8 @@ std::string RunReportToJson(const RunInfo& info,
                             const mcsim::CycleModelParams& params,
                             const LatencyHistogram* latency,
                             const SpanCollector* spans,
-                            const RobustnessInfo* robustness) {
+                            const RobustnessInfo* robustness,
+                            const HostPerf* host) {
   JsonWriter w;
   w.BeginObject();
   w.KeyValue("schema_version", kReportSchemaVersion);
@@ -259,6 +260,16 @@ std::string RunReportToJson(const RunInfo& info,
     w.KeyValue("tolerance", report.convergence.tolerance);
     w.KeyValue("converged", report.convergence.converged);
     w.EndObject();
+    // Per-module series (schema v5): names for every bucket's
+    // module_cycles entries. Absent unless the sampler ran per-module.
+    if (!report.sampled_module_names.empty()) {
+      w.Key("sampled_modules");
+      w.BeginArray();
+      for (const std::string& name : report.sampled_module_names) {
+        w.Value(name);
+      }
+      w.EndArray();
+    }
     w.Key("cores");
     w.BeginArray();
     for (const mcsim::CoreSeries& series : report.timeseries) {
@@ -280,6 +291,12 @@ std::string RunReportToJson(const RunInfo& info,
         w.KeyValue("ipc", b.ipc);
         w.KeyValue("stalls_per_kinstr", b.stalls_per_kinstr.total());
         w.KeyValue("abort_rate", b.abort_rate);
+        if (!b.module_cycles.empty()) {
+          w.Key("module_cycles");
+          w.BeginArray();
+          for (double cycles : b.module_cycles) w.Value(cycles);
+          w.EndArray();
+        }
         w.EndObject();
       }
       w.EndArray();
@@ -304,6 +321,14 @@ std::string RunReportToJson(const RunInfo& info,
   if (robustness != nullptr) {
     w.Key("robustness");
     RobustnessToJson(w, *robustness);
+  }
+
+  // Host-side self-observability (schema v5). Inherently
+  // non-deterministic — imoltp_diff ignores this whole subtree, and no
+  // determinism fingerprint covers it. Absent on replays.
+  if (host != nullptr) {
+    w.Key("host");
+    HostPerfToJson(w, *host);
   }
 
   w.EndObject();

@@ -9,6 +9,7 @@
 #include "fault/fault_injector.h"
 #include "mcsim/profiler.h"
 #include "obs/histogram.h"
+#include "obs/host_metrics.h"
 #include "obs/json.h"
 #include "obs/span.h"
 
@@ -20,7 +21,12 @@ namespace imoltp::obs {
 /// v4 added `window.txn_module_breakdown` and the top-level
 /// `timeseries` section (sampled per-core series + the auto-warmup
 /// convergence verdict; present only when sampling was on).
-inline constexpr int kReportSchemaVersion = 4;
+/// v5 added the top-level `host` section (host-side wall-clock,
+/// simulator throughput, RSS — never deterministic, always ignored by
+/// imoltp_diff) and the per-module sampled series
+/// (`timeseries.sampled_modules` + per-bucket `module_cycles`, present
+/// only when the sampler ran per-module).
+inline constexpr int kReportSchemaVersion = 5;
 
 /// Top-Down-style decomposition of the modeled cycles (per worker):
 /// retiring (inherent CPI work), frontend (instruction-miss refill),
@@ -87,14 +93,16 @@ void WindowReportToJson(JsonWriter& w, const mcsim::WindowReport& report,
                         const mcsim::CycleModelParams& params);
 
 /// The full schema-versioned report emitted by `imoltp_run --json`.
-/// `latency`, `spans`, and `robustness` may be null (e.g. bench rows,
-/// which only have the window).
+/// `latency`, `spans`, `robustness` and `host` may be null (e.g. bench
+/// rows, which only have the window; replays, which have no live host
+/// profile).
 std::string RunReportToJson(const RunInfo& info,
                             const mcsim::WindowReport& report,
                             const mcsim::CycleModelParams& params,
                             const LatencyHistogram* latency,
                             const SpanCollector* spans,
-                            const RobustnessInfo* robustness = nullptr);
+                            const RobustnessInfo* robustness = nullptr,
+                            const HostPerf* host = nullptr);
 
 /// Writes `json` to `path` ("-" = stdout). Atomic via rename.
 Status WriteJsonFile(const std::string& path, const std::string& json);

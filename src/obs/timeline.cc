@@ -1,7 +1,10 @@
 #include "obs/timeline.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "obs/json.h"
 
@@ -60,14 +63,24 @@ std::string TimelineToJson(const TimelineOptions& options,
         if (!have_span || e.t0 < span_origin) span_origin = e.t0;
         have_span = true;
       }
+      for (const AttemptEvent& e : recorder->attempts(c)) {
+        if (!have_span || e.t0 < span_origin) span_origin = e.t0;
+        have_span = true;
+      }
     }
   }
 
-  // One trace-event "process" per core that has spans or samples.
+  // One trace-event "process" per core that has spans, retry attempts
+  // or samples.
   std::set<int> cores;
+  std::set<int> retry_cores;
   if (recorder != nullptr) {
     for (int c = 0; c < recorder->num_cores(); ++c) {
       if (!recorder->events(c).empty()) cores.insert(c);
+      if (!recorder->attempts(c).empty()) {
+        cores.insert(c);
+        retry_cores.insert(c);
+      }
     }
   }
   for (const mcsim::CoreSeries& series : report.timeseries) {
@@ -93,6 +106,18 @@ std::string TimelineToJson(const TimelineOptions& options,
     MetadataEvent(w, "process_name", c, label.c_str());
     MetadataEvent(w, "thread_name", c, "spans");
   }
+  for (int c : retry_cores) {
+    w.BeginObject();
+    w.KeyValue("name", "thread_name");
+    w.KeyValue("ph", "M");
+    w.KeyValue("pid", c);
+    w.KeyValue("tid", 1);
+    w.Key("args");
+    w.BeginObject();
+    w.KeyValue("name", "retries");
+    w.EndObject();
+    w.EndObject();
+  }
 
   if (recorder != nullptr) {
     for (int c = 0; c < recorder->num_cores(); ++c) {
@@ -105,6 +130,57 @@ std::string TimelineToJson(const TimelineOptions& options,
         w.KeyValue("tid", 0);
         w.KeyValue("ts", ToMicros(e.t0 - span_origin, options.clock_ghz));
         w.KeyValue("dur", ToMicros(e.t1 - e.t0, options.clock_ghz));
+        w.EndObject();
+      }
+    }
+
+    // Retry-attempt slices on the "retries" thread row, plus flow
+    // arrows chaining the attempts of one logical transaction. Flow
+    // binding is by enclosing slice, so each s/t/f event's timestamp
+    // sits inside its attempt slice ("f" binds to the enclosing end
+    // via bp:"e").
+    std::map<uint64_t, std::vector<std::pair<int, AttemptEvent>>> flows;
+    for (int c = 0; c < recorder->num_cores(); ++c) {
+      for (const AttemptEvent& e : recorder->attempts(c)) {
+        const std::string name =
+            "attempt " + std::to_string(e.attempt);
+        w.BeginObject();
+        w.KeyValue("name", name);
+        w.KeyValue("cat", "retry");
+        w.KeyValue("ph", "X");
+        w.KeyValue("pid", c);
+        w.KeyValue("tid", 1);
+        w.KeyValue("ts", ToMicros(e.t0 - span_origin, options.clock_ghz));
+        w.KeyValue("dur", ToMicros(e.t1 - e.t0, options.clock_ghz));
+        w.Key("args");
+        w.BeginObject();
+        w.KeyValue("flow", e.flow_id);
+        w.KeyValue("committed", e.committed);
+        w.EndObject();
+        w.EndObject();
+        flows[e.flow_id].emplace_back(c, e);
+      }
+    }
+    for (auto& [flow_id, attempts] : flows) {
+      std::sort(attempts.begin(), attempts.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second.attempt < b.second.attempt;
+                });
+      for (size_t i = 0; i < attempts.size(); ++i) {
+        const int c = attempts[i].first;
+        const AttemptEvent& e = attempts[i].second;
+        const bool last = i + 1 == attempts.size();
+        const char* ph = i == 0 ? "s" : (last ? "f" : "t");
+        w.BeginObject();
+        w.KeyValue("name", "txn retry");
+        w.KeyValue("cat", "retry");
+        w.KeyValue("ph", ph);
+        w.KeyValue("id", flow_id);
+        w.KeyValue("pid", c);
+        w.KeyValue("tid", 1);
+        const double ts = last ? e.t1 : e.t0;
+        w.KeyValue("ts", ToMicros(ts - span_origin, options.clock_ghz));
+        if (last) w.KeyValue("bp", "e");
         w.EndObject();
       }
     }
@@ -124,6 +200,16 @@ std::string TimelineToJson(const TimelineOptions& options,
                     {"LLC D", s[5]}});
       CounterEvent(w, "abort_rate", series.core, ts,
                    {{"abort_rate", b.abort_rate}});
+      // One counter track per sampled code module (opt-in via
+      // SamplerConfig::per_module — see mcsim/sampler.h).
+      const size_t mods = std::min(report.sampled_module_names.size(),
+                                   b.module_cycles.size());
+      for (size_t m = 0; m < mods; ++m) {
+        const std::string name =
+            "mod:" + report.sampled_module_names[m];
+        CounterEvent(w, name.c_str(), series.core, ts,
+                     {{"cycles", b.module_cycles[m]}});
+      }
     }
   }
   w.EndArray();
@@ -132,7 +218,8 @@ std::string TimelineToJson(const TimelineOptions& options,
 }
 
 Status ValidateTimelineJson(std::string_view json, uint64_t* span_events,
-                            uint64_t* counter_events) {
+                            uint64_t* counter_events,
+                            uint64_t* flow_events) {
   auto parsed = ParseJson(json);
   if (!parsed.ok()) return parsed.status();
   const JsonValue& root = *parsed;
@@ -146,6 +233,7 @@ Status ValidateTimelineJson(std::string_view json, uint64_t* span_events,
   }
   uint64_t spans = 0;
   uint64_t counters = 0;
+  uint64_t flows = 0;
   for (const JsonValue& e : events->array) {
     if (!e.is_object()) {
       return Status::InvalidArgument(
@@ -179,10 +267,21 @@ Status ValidateTimelineJson(std::string_view json, uint64_t* span_events,
         }
         ++counters;
       }
+    } else if (ph->string == "s" || ph->string == "t" ||
+               ph->string == "f") {
+      const JsonValue* ts = e.Find("ts");
+      const JsonValue* id = e.Find("id");
+      if (ts == nullptr || !ts->is_number() || id == nullptr ||
+          !id->is_number()) {
+        return Status::InvalidArgument(
+            "timeline: flow event missing numeric ts/id");
+      }
+      ++flows;
     }
   }
   if (span_events != nullptr) *span_events = spans;
   if (counter_events != nullptr) *counter_events = counters;
+  if (flow_events != nullptr) *flow_events = flows;
   return Status::Ok();
 }
 

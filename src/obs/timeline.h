@@ -20,6 +20,19 @@ struct TimelineEvent {
   double t1 = 0.0;
 };
 
+/// One execution attempt of a retried transaction, in cumulative
+/// simulated model cycles. Attempts of the same logical transaction
+/// share a flow_id, which the Perfetto export turns into flow arrows
+/// ("s"/"t"/"f" events) linking the attempt slices — the retry story of
+/// one transaction reads as a connected chain across the timeline.
+struct AttemptEvent {
+  uint64_t flow_id = 0;
+  int attempt = 0;  // 1-based execution attempt
+  bool committed = false;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
 /// Per-core interval log behind the Perfetto timeline export.
 ///
 /// Like SpanCollector, recording is striped into one lane per simulated
@@ -40,6 +53,7 @@ class TimelineRecorder {
   void Reset() {
     for (Lane& lane : lanes_) {
       lane.events.clear();
+      lane.attempts.clear();
       lane.dropped = 0;
     }
   }
@@ -53,9 +67,23 @@ class TimelineRecorder {
     lane.events.push_back(TimelineEvent{kind, t0, t1});
   }
 
+  /// Appends one retry-attempt slice to the core's lane. Same
+  /// thread-confinement and bound as Record.
+  void RecordAttempt(int core, const AttemptEvent& event) {
+    Lane& lane = lane_for(core);
+    if (lane.attempts.size() >= capacity_) {
+      ++lane.dropped;
+      return;
+    }
+    lane.attempts.push_back(event);
+  }
+
   int num_cores() const { return static_cast<int>(lanes_.size()); }
   const std::vector<TimelineEvent>& events(int core) const {
     return lanes_[static_cast<size_t>(core)].events;
+  }
+  const std::vector<AttemptEvent>& attempts(int core) const {
+    return lanes_[static_cast<size_t>(core)].attempts;
   }
   uint64_t dropped(int core) const {
     return lanes_[static_cast<size_t>(core)].dropped;
@@ -66,6 +94,7 @@ class TimelineRecorder {
   // free-running parallel execution.
   struct alignas(64) Lane {
     std::vector<TimelineEvent> events;
+    std::vector<AttemptEvent> attempts;
     uint64_t dropped = 0;
   };
 
@@ -90,22 +119,27 @@ struct TimelineOptions {
 /// Renders one measurement window as Chrome trace-event JSON, loadable
 /// by Perfetto (ui.perfetto.dev) and chrome://tracing. One "process"
 /// per simulated core carries that core's lifecycle spans (complete
-/// "X" events from `recorder`, may be null) and its sampled counter
-/// tracks ("C" events — IPC, total stalls per kilo-instruction, abort
-/// rate — from `report.timeseries`). Span timestamps are normalized to
-/// the earliest recorded event so the window starts near t=0.
+/// "X" events from `recorder`, may be null), retry-attempt slices on a
+/// second thread row with flow arrows ("s"/"t"/"f" events sharing a
+/// flow id) linking re-executions of the same transaction, and its
+/// sampled counter tracks ("C" events — IPC, total stalls per
+/// kilo-instruction, abort rate, plus one `mod:<name>` track per code
+/// module when the sampler ran per-module). Span timestamps are
+/// normalized to the earliest recorded event so the window starts near
+/// t=0.
 std::string TimelineToJson(const TimelineOptions& options,
                            const mcsim::WindowReport& report,
                            const TimelineRecorder* recorder);
 
 /// Structural validation of a timeline document: parses the JSON and
 /// checks the trace-event contract (a `traceEvents` array whose entries
-/// carry `ph`/`name` and, for "X"/"C" events, numeric `ts`). Used by
-/// `imoltp_timeline validate` and CI. Returns counts through the
-/// optional out-params.
+/// carry `ph`/`name`; numeric `ts` for "X"/"C" events; an `id` for
+/// flow events). Used by `imoltp_timeline validate` and CI. Returns
+/// counts through the optional out-params.
 Status ValidateTimelineJson(std::string_view json,
                             uint64_t* span_events = nullptr,
-                            uint64_t* counter_events = nullptr);
+                            uint64_t* counter_events = nullptr,
+                            uint64_t* flow_events = nullptr);
 
 }  // namespace imoltp::obs
 

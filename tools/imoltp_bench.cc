@@ -1,0 +1,292 @@
+// imoltp_bench — canonical benchmark-campaign runner. Sweeps engines ×
+// workloads × parallel modes and writes ONE BENCH_<label>.json matrix:
+// per cell the simulated quality metrics (IPC, instructions/txn, stall
+// breakdown — the paper's axes) AND the host-side speed metrics
+// (wall-clock, simulated references per host second, peak RSS — the
+// simulator's own performance trajectory). Matrices are the unit
+// imoltp_compare diffs, so "did this commit make the simulator slower
+// or change what it simulates?" is one command against a committed
+// baseline (see docs/OBSERVABILITY.md, "Benchmark trajectories").
+//
+//   imoltp_bench --label=pr42 --out=BENCH_pr42.json
+//   imoltp_bench --engines=voltdb,hyper --workloads=tpcb --txns=500
+//   imoltp_compare BENCH_baseline.json BENCH_pr42.json
+//
+// Flags:
+//   --label=NAME         matrix label (default "local")
+//   --out=FILE           output path (default BENCH_<label>.json,
+//                        "-" = stdout)
+//   --engines=A,B,...    subset of shore-mt,dbms-d,voltdb,hyper,dbms-m
+//                        (default all five)
+//   --workloads=A,B,...  subset of micro,micro-rw,micro-string,tpcb,
+//                        tpcc (default tpcb,tpcc)
+//   --modes=A,B,...      subset of serial,deterministic,free
+//                        (default deterministic)
+//   --workers=N          worker threads == partitions (default 2)
+//   --txns=N             measured transactions per worker (default 2000)
+//   --warmup=N           warm-up transactions per worker (default 500)
+//   --db=SIZE            nominal database size (default 1MB)
+//   --warehouses=N       TPC-C scale (default 2)
+//   --seed=N             (default 42)
+//   --commit=REV         provenance string recorded in the matrix
+//                        (default $IMOLTP_COMMIT or "unknown")
+//
+// Exit codes: 0 = all cells ran, 1 = any cell failed, 2 = usage error.
+
+#include <ctime>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "obs/bench_json.h"
+#include "obs/host_metrics.h"
+#include "obs/report_json.h"
+#include "tools/imoltp_cli.h"
+
+using namespace imoltp;
+
+namespace {
+
+struct BenchFlags {
+  std::string label = "local";
+  std::string out;  // default derived from label
+  std::vector<std::string> engines = {"shore-mt", "dbms-d", "voltdb",
+                                      "hyper", "dbms-m"};
+  std::vector<std::string> workloads = {"tpcb", "tpcc"};
+  std::vector<std::string> modes = {"deterministic"};
+  int workers = 2;
+  uint64_t txns = 2000;
+  uint64_t warmup = 500;
+  uint64_t db_bytes = 1ULL << 20;
+  int warehouses = 2;
+  uint64_t seed = 42;
+  std::string commit;
+};
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > pos) out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int Usage(const char* argv0, const std::string& error) {
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", argv0, error.c_str());
+  }
+  std::fprintf(stderr,
+               "usage: %s [--label=NAME] [--out=FILE] [--engines=A,B]\n"
+               "          [--workloads=A,B] [--modes=A,B] [--workers=N]\n"
+               "          [--txns=N] [--warmup=N] [--db=SIZE]\n"
+               "          [--warehouses=N] [--seed=N] [--commit=REV]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseBenchFlags(int argc, char* const* argv, BenchFlags* flags,
+                     std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--label=")) {
+      if (*v == '\0') {
+        *error = "--label= needs a name";
+        return false;
+      }
+      flags->label = v;
+    } else if (const char* v = value("--out=")) {
+      flags->out = v;
+    } else if (const char* v = value("--engines=")) {
+      flags->engines = SplitCsv(v);
+    } else if (const char* v = value("--workloads=")) {
+      flags->workloads = SplitCsv(v);
+    } else if (const char* v = value("--modes=")) {
+      flags->modes = SplitCsv(v);
+    } else if (const char* v = value("--workers=")) {
+      flags->workers = std::atoi(v);
+      if (flags->workers <= 0) {
+        *error = std::string("bad value for --workers: ") + v;
+        return false;
+      }
+    } else if (const char* v = value("--txns=")) {
+      flags->txns = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--warmup=")) {
+      flags->warmup = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--db=")) {
+      flags->db_bytes = tools::ParseSize(v);
+      if (flags->db_bytes == 0) {
+        *error = std::string("bad value for --db: ") + v;
+        return false;
+      }
+    } else if (const char* v = value("--warehouses=")) {
+      flags->warehouses = std::atoi(v);
+      if (flags->warehouses <= 0) {
+        *error = std::string("bad value for --warehouses: ") + v;
+        return false;
+      }
+    } else if (const char* v = value("--seed=")) {
+      flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--commit=")) {
+      flags->commit = v;
+    } else {
+      *error = "unknown flag: " + arg;
+      return false;
+    }
+  }
+  if (flags->engines.empty() || flags->workloads.empty() ||
+      flags->modes.empty()) {
+    *error = "--engines/--workloads/--modes must not be empty";
+    return false;
+  }
+  if (flags->commit.empty()) {
+    const char* env = std::getenv("IMOLTP_COMMIT");
+    flags->commit = env != nullptr && *env != '\0' ? env : "unknown";
+  }
+  if (flags->out.empty()) {
+    flags->out = "BENCH_" + flags->label + ".json";
+  }
+  return true;
+}
+
+/// Runs one campaign cell. Returns false (with `error` set) when the
+/// configuration is invalid or the run fails.
+bool RunCell(const BenchFlags& bench, const std::string& engine,
+             const std::string& workload, const std::string& mode,
+             obs::BenchCell* cell, std::string* error) {
+  tools::Flags flags;
+  flags.engine = engine;
+  flags.workload = workload;
+  flags.mode = mode;
+  flags.workers = bench.workers;
+  flags.txns = bench.txns;
+  flags.warmup = bench.warmup;
+  flags.db_bytes = bench.db_bytes;
+  flags.warehouses = bench.warehouses;
+  flags.seed = bench.seed;
+
+  core::ExperimentConfig cfg;
+  std::unique_ptr<core::Workload> wl;
+  if (!tools::BuildExperiment(flags, &cfg, &wl, error)) return false;
+
+  const double cell_start = obs::MonotonicSeconds();
+  auto created = core::ExperimentRunner::Create(cfg, wl.get());
+  if (!created.ok()) {
+    *error = created.status().ToString();
+    return false;
+  }
+  core::ExperimentRunner& runner = **created;
+  const auto run = runner.Run(wl.get());
+  if (!run.ok()) {
+    *error = run.status().ToString();
+    return false;
+  }
+  const mcsim::WindowReport& r = *run;
+  const obs::HostPerf& host = runner.host_perf();
+
+  cell->id = engine + "/" + workload + "/" + mode + "/w" +
+             std::to_string(bench.workers);
+  cell->engine = engine;
+  cell->workload = workload;
+  cell->mode = mode;
+  cell->workers = bench.workers;
+  cell->warmup_txns = bench.warmup;
+  cell->measure_txns = bench.txns;
+  cell->seed = bench.seed;
+  cell->ipc = r.ipc;
+  cell->instructions_per_txn = r.instructions_per_txn;
+  cell->cycles_per_txn = r.cycles_per_txn;
+  for (int i = 0; i < 6; ++i) {
+    cell->stalls_per_kinstr[i] = r.stalls_per_kinstr.stalls[i];
+  }
+  cell->committed = runner.committed();
+  cell->aborts = runner.aborts();
+  cell->wall_seconds = host.measure_seconds;
+  cell->total_wall_seconds = obs::MonotonicSeconds() - cell_start;
+  cell->simulated_refs = host.simulated_refs;
+  cell->refs_per_sec = host.refs_per_second;
+  cell->instructions_per_sec = host.instructions_per_second;
+  cell->peak_rss_bytes = host.peak_rss_bytes;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags bench;
+  std::string error;
+  if (!ParseBenchFlags(argc, argv, &bench, &error)) {
+    return Usage(argv[0], error);
+  }
+
+  obs::BenchMatrix matrix;
+  matrix.label = bench.label;
+  matrix.commit = bench.commit;
+  {
+    std::string config;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) config += ' ';
+      config += argv[i];
+    }
+    matrix.config = config;
+  }
+  matrix.created_unix = static_cast<uint64_t>(std::time(nullptr));
+
+  const size_t total = bench.engines.size() * bench.workloads.size() *
+                       bench.modes.size();
+  size_t done = 0;
+  int failures = 0;
+  for (const std::string& engine : bench.engines) {
+    for (const std::string& workload : bench.workloads) {
+      for (const std::string& mode : bench.modes) {
+        ++done;
+        std::fprintf(stderr, "[%zu/%zu] %s / %s / %s ...\n", done, total,
+                     engine.c_str(), workload.c_str(), mode.c_str());
+        obs::BenchCell cell;
+        if (!RunCell(bench, engine, workload, mode, &cell, &error)) {
+          std::fprintf(stderr, "%s: %s/%s/%s failed: %s\n", argv[0],
+                       engine.c_str(), workload.c_str(), mode.c_str(),
+                       error.c_str());
+          ++failures;
+          continue;
+        }
+        matrix.cells.push_back(cell);
+      }
+    }
+  }
+
+  // Summary table: the simulated axis next to the host axis, per cell.
+  std::printf("\n== Bench matrix %s (%zu cells) ==\n",
+              bench.label.c_str(), matrix.cells.size());
+  std::printf("%-34s %7s %10s %9s %12s %9s\n", "cell", "ipc",
+              "instr/txn", "wall(s)", "refs/sec", "rss(MB)");
+  for (const obs::BenchCell& c : matrix.cells) {
+    std::printf("%-34s %7.4f %10.1f %9.3f %12.4g %9.1f\n",
+                c.id.c_str(), c.ipc, c.instructions_per_txn,
+                c.wall_seconds, c.refs_per_sec,
+                static_cast<double>(c.peak_rss_bytes) / (1024.0 * 1024.0));
+  }
+
+  const Status s =
+      obs::WriteJsonFile(bench.out, obs::BenchMatrixToJson(matrix));
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], s.ToString().c_str());
+    return 1;
+  }
+  if (bench.out != "-") {
+    std::fprintf(stderr, "wrote %s\n", bench.out.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

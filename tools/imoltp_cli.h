@@ -50,9 +50,12 @@ struct Flags {
   // Time-resolved profiling (docs/OBSERVABILITY.md): sample the worker
   // cores' counters every N retire cycles (0 = off) and/or write a
   // Perfetto-loadable timeline. --timeline-out with no --sample-every
-  // picks a default period so the timeline has counter tracks.
+  // picks a default period so the timeline has counter tracks, and
+  // turns per-module sampling on so those tracks include one per code
+  // module; --sample-modules forces it for plain --json runs too.
   uint64_t sample_every = 0;   // --sample-every=N retire cycles
   std::string timeline_out;    // --timeline-out=FILE; empty = off
+  bool sample_modules = false; // --sample-modules
 
   // Abort retry policy (docs/robustness.md). 1 attempt = no retry.
   int retry_attempts = 1;
@@ -248,6 +251,8 @@ inline bool ParseCommandLine(int argc, char* const* argv, Flags* flags,
         return false;
       }
       flags->timeline_out = v;
+    } else if (arg == "--sample-modules") {
+      flags->sample_modules = true;
     } else if (arg == "--no-compilation") {
       flags->compilation = false;
     } else if (arg == "--csv") {
@@ -296,11 +301,16 @@ inline bool BuildExperiment(const Flags& flags,
   cfg->retry.backoff_cycles = flags.retry_backoff;
   cfg->retry.max_inflight_retries = flags.retry_cap;
   cfg->sampler.every_cycles = flags.sample_every;
-  // A timeline without counter samples is only half a timeline: default
-  // to a period that yields a few hundred buckets for typical runs.
-  if (!flags.timeline_out.empty() && flags.sample_every == 0) {
+  // A timeline without counter samples is only half a timeline, and
+  // --sample-modules without a sample period would sample nothing:
+  // both default to a period that yields a few hundred buckets for
+  // typical runs. Timelines include the per-module tracks render wants.
+  if ((!flags.timeline_out.empty() || flags.sample_modules) &&
+      flags.sample_every == 0) {
     cfg->sampler.every_cycles = 20000;
   }
+  cfg->sampler.per_module =
+      flags.sample_modules || !flags.timeline_out.empty();
   cfg->engine_options.compilation = flags.compilation;
   cfg->engine_options.dbms_m_index = flags.index == "btree"
                                          ? index::IndexKind::kBTreeCc

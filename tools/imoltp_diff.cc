@@ -50,6 +50,10 @@
 //                                 noisier than whole-window averages
 //   window.txn_module_breakdown   rtol 0.05, atol 1000 (per-type module
 //                                 cycles inherit the miss-count jitter)
+//   host                          ignored — host-side wall-clock /
+//                                 throughput / RSS measure the simulator
+//                                 process, never deterministic (use
+//                                 imoltp_compare for trajectories)
 //   everything else               default rtol (0.02)
 //
 // When either report has meta.trace.replayed == true, latency_cycles,
@@ -123,6 +127,11 @@ const ToleranceRule kBuiltinRules[] = {
     {"timeseries.convergence", -1.0, 0.0},
     {"timeseries", 0.10, 2.0},
     {"window.txn_module_breakdown", 0.05, 1000.0},
+    // Schema v5: host-side metrics (wall-clock, refs/sec, RSS) measure
+    // the simulator process, not the simulated machine — never
+    // deterministic, never comparable. Use imoltp_compare for host
+    // throughput trajectories.
+    {"host", -1.0, 0.0},
 };
 
 bool PrefixMatches(const std::string& path, const std::string& prefix) {

@@ -31,8 +31,11 @@
 //                        cycles during the measurement window (adds a
 //                        timeseries section to the JSON report)
 //   --timeline-out=FILE  write a Perfetto-loadable trace-event timeline
-//                        (spans + sampled counter tracks per core; see
-//                        imoltp_timeline)
+//                        (spans, retry-attempt flows + sampled counter
+//                        tracks per core; see imoltp_timeline)
+//   --sample-modules     also sample per-module cycles (one counter
+//                        track per code module; implied by
+//                        --timeline-out)
 //   --retry=N            attempts per transaction (1 = no retry)
 //   --retry-backoff=N    cycles before the first retry (doubles per
 //                        attempt; see docs/robustness.md)
@@ -71,7 +74,8 @@ int Usage(const char* argv0, const std::string& error) {
                "[--seed=N] [--csv]\n"
                "          [--mode=serial|deterministic|free]\n"
                "          [--json=FILE] [--trace-out=FILE]\n"
-               "          [--sample-every=N] [--timeline-out=FILE]\n"
+               "          [--sample-every=N] [--timeline-out=FILE] "
+               "[--sample-modules]\n"
                "          [--retry=N] [--retry-backoff=N] "
                "[--retry-cap=N]\n"
                "          [--chaos-seed=N] [--chaos-points=SPEC]\n"
@@ -180,6 +184,16 @@ int main(int argc, char** argv) {
                  injector.crash_point().c_str());
   }
 
+  {
+    const obs::HostPerf& hp = runner.host_perf();
+    std::fprintf(stderr,
+                 "host: measure %.2fs, %.3g simulated refs/sec, "
+                 "%.3g instr/sec, peak RSS %.1f MB\n",
+                 hp.measure_seconds, hp.refs_per_second,
+                 hp.instructions_per_second,
+                 static_cast<double>(hp.peak_rss_bytes) / (1024.0 * 1024.0));
+  }
+
   if (!flags.timeline_out.empty()) {
     runner.engine()->span_collector()->set_recorder(nullptr);
     obs::TimelineOptions topts;
@@ -216,7 +230,8 @@ int main(int argc, char** argv) {
     robustness.fault_points = injector.Stats();
     const std::string json = obs::RunReportToJson(
         info, r, runner.machine()->config().cycle,
-        &runner.latency_histogram(), &runner.spans(), &robustness);
+        &runner.latency_histogram(), &runner.spans(), &robustness,
+        &runner.host_perf());
     const Status s = obs::WriteJsonFile(flags.json_path, json);
     if (!s.ok()) {
       std::fprintf(stderr, "%s: %s\n", argv[0], s.ToString().c_str());

@@ -15,8 +15,11 @@
 //   info FILE       one-line metadata summary plus per-core event
 //                   counts and the covered time range
 //   render FILE     terminal rendering: per core, an IPC sparkline over
-//                   the sampled buckets and the span census with total
-//                   duration per kind
+//                   the sampled buckets, per-module cycle sparklines
+//                   (mod:* counter tracks, when the run sampled
+//                   per-module), the span census with total duration
+//                   per kind, and the retry-flow census (attempt
+//                   slices linked by flow id)
 //
 // Exit codes: 0 = ok, 1 = validation failure, 2 = usage/parse error.
 
@@ -75,11 +78,13 @@ std::string StringOr(const JsonValue* v, const std::string& fallback) {
 struct CoreSummary {
   uint64_t spans = 0;
   uint64_t counters = 0;
+  uint64_t attempts = 0;                    // retry-attempt slices
   double t_min = 0.0;
   double t_max = 0.0;
   bool any = false;
   std::map<std::string, double> span_dur;   // kind -> total µs
   std::vector<double> ipc;                  // sampled ipc track, in order
+  std::map<std::string, std::vector<double>> modules;  // mod:* tracks
 
   void Cover(double t) {
     if (!any) {
@@ -92,8 +97,18 @@ struct CoreSummary {
   }
 };
 
-std::map<int, CoreSummary> Summarize(const JsonValue& root) {
+/// Whole-timeline retry-flow census.
+struct FlowSummary {
+  uint64_t flows = 0;          // distinct flow ids
+  uint64_t attempts = 0;       // attempt slices across all cores
+  uint64_t committed = 0;      // attempts that committed
+  int max_chain = 0;           // longest attempt chain
+};
+
+std::map<int, CoreSummary> Summarize(const JsonValue& root,
+                                     FlowSummary* flows = nullptr) {
   std::map<int, CoreSummary> cores;
+  std::map<double, int> chain;  // flow id -> attempt slices
   const JsonValue* events = root.Find("traceEvents");
   if (events == nullptr || !events->is_array()) return cores;
   for (const JsonValue& e : events->array) {
@@ -105,17 +120,44 @@ std::map<int, CoreSummary> Summarize(const JsonValue& root) {
     CoreSummary& core = cores[pid];
     core.Cover(ts);
     if (ph == "X") {
-      ++core.spans;
       const double dur = NumberOr(e.Find("dur"), 0.0);
       core.Cover(ts + dur);
-      core.span_dur[StringOr(e.Find("name"), "?")] += dur;
+      if (StringOr(e.Find("cat"), "") == "retry") {
+        ++core.attempts;
+        if (flows != nullptr) {
+          const JsonValue* args = e.Find("args");
+          if (args != nullptr) {
+            ++flows->attempts;
+            ++chain[NumberOr(args->Find("flow"), 0.0)];
+            const JsonValue* committed = args->Find("committed");
+            if (committed != nullptr &&
+                committed->type == JsonValue::Type::kBool &&
+                committed->boolean) {
+              ++flows->committed;
+            }
+          }
+        }
+      } else {
+        ++core.spans;
+        core.span_dur[StringOr(e.Find("name"), "?")] += dur;
+      }
     } else {
       ++core.counters;
-      if (StringOr(e.Find("name"), "") == "ipc") {
-        const JsonValue* args = e.Find("args");
+      const std::string name = StringOr(e.Find("name"), "");
+      const JsonValue* args = e.Find("args");
+      if (name == "ipc") {
         core.ipc.push_back(
             args != nullptr ? NumberOr(args->Find("ipc"), 0.0) : 0.0);
+      } else if (name.rfind("mod:", 0) == 0) {
+        core.modules[name.substr(4)].push_back(
+            args != nullptr ? NumberOr(args->Find("cycles"), 0.0) : 0.0);
       }
+    }
+  }
+  if (flows != nullptr) {
+    flows->flows = chain.size();
+    for (const auto& [id, n] : chain) {
+      flows->max_chain = std::max(flows->max_chain, n);
     }
   }
   return cores;
@@ -135,67 +177,107 @@ int RunValidate(const char* argv0, const std::string& path,
                 const std::string& text) {
   uint64_t spans = 0;
   uint64_t counters = 0;
+  uint64_t flows = 0;
   const Status s =
-      imoltp::obs::ValidateTimelineJson(text, &spans, &counters);
+      imoltp::obs::ValidateTimelineJson(text, &spans, &counters, &flows);
   if (!s.ok()) {
     std::fprintf(stderr, "%s: %s: %s\n", argv0, path.c_str(),
                  s.ToString().c_str());
     return 1;
   }
-  std::printf("OK: %s (%llu span events, %llu counter events)\n",
-              path.c_str(), static_cast<unsigned long long>(spans),
-              static_cast<unsigned long long>(counters));
+  std::printf(
+      "OK: %s (%llu span events, %llu counter events, %llu flow "
+      "events)\n",
+      path.c_str(), static_cast<unsigned long long>(spans),
+      static_cast<unsigned long long>(counters),
+      static_cast<unsigned long long>(flows));
   return 0;
 }
 
 int RunInfo(const JsonValue& root) {
   PrintMeta(root);
-  const std::map<int, CoreSummary> cores = Summarize(root);
+  FlowSummary flows;
+  const std::map<int, CoreSummary> cores = Summarize(root, &flows);
   for (const auto& [pid, core] : cores) {
     std::printf(
-        "core %d: %llu spans, %llu counter events, %.1f..%.1f us\n", pid,
-        static_cast<unsigned long long>(core.spans),
-        static_cast<unsigned long long>(core.counters), core.t_min,
+        "core %d: %llu spans, %llu counter events, %llu retry "
+        "attempts, %.1f..%.1f us\n",
+        pid, static_cast<unsigned long long>(core.spans),
+        static_cast<unsigned long long>(core.counters),
+        static_cast<unsigned long long>(core.attempts), core.t_min,
         core.t_max);
+  }
+  if (flows.flows > 0) {
+    std::printf("retry flows: %llu (%llu attempt slices, longest "
+                "chain %d)\n",
+                static_cast<unsigned long long>(flows.flows),
+                static_cast<unsigned long long>(flows.attempts),
+                flows.max_chain);
   }
   if (cores.empty()) std::printf("no span or counter events\n");
   return 0;
 }
 
-int RunRender(const JsonValue& root) {
-  PrintMeta(root);
-  // Eight-level unicode sparkline, min..max scaled per core.
+/// Eight-level unicode sparkline, min..max scaled, capped at 64 cells
+/// by averaging adjacent buckets. Fills lo/hi with the scale.
+std::string Sparkline(const std::vector<double>& series, double* lo,
+                      double* hi) {
   static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
                                   "▅", "▆", "▇", "█"};
-  const std::map<int, CoreSummary> cores = Summarize(root);
+  *lo = series[0];
+  *hi = series[0];
+  for (double v : series) {
+    *lo = std::min(*lo, v);
+    *hi = std::max(*hi, v);
+  }
+  std::string line;
+  const size_t cells = std::min<size_t>(series.size(), 64);
+  for (size_t i = 0; i < cells; ++i) {
+    const size_t a = i * series.size() / cells;
+    const size_t b = std::max(a + 1, (i + 1) * series.size() / cells);
+    double sum = 0.0;
+    for (size_t j = a; j < b; ++j) sum += series[j];
+    const double v = sum / static_cast<double>(b - a);
+    const int level =
+        *hi > *lo ? static_cast<int>((v - *lo) / (*hi - *lo) * 7.0) : 0;
+    line += kBlocks[std::clamp(level, 0, 7)];
+  }
+  return line;
+}
+
+int RunRender(const JsonValue& root) {
+  PrintMeta(root);
+  FlowSummary flows;
+  const std::map<int, CoreSummary> cores = Summarize(root, &flows);
   for (const auto& [pid, core] : cores) {
     std::printf("core %d (%.1f..%.1f us)\n", pid, core.t_min, core.t_max);
+    double lo, hi;
     if (!core.ipc.empty()) {
-      double lo = core.ipc[0];
-      double hi = core.ipc[0];
-      for (double v : core.ipc) {
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
-      }
-      std::string line;
-      // Cap the sparkline at 64 cells by averaging adjacent buckets.
-      const size_t cells = std::min<size_t>(core.ipc.size(), 64);
-      for (size_t i = 0; i < cells; ++i) {
-        const size_t a = i * core.ipc.size() / cells;
-        const size_t b =
-            std::max(a + 1, (i + 1) * core.ipc.size() / cells);
-        double sum = 0.0;
-        for (size_t j = a; j < b; ++j) sum += core.ipc[j];
-        const double v = sum / static_cast<double>(b - a);
-        const int level =
-            hi > lo ? static_cast<int>((v - lo) / (hi - lo) * 7.0) : 0;
-        line += kBlocks[std::clamp(level, 0, 7)];
-      }
+      const std::string line = Sparkline(core.ipc, &lo, &hi);
       std::printf("  ipc [%0.3f..%0.3f] %s\n", lo, hi, line.c_str());
+    }
+    for (const auto& [name, cycles] : core.modules) {
+      if (cycles.empty()) continue;
+      const std::string line = Sparkline(cycles, &lo, &hi);
+      std::printf("  mod %-16s [%9.3g..%9.3g cyc] %s\n", name.c_str(),
+                  lo, hi, line.c_str());
     }
     for (const auto& [kind, dur] : core.span_dur) {
       std::printf("  span %-16s %10.1f us\n", kind.c_str(), dur);
     }
+    if (core.attempts > 0) {
+      std::printf("  retry attempts %llu\n",
+                  static_cast<unsigned long long>(core.attempts));
+    }
+  }
+  if (flows.flows > 0) {
+    std::printf(
+        "retries: %llu flows, %llu attempt slices, %llu committed, "
+        "longest chain %d\n",
+        static_cast<unsigned long long>(flows.flows),
+        static_cast<unsigned long long>(flows.attempts),
+        static_cast<unsigned long long>(flows.committed),
+        flows.max_chain);
   }
   if (cores.empty()) std::printf("no span or counter events\n");
   return 0;
