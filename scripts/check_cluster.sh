@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Cluster determinism smoke: a 3-node deterministic TPC-C cluster run
+# must be bit-identical across two same-seed invocations — equal
+# fingerprints AND an imoltp_diff-clean report pair (the diff holds all
+# deterministic sections exact and only tolerates the cycle-model
+# sections, which inherit ASLR jitter from address-hashed caches). The
+# sweep document must also self-compare clean, so the cluster_sweep
+# schema stays inside imoltp_diff's rule set.
+#
+# usage: check_cluster.sh IMOLTP_CLUSTER IMOLTP_DIFF [OUT_DIR]
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 IMOLTP_CLUSTER IMOLTP_DIFF [OUT_DIR]" >&2
+  exit 2
+fi
+
+imoltp_cluster=$1
+imoltp_diff=$2
+outdir=${3:-$(mktemp -d)}
+
+flags=(--nodes=3 --warehouses-per-node=2 --workers-per-node=2
+       --orders-per-district=50 --warmup=100 --txns=500
+       --multi-home-pct=20 --seed=7)
+
+run_a="$outdir/cluster_a.json"
+run_b="$outdir/cluster_b.json"
+
+"$imoltp_cluster" run "${flags[@]}" --fingerprint --json="$run_a" \
+    2> "$outdir/cluster_a.err"
+"$imoltp_cluster" run "${flags[@]}" --fingerprint --json="$run_b" \
+    2> "$outdir/cluster_b.err"
+
+fp_a=$(grep '^fingerprint:' "$outdir/cluster_a.err")
+fp_b=$(grep '^fingerprint:' "$outdir/cluster_b.err")
+if [ -z "$fp_a" ] || [ "$fp_a" != "$fp_b" ]; then
+  echo "FAIL: same-seed cluster fingerprints differ:" >&2
+  echo "  run a: ${fp_a:-<missing>}" >&2
+  echo "  run b: ${fp_b:-<missing>}" >&2
+  exit 1
+fi
+echo "cluster ${fp_a} (both runs)"
+
+"$imoltp_diff" "$run_a" "$run_b"
+
+sweep="$outdir/cluster_sweep.json"
+"$imoltp_cluster" sweep "${flags[@]}" --sweep-pcts=0,50 --json="$sweep"
+exec "$imoltp_diff" "$sweep" "$sweep"

@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "common/seed.h"
 #include "fault/fault_injector.h"
 #include "obs/timeline.h"
 
@@ -110,6 +111,17 @@ const char* ParallelModeName(ParallelMode mode) {
   }
   return "?";
 }
+
+bool ParseParallelMode(const std::string& name, ParallelMode* out) {
+  if (name == "serial") return *out = ParallelMode::kSerial, true;
+  if (name == "deterministic") {
+    return *out = ParallelMode::kDeterministic, true;
+  }
+  if (name == "free") return *out = ParallelMode::kFree, true;
+  return false;
+}
+
+const char* ParallelModeChoices() { return "serial deterministic free"; }
 
 ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
     : config_(config) {}
@@ -375,7 +387,9 @@ StatusOr<mcsim::WindowReport> ExperimentRunner::Run(Workload* workload) {
   std::vector<Rng> rngs;
   rngs.reserve(workers);
   for (int i = 0; i < workers; ++i) {
-    rngs.emplace_back(config_.seed * 7919 + runs_ * 104729 + i);
+    rngs.emplace_back(DeriveSeed2(config_.seed, runs_,
+                                  static_cast<uint64_t>(i),
+                                  SeedStream::kWorker));
   }
   ++runs_;
 

@@ -37,6 +37,15 @@ enum class ParallelMode {
 
 const char* ParallelModeName(ParallelMode mode);
 
+/// Parses a CLI mode name ("serial", "deterministic", "free") — the
+/// single spelling authority for every tool with a --mode flag.
+/// Returns false on an unknown name.
+bool ParseParallelMode(const std::string& name, ParallelMode* out);
+
+/// The valid ParseParallelMode spellings, space-separated, for error
+/// messages.
+const char* ParallelModeChoices();
+
 /// Auto-warmup convergence verdict over a window's sampled time-series:
 /// compares first- and second-half IPC across every worker core's
 /// buckets. `checked` stays false (and `converged` true) when sampling

@@ -340,6 +340,13 @@ engine::TxnRequest TpccBenchmark::Request(int type, uint64_t w) const {
   return req;
 }
 
+engine::TxnRequest TpccBenchmark::FragmentRequest(int type, uint64_t w,
+                                                  int statements) const {
+  engine::TxnRequest req = Request(type, w);
+  req.statements = statements;
+  return req;
+}
+
 Status TpccBenchmark::RunTransaction(engine::Engine* engine, int worker,
                                      Rng* rng) {
   const int parts = config_.num_partitions;
@@ -385,16 +392,25 @@ Status TpccBenchmark::RunTransaction(engine::Engine* engine, int worker,
 
 Status TpccBenchmark::RunNewOrder(engine::Engine* engine, int worker,
                                   Rng* rng, uint64_t w) {
-  const uint64_t d = rng->Uniform(kDistrictsPerWarehouse);
-  const uint64_t c = rng->NonUniform(1023, 259, 0,
-                                     kCustomersPerDistrict - 1);
-  const int ol_cnt = static_cast<int>(rng->Range(5, 15));
-  uint64_t items[16];
-  uint64_t quantities[16];
-  for (int i = 0; i < ol_cnt; ++i) {
-    items[i] = rng->NonUniform(8191, 7911, 0, kItems - 1);
-    quantities[i] = rng->Range(1, 10);
+  NewOrderParams p;
+  p.d = rng->Uniform(kDistrictsPerWarehouse);
+  p.c = rng->NonUniform(1023, 259, 0, kCustomersPerDistrict - 1);
+  p.ol_cnt = static_cast<int>(rng->Range(5, 15));
+  for (int i = 0; i < p.ol_cnt; ++i) {
+    p.items[i] = rng->NonUniform(8191, 7911, 0, kItems - 1);
+    p.quantities[i] = rng->Range(1, 10);
   }
+  return ExecuteNewOrderHome(engine, worker, w, p);
+}
+
+Status TpccBenchmark::ExecuteNewOrderHome(engine::Engine* engine,
+                                          int worker, uint64_t w,
+                                          const NewOrderParams& p) {
+  const uint64_t d = p.d;
+  const uint64_t c = p.c;
+  const int ol_cnt = p.ol_cnt;
+  const uint64_t* items = p.items;
+  const uint64_t* quantities = p.quantities;
 
   return engine->Execute(
       worker, Request(kTxnNewOrder, w), [&](engine::TxnContext& ctx) {
@@ -455,22 +471,26 @@ Status TpccBenchmark::RunNewOrder(engine::Engine* engine, int worker,
           if (!s.ok()) return s;
           const int64_t price = isch.GetLong(row, 1);
 
-          s = ctx.Probe(kStock,
-                        index::Key::FromUint64(StockKey(w, items[i])),
-                        &rid);
-          if (!s.ok()) return s;
-          s = ctx.Read(kStock, rid, row);
-          if (!s.ok()) return s;
-          int64_t qty = ssch.GetLong(row, 1);
-          qty = qty > static_cast<int64_t>(quantities[i]) + 10
-                    ? qty - static_cast<int64_t>(quantities[i])
-                    : qty - static_cast<int64_t>(quantities[i]) + 91;
-          s = ctx.Update(kStock, rid, 1, &qty);
-          if (!s.ok()) return s;
-          const int64_t ytd =
-              ssch.GetLong(row, 2) + static_cast<int64_t>(quantities[i]);
-          s = ctx.Update(kStock, rid, 2, &ytd);
-          if (!s.ok()) return s;
+          // Remote-supplied lines: the stock leg belongs to the
+          // supplying node's fragment, not this one.
+          if ((p.remote_mask >> i & 1) == 0) {
+            s = ctx.Probe(kStock,
+                          index::Key::FromUint64(StockKey(w, items[i])),
+                          &rid);
+            if (!s.ok()) return s;
+            s = ctx.Read(kStock, rid, row);
+            if (!s.ok()) return s;
+            int64_t qty = ssch.GetLong(row, 1);
+            qty = qty > static_cast<int64_t>(quantities[i]) + 10
+                      ? qty - static_cast<int64_t>(quantities[i])
+                      : qty - static_cast<int64_t>(quantities[i]) + 91;
+            s = ctx.Update(kStock, rid, 1, &qty);
+            if (!s.ok()) return s;
+            const int64_t ytd = ssch.GetLong(row, 2) +
+                                static_cast<int64_t>(quantities[i]);
+            s = ctx.Update(kStock, rid, 2, &ytd);
+            if (!s.ok()) return s;
+          }
 
           uint8_t olrow[160];
           olsch.SetLong(
@@ -493,19 +513,55 @@ Status TpccBenchmark::RunNewOrder(engine::Engine* engine, int worker,
       });
 }
 
+Status TpccBenchmark::ExecuteNewOrderRemoteStock(engine::Engine* engine,
+                                                 int worker, uint64_t w,
+                                                 const NewOrderParams& p) {
+  return engine->Execute(
+      worker, FragmentRequest(kTxnNewOrder, w, /*statements=*/2),
+      [&](engine::TxnContext& ctx) {
+        uint8_t row[160];
+        RowId rid;
+        const Schema ssch = StockSchema();
+        for (int i = 0; i < p.ol_cnt; ++i) {
+          if ((p.remote_mask >> i & 1) == 0) continue;
+          Status s = ctx.Probe(
+              kStock, index::Key::FromUint64(StockKey(w, p.items[i])),
+              &rid);
+          if (!s.ok()) return s;
+          s = ctx.Read(kStock, rid, row);
+          if (!s.ok()) return s;
+          int64_t qty = ssch.GetLong(row, 1);
+          qty = qty > static_cast<int64_t>(p.quantities[i]) + 10
+                    ? qty - static_cast<int64_t>(p.quantities[i])
+                    : qty - static_cast<int64_t>(p.quantities[i]) + 91;
+          s = ctx.Update(kStock, rid, 1, &qty);
+          if (!s.ok()) return s;
+          const int64_t ytd = ssch.GetLong(row, 2) +
+                              static_cast<int64_t>(p.quantities[i]);
+          s = ctx.Update(kStock, rid, 2, &ytd);
+          if (!s.ok()) return s;
+        }
+        return Status::Ok();
+      });
+}
+
 Status TpccBenchmark::RunPayment(engine::Engine* engine, int worker,
                                  Rng* rng, uint64_t w) {
-  const uint64_t d = rng->Uniform(kDistrictsPerWarehouse);
+  PaymentParams p;
+  p.d = rng->Uniform(kDistrictsPerWarehouse);
   // Clause 2.5.1.2: 60% of payments select the customer by last name,
   // 40% by id.
-  const bool by_name = rng->Uniform(100) < 60;
-  const uint64_t c = rng->NonUniform(1023, 259, 0,
-                                     kCustomersPerDistrict - 1);
-  const uint64_t name_bucket = rng->NonUniform(255, 223, 0, 999);
-  const int64_t amount = static_cast<int64_t>(rng->Range(100, 500000));
-  const uint64_t history_id =
-      (static_cast<uint64_t>(worker) << 40) | history_counter_++;
+  p.by_name = rng->Uniform(100) < 60;
+  p.c = rng->NonUniform(1023, 259, 0, kCustomersPerDistrict - 1);
+  p.name_bucket = rng->NonUniform(255, 223, 0, 999);
+  p.amount = static_cast<int64_t>(rng->Range(100, 500000));
+  p.history_id = NextHistoryId(worker);
+  return ExecutePaymentHome(engine, worker, w, p);
+}
 
+Status TpccBenchmark::ExecutePaymentHome(engine::Engine* engine,
+                                         int worker, uint64_t w,
+                                         const PaymentParams& p) {
   return engine->Execute(
       worker, Request(kTxnPayment, w), [&](engine::TxnContext& ctx) {
         uint8_t row[160];
@@ -516,45 +572,77 @@ Status TpccBenchmark::RunPayment(engine::Engine* engine, int worker,
         if (!s.ok()) return s;
         s = ctx.Read(kWarehouse, rid, row);
         if (!s.ok()) return s;
-        int64_t ytd = wsch.GetLong(row, 1) + amount;
+        int64_t ytd = wsch.GetLong(row, 1) + p.amount;
         s = ctx.Update(kWarehouse, rid, 1, &ytd);
         if (!s.ok()) return s;
 
         const Schema dsch = DistrictSchema();
         s = ctx.Probe(kDistrict,
-                      index::Key::FromUint64(DistrictKey(w, d)), &rid);
+                      index::Key::FromUint64(DistrictKey(w, p.d)), &rid);
         if (!s.ok()) return s;
         s = ctx.Read(kDistrict, rid, row);
         if (!s.ok()) return s;
-        ytd = dsch.GetLong(row, 1) + amount;
+        ytd = dsch.GetLong(row, 1) + p.amount;
         s = ctx.Update(kDistrict, rid, 1, &ytd);
         if (!s.ok()) return s;
 
+        // A remote payment's customer leg runs at the customer's node
+        // (ExecutePaymentCustomer); only W_YTD/D_YTD/history are home.
+        if (!p.customer_remote) {
+          const Schema csch = CustomerSchema();
+          if (p.by_name) {
+            s = SelectCustomerByName(ctx, w, p.d, p.name_bucket, &rid);
+          } else {
+            s = ctx.Probe(
+                kCustomer,
+                index::Key::FromUint64(CustomerKey(w, p.d, p.c)), &rid);
+          }
+          if (!s.ok()) return s;
+          s = ctx.Read(kCustomer, rid, row);
+          if (!s.ok()) return s;
+          const int64_t balance = csch.GetLong(row, 1) - p.amount;
+          s = ctx.Update(kCustomer, rid, 1, &balance);
+          if (!s.ok()) return s;
+          const int64_t paid = csch.GetLong(row, 2) + p.amount;
+          s = ctx.Update(kCustomer, rid, 2, &paid);
+          if (!s.ok()) return s;
+        }
+
+        uint8_t hrow[160];
+        const Schema hsch = HistorySchema();
+        hsch.SetLong(hrow, 0, static_cast<int64_t>(p.history_id));
+        hsch.SetLong(hrow, 1, p.amount);
+        std::memset(hsch.ColumnPtr(hrow, 2), 'p', storage::kStringBytes);
+        return ctx.Insert(kHistory, hrow,
+                          index::Key::FromUint64(p.history_id));
+      });
+}
+
+Status TpccBenchmark::ExecutePaymentCustomer(engine::Engine* engine,
+                                             int worker, uint64_t w,
+                                             const PaymentParams& p) {
+  return engine->Execute(
+      worker, FragmentRequest(kTxnPayment, w, /*statements=*/3),
+      [&](engine::TxnContext& ctx) {
+        uint8_t row[160];
+        RowId rid;
         const Schema csch = CustomerSchema();
-        if (by_name) {
-          s = SelectCustomerByName(ctx, w, d, name_bucket, &rid);
+        Status s;
+        if (p.by_name) {
+          s = SelectCustomerByName(ctx, w, p.d, p.name_bucket, &rid);
         } else {
           s = ctx.Probe(kCustomer,
-                        index::Key::FromUint64(CustomerKey(w, d, c)),
+                        index::Key::FromUint64(CustomerKey(w, p.d, p.c)),
                         &rid);
         }
         if (!s.ok()) return s;
         s = ctx.Read(kCustomer, rid, row);
         if (!s.ok()) return s;
-        const int64_t balance = csch.GetLong(row, 1) - amount;
+        const int64_t balance = csch.GetLong(row, 1) - p.amount;
         s = ctx.Update(kCustomer, rid, 1, &balance);
         if (!s.ok()) return s;
-        const int64_t paid = csch.GetLong(row, 2) + amount;
-        s = ctx.Update(kCustomer, rid, 2, &paid);
-        if (!s.ok()) return s;
-
-        uint8_t hrow[160];
-        const Schema hsch = HistorySchema();
-        hsch.SetLong(hrow, 0, static_cast<int64_t>(history_id));
-        hsch.SetLong(hrow, 1, amount);
-        std::memset(hsch.ColumnPtr(hrow, 2), 'p', storage::kStringBytes);
-        return ctx.Insert(kHistory, hrow,
-                          index::Key::FromUint64(history_id));
+        const int64_t paid = csch.GetLong(row, 2) + p.amount;
+        return ctx.Update(kCustomer, rid, 2, &paid);
       });
 }
 
@@ -566,7 +654,15 @@ Status TpccBenchmark::RunOrderStatus(engine::Engine* engine, int worker,
   const uint64_t c_in = rng->NonUniform(1023, 259, 0,
                                         kCustomersPerDistrict - 1);
   const uint64_t name_bucket = rng->NonUniform(255, 223, 0, 999);
+  return ExecuteOrderStatus(engine, worker, w, d, c_in, name_bucket,
+                            by_name);
+}
 
+Status TpccBenchmark::ExecuteOrderStatus(engine::Engine* engine,
+                                         int worker, uint64_t w,
+                                         uint64_t d, uint64_t c_in,
+                                         uint64_t name_bucket,
+                                         bool by_name) {
   return engine->Execute(
       worker, Request(kTxnOrderStatus, w), [&](engine::TxnContext& ctx) {
         uint8_t row[160];
@@ -660,7 +756,11 @@ Status TpccBenchmark::SelectCustomerByName(engine::TxnContext& ctx,
 Status TpccBenchmark::RunDelivery(engine::Engine* engine, int worker,
                                   Rng* rng, uint64_t w) {
   const int64_t carrier = static_cast<int64_t>(rng->Range(1, 10));
+  return ExecuteDelivery(engine, worker, w, carrier);
+}
 
+Status TpccBenchmark::ExecuteDelivery(engine::Engine* engine, int worker,
+                                      uint64_t w, int64_t carrier) {
   return engine->Execute(
       worker, Request(kTxnDelivery, w), [&](engine::TxnContext& ctx) {
         uint8_t row[160];
@@ -731,7 +831,12 @@ Status TpccBenchmark::RunStockLevel(engine::Engine* engine, int worker,
                                     Rng* rng, uint64_t w) {
   const uint64_t d = rng->Uniform(kDistrictsPerWarehouse);
   const int64_t threshold = static_cast<int64_t>(rng->Range(10, 20));
+  return ExecuteStockLevel(engine, worker, w, d, threshold);
+}
 
+Status TpccBenchmark::ExecuteStockLevel(engine::Engine* engine,
+                                        int worker, uint64_t w,
+                                        uint64_t d, int64_t threshold) {
   return engine->Execute(
       worker, Request(kTxnStockLevel, w), [&](engine::TxnContext& ctx) {
         uint8_t row[160];

@@ -100,6 +100,71 @@ class TpccBenchmark final : public Workload {
   static constexpr int kCustomerByName = 0;  // secondary id on Customer
   static constexpr int kOrderByCustomer = 0;  // secondary id on Order
 
+  /// Cross-shard fragment interface (src/dist). A distributed TPC-C
+  /// transaction decomposes into parameter-explicit fragments with no
+  /// cross-fragment dataflow — the home fragment never reads what a
+  /// remote fragment wrote and vice versa — which is what lets a
+  /// deterministic cluster run them on different nodes without 2PC
+  /// (docs/distributed.md). The local Run* bodies delegate to these
+  /// with everything marked local, so single-node behavior is the
+  /// plain TPC-C the paper profiles.
+  struct NewOrderParams {
+    uint64_t d = 0;
+    uint64_t c = 0;
+    int ol_cnt = 0;
+    uint64_t items[16] = {};
+    uint64_t quantities[16] = {};
+    /// Bit i set = line i is supplied by a remote warehouse: the home
+    /// fragment skips its stock leg; ExecuteNewOrderRemoteStock runs
+    /// it at the supplying node.
+    uint16_t remote_mask = 0;
+  };
+  struct PaymentParams {
+    uint64_t d = 0;
+    uint64_t c = 0;
+    uint64_t name_bucket = 0;
+    bool by_name = false;
+    /// Customer leg runs at another node (TPC-C's remote payment):
+    /// the home fragment keeps W_YTD/D_YTD/history only.
+    bool customer_remote = false;
+    int64_t amount = 0;
+    uint64_t history_id = 0;
+  };
+
+  /// Home fragment of New-Order at warehouse `w`: district advance,
+  /// order + new-order + order-line inserts, and the stock legs of the
+  /// locally supplied lines.
+  Status ExecuteNewOrderHome(engine::Engine* engine, int worker,
+                             uint64_t w, const NewOrderParams& p);
+  /// Remote fragment of New-Order at supplying warehouse `w`: the
+  /// stock legs of the lines `p.remote_mask` marks.
+  Status ExecuteNewOrderRemoteStock(engine::Engine* engine, int worker,
+                                    uint64_t w, const NewOrderParams& p);
+  /// Home fragment of Payment at warehouse `w`: W_YTD, D_YTD, the
+  /// history append, and — unless `p.customer_remote` — the customer
+  /// leg.
+  Status ExecutePaymentHome(engine::Engine* engine, int worker,
+                            uint64_t w, const PaymentParams& p);
+  /// Customer fragment of a remote Payment at the customer's
+  /// warehouse `w`: balance and ytd-paid update only.
+  Status ExecutePaymentCustomer(engine::Engine* engine, int worker,
+                                uint64_t w, const PaymentParams& p);
+  /// The read-only / single-warehouse procedures, parameter-explicit.
+  Status ExecuteOrderStatus(engine::Engine* engine, int worker,
+                            uint64_t w, uint64_t d, uint64_t c,
+                            uint64_t name_bucket, bool by_name);
+  Status ExecuteDelivery(engine::Engine* engine, int worker, uint64_t w,
+                         int64_t carrier);
+  Status ExecuteStockLevel(engine::Engine* engine, int worker,
+                           uint64_t w, uint64_t d, int64_t threshold);
+
+  /// Draws the next history primary key for `worker` (same encoding the
+  /// local Payment path uses); cluster drivers call this at generation
+  /// time so the key travels with the transaction's parameters.
+  uint64_t NextHistoryId(int worker) {
+    return (static_cast<uint64_t>(worker) << 40) | history_counter_++;
+  }
+
   /// Counters for mix accounting (testing/reporting hook). Returned as
   /// a plain snapshot; the live counters are atomics so concurrent
   /// workers can bump them.
@@ -136,6 +201,8 @@ class TpccBenchmark final : public Workload {
                               storage::RowId* rid);
 
   engine::TxnRequest Request(int type, uint64_t w) const;
+  engine::TxnRequest FragmentRequest(int type, uint64_t w,
+                                     int statements) const;
 
   struct AtomicMixCounts {
     std::atomic<uint64_t> new_order{0};

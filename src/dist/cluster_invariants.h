@@ -1,0 +1,33 @@
+#ifndef IMOLTP_DIST_CLUSTER_INVARIANTS_H_
+#define IMOLTP_DIST_CLUSTER_INVARIANTS_H_
+
+#include "fault/invariants.h"
+
+namespace imoltp::dist {
+
+class Cluster;
+
+/// Whole-cluster consistency audit, run after a cluster run (and after
+/// any node recovery). Three layers:
+///
+///   1. Per node: the single-node TPC-C invariants (W_YTD == Σ D_YTD,
+///      order/order-line presence) — remote fragments must not have
+///      broken any node's local books.
+///   2. Cross-node money conservation: Σ W_YTD over the cluster ==
+///      Σ (customer ytd_paid − initial) over the cluster. A remote
+///      payment splits these across two nodes; the identity only holds
+///      if every home fragment's paired customer fragment committed
+///      (and survived recovery).
+///   3. Cross-node order-line conservation: Σ stock S_YTD over the
+///      cluster == Σ order-line quantities of committed orders. A
+///      remote order line's quantity sits in the home node's order
+///      line but the supplying node's S_YTD.
+///
+/// Cross-node checks (2) and (3) need every node alive; if one is
+/// still dead (chaos with recover=false) they are skipped and only the
+/// per-node audits of the survivors run.
+fault::InvariantReport CheckClusterInvariants(Cluster* cluster);
+
+}  // namespace imoltp::dist
+
+#endif  // IMOLTP_DIST_CLUSTER_INVARIANTS_H_

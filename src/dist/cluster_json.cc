@@ -1,0 +1,217 @@
+#include "dist/cluster_json.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/report_json.h"
+
+namespace imoltp::dist {
+
+namespace {
+
+using obs::JsonWriter;
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+std::string NodeKey(int n) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", n);
+  return buf;
+}
+
+void MetaToJson(JsonWriter& w, const char* kind,
+                const ClusterConfig& c) {
+  w.Key("meta");
+  w.BeginObject();
+  w.KeyValue("kind", kind);
+  w.KeyValue("engine", engine::EngineKindName(c.engine_kind));
+  w.KeyValue("nodes", c.nodes);
+  w.KeyValue("warehouses_per_node", c.warehouses_per_node);
+  w.KeyValue("workers_per_node", c.workers_per_node);
+  w.KeyValue("orders_per_district", c.orders_per_district);
+  w.KeyValue("warmup_per_node", c.warmup_per_node);
+  w.KeyValue("txns_per_node", c.txns_per_node);
+  w.KeyValue("multi_home_pct", c.multi_home_pct);
+  w.KeyValue("batch_per_round", c.batch_per_round);
+  w.KeyValue("seed", c.seed);
+  w.Key("net");
+  w.BeginObject();
+  w.KeyValue("latency_cycles", c.net.latency_cycles);
+  w.KeyValue("cycles_per_byte", c.net.cycles_per_byte);
+  w.EndObject();
+  w.Key("chaos");
+  w.BeginObject();
+  w.KeyValue("enabled", c.chaos.enabled);
+  w.KeyValue("probability", c.chaos.probability);
+  w.KeyValue("nth_hit", c.chaos.nth_hit);
+  w.KeyValue("recover", c.chaos.recover);
+  w.EndObject();
+  w.EndObject();
+}
+
+void CountsToJson(JsonWriter& w, const ClusterResult& r) {
+  w.Key("counts");
+  w.BeginObject();
+  w.KeyValue("generated", r.generated);
+  w.KeyValue("committed", r.committed);
+  w.KeyValue("aborted", r.aborted);
+  w.KeyValue("single_home", r.single_home);
+  w.KeyValue("multi_home", r.multi_home);
+  w.KeyValue("rejected_dead", r.rejected_dead);
+  w.EndObject();
+}
+
+void NetToJson(JsonWriter& w, const NetworkStats& n) {
+  w.Key("net");
+  w.BeginObject();
+  w.KeyValue("messages", n.messages);
+  w.KeyValue("bytes", n.bytes);
+  w.KeyValue("latency_charged", n.latency_charged);
+  w.EndObject();
+}
+
+void InvariantsToJson(JsonWriter& w, const fault::InvariantReport& rep) {
+  w.Key("invariants");
+  w.BeginObject();
+  w.KeyValue("ok", rep.ok);
+  w.Key("violations");
+  w.BeginArray();
+  for (const std::string& v : rep.violations) w.Value(v);
+  w.EndArray();
+  w.Key("checksums");
+  w.BeginArray();
+  for (int64_t c : rep.checksums) w.Value(c);
+  w.EndArray();
+  w.EndObject();
+}
+
+void ChaosToJson(JsonWriter& w, const ClusterResult& r) {
+  w.Key("chaos");
+  w.BeginObject();
+  w.KeyValue("died_node", r.died_node);
+  w.KeyValue("death_round", r.death_round);
+  w.KeyValue("recovered", r.recovered);
+  w.Key("fault_points");
+  w.BeginArray();
+  for (const fault::FaultPointStats& p : r.fault_points) {
+    w.BeginObject();
+    w.KeyValue("point", p.point);
+    w.KeyValue("hits", p.hits);
+    w.KeyValue("fires", p.fires);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ClusterReportToJson(Cluster* cluster) {
+  const ClusterConfig& cfg = cluster->config();
+  const ClusterResult& r = cluster->result();
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("schema_version",
+             static_cast<int64_t>(obs::kReportSchemaVersion));
+  MetaToJson(w, "cluster", cfg);
+
+  w.Key("cluster");
+  w.BeginObject();
+  CountsToJson(w, r);
+  NetToJson(w, r.net);
+  ChaosToJson(w, r);
+  w.KeyValue("fingerprint", HexFingerprint(r.fingerprint));
+  InvariantsToJson(w, r.invariants);
+
+  w.Key("per_node");
+  w.BeginObject();
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    const Node* node = cluster->node(n);
+    const NodeStats& st = node->stats();
+    w.Key(NodeKey(n));
+    w.BeginObject();
+    w.KeyValue("committed", st.committed);
+    w.KeyValue("aborted", st.aborted);
+    w.KeyValue("single_home", st.single_home);
+    w.KeyValue("multi_home", st.multi_home);
+    w.KeyValue("fragments", st.fragments);
+    w.KeyValue("stall_cycles", st.stall_cycles);
+    w.KeyValue("alive", node->alive());
+    w.KeyValue("ever_died", node->ever_died());
+    w.KeyValue("death_round", node->death_round());
+    w.EndObject();
+  }
+  w.EndObject();
+
+  // Cycle-model values: jitter-tolerant diff rules apply from here on.
+  w.KeyValue("max_window_cycles", r.max_window_cycles);
+  w.KeyValue("throughput_per_mcycle", r.throughput_per_mcycle);
+
+  w.Key("windows");
+  w.BeginObject();
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    Node* node = cluster->node(n);
+    if (!node->has_window()) continue;
+    w.Key(NodeKey(n));
+    obs::WindowReportToJson(w, node->window(),
+                            cfg.machine_config.cycle);
+  }
+  w.EndObject();
+
+  w.EndObject();  // cluster
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string ClusterSweepToJson(const ClusterConfig& base,
+                               const std::vector<SweepPoint>& points) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("schema_version",
+             static_cast<int64_t>(obs::kReportSchemaVersion));
+  MetaToJson(w, "cluster_sweep", base);
+
+  w.Key("sweep");
+  w.BeginObject();
+
+  w.Key("series");
+  w.BeginObject();
+  for (const SweepPoint& p : points) {
+    w.Key(NodeKey(p.multi_home_pct));
+    w.BeginObject();
+    w.KeyValue("multi_home_pct", p.multi_home_pct);
+    w.KeyValue("generated", p.result.generated);
+    w.KeyValue("committed", p.result.committed);
+    w.KeyValue("aborted", p.result.aborted);
+    w.KeyValue("single_home", p.result.single_home);
+    w.KeyValue("multi_home", p.result.multi_home);
+    w.KeyValue("messages", p.result.net.messages);
+    w.KeyValue("bytes", p.result.net.bytes);
+    w.KeyValue("fingerprint", HexFingerprint(p.result.fingerprint));
+    w.KeyValue("invariants_ok", p.result.invariants.ok);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("perf");
+  w.BeginObject();
+  for (const SweepPoint& p : points) {
+    w.Key(NodeKey(p.multi_home_pct));
+    w.BeginObject();
+    w.KeyValue("max_window_cycles", p.result.max_window_cycles);
+    w.KeyValue("throughput_per_mcycle", p.result.throughput_per_mcycle);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();  // sweep
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace imoltp::dist

@@ -1,0 +1,34 @@
+#ifndef IMOLTP_DIST_CLUSTER_JSON_H_
+#define IMOLTP_DIST_CLUSTER_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/cluster.h"
+
+namespace imoltp::dist {
+
+/// One point of a throughput-vs-%-multi-home sweep.
+struct SweepPoint {
+  int multi_home_pct = 0;
+  ClusterResult result;
+};
+
+/// Serializes one finished cluster run as the schema-versioned cluster
+/// JSON document. Layout is diff-aware: everything under `cluster` is
+/// deterministic (imoltp_diff compares it exactly) EXCEPT the subtrees
+/// named `windows` and the throughput fields, which carry cycle-model
+/// values and get ASLR-jitter tolerances (see the cluster rules in
+/// tools/imoltp_diff.cc).
+std::string ClusterReportToJson(Cluster* cluster);
+
+/// Serializes a multi-home sweep (one cluster run per percentage).
+/// Deterministic outcome counts live under `sweep.series`, cycle-model
+/// throughput under `sweep.perf` — separate prefixes so the diff rules
+/// can hold the first exact while tolerating jitter in the second.
+std::string ClusterSweepToJson(const ClusterConfig& base,
+                               const std::vector<SweepPoint>& points);
+
+}  // namespace imoltp::dist
+
+#endif  // IMOLTP_DIST_CLUSTER_JSON_H_

@@ -1,0 +1,42 @@
+#ifndef IMOLTP_DIST_DIST_TXN_H_
+#define IMOLTP_DIST_DIST_TXN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tpcc.h"
+
+namespace imoltp::dist {
+
+/// One cluster transaction, fully parameterized at generation time (the
+/// determinism contract: every RNG draw happens in the client, before
+/// routing, so ordering decisions can never perturb parameter streams).
+/// `home_w` / `remote_w` are GLOBAL warehouse ids; the executing node
+/// translates through the OwnershipMap.
+struct DistTxn {
+  int type = 0;           // core::TpccBenchmark::kTxn*
+  int origin = 0;         // node whose client generated it
+  uint64_t seq = 0;       // per-origin generation sequence number
+  uint64_t global_seq = 0;  // assigned by the global orderer (multi-home)
+  bool multi_home = false;
+
+  uint64_t home_w = 0;    // home warehouse (global id)
+  uint64_t remote_w = 0;  // remote warehouse of a multi-home txn
+
+  // Procedure parameters (union-by-type; unused fields stay zeroed).
+  core::TpccBenchmark::NewOrderParams no;
+  core::TpccBenchmark::PaymentParams pay;
+  uint64_t d = 0;
+  uint64_t c = 0;
+  uint64_t name_bucket = 0;
+  bool by_name = false;
+  int64_t carrier = 0;
+  int64_t threshold = 0;
+
+  /// Participating nodes, home node first (filled by the forwarder).
+  std::vector<int> involved;
+};
+
+}  // namespace imoltp::dist
+
+#endif  // IMOLTP_DIST_DIST_TXN_H_

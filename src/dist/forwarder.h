@@ -1,0 +1,58 @@
+#ifndef IMOLTP_DIST_FORWARDER_H_
+#define IMOLTP_DIST_FORWARDER_H_
+
+#include <cstdint>
+
+#include "dist/dist_txn.h"
+#include "txn/partition.h"
+
+namespace imoltp::dist {
+
+/// SLOG-style forwarder: classifies each client transaction as
+/// single-home (every touched warehouse owned by one node — executes
+/// entirely inside that node's local order, no cross-node messages) or
+/// multi-home (touches warehouses of several nodes — must go through
+/// the global orderer). Classification is a pure function of the
+/// transaction's parameters and the cluster's OwnershipMap; the
+/// forwarder also fills `involved` (home node first, then remote
+/// participants in node-id order) so the router downstream never
+/// re-derives ownership.
+class Forwarder {
+ public:
+  explicit Forwarder(const txn::OwnershipMap* ownership)
+      : ownership_(ownership) {}
+
+  /// Classifies `t` in place: sets `multi_home` and `involved`.
+  void Classify(DistTxn* t) const {
+    t->involved.clear();
+    const int home = ownership_->OwnerOf(t->home_w);
+    t->involved.push_back(home);
+    // Only New-Order (remote order lines) and Payment (remote
+    // customer) can leave the home node; the read-only procedures and
+    // Delivery are warehouse-local by construction.
+    if ((t->type == core::TpccBenchmark::kTxnNewOrder &&
+         t->no.remote_mask != 0) ||
+        (t->type == core::TpccBenchmark::kTxnPayment &&
+         t->pay.customer_remote)) {
+      const int remote = ownership_->OwnerOf(t->remote_w);
+      if (remote != home) {
+        t->involved.push_back(remote);
+        t->multi_home = true;
+        return;
+      }
+      // Remote warehouse happens to live on the home node: execute it
+      // as a local two-warehouse transaction — still single-home
+      // (exactly SLOG's point: homing, not warehouse count, decides).
+    }
+    t->multi_home = false;
+  }
+
+  const txn::OwnershipMap* ownership() const { return ownership_; }
+
+ private:
+  const txn::OwnershipMap* ownership_;
+};
+
+}  // namespace imoltp::dist
+
+#endif  // IMOLTP_DIST_FORWARDER_H_

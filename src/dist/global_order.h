@@ -1,0 +1,42 @@
+#ifndef IMOLTP_DIST_GLOBAL_ORDER_H_
+#define IMOLTP_DIST_GLOBAL_ORDER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dist/dist_txn.h"
+
+namespace imoltp::dist {
+
+/// The global orderer: the cluster's single multi-home serialization
+/// point (SLOG's "global log", Calvin's sequencer layer). It receives
+/// the multi-home transactions of one round — already stamped with
+/// their origin's local sequence number — and merges them into one
+/// deterministic total order: ascending (seq, origin), i.e. a
+/// round-robin interleave across origins that depends only on what the
+/// clients generated, never on arrival timing. Same seed ⇒ same batch
+/// ⇒ same global order, which is what makes whole-cluster runs
+/// bit-identical.
+class GlobalOrderer {
+ public:
+  /// Orders `batch` in place and stamps monotonic global sequence
+  /// numbers across calls.
+  void OrderBatch(std::vector<DistTxn>* batch) {
+    std::stable_sort(batch->begin(), batch->end(),
+                     [](const DistTxn& a, const DistTxn& b) {
+                       if (a.seq != b.seq) return a.seq < b.seq;
+                       return a.origin < b.origin;
+                     });
+    for (DistTxn& t : *batch) t.global_seq = next_global_seq_++;
+  }
+
+  uint64_t next_global_seq() const { return next_global_seq_; }
+
+ private:
+  uint64_t next_global_seq_ = 0;
+};
+
+}  // namespace imoltp::dist
+
+#endif  // IMOLTP_DIST_GLOBAL_ORDER_H_

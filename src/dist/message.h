@@ -1,0 +1,109 @@
+#ifndef IMOLTP_DIST_MESSAGE_H_
+#define IMOLTP_DIST_MESSAGE_H_
+
+// In-process message-passing layer of the dist cluster. Nodes never
+// touch each other's engines or machines directly: everything that
+// crosses a node boundary travels through a typed Mailbox, and every
+// such hop is accounted by the Network — message and byte counts
+// (deterministic, fingerprinted) plus a simulated one-way latency that
+// the receiving worker core pays as stall cycles when it picks the
+// message up (mcsim CoreSim::Stall). The cluster driver itself is
+// single-threaded, so mailboxes need no locks; what they buy is the
+// explicit topology: the only inter-node edges are the ones a Send
+// creates.
+
+#include <cstdint>
+#include <deque>
+
+namespace imoltp::dist {
+
+/// Sender/receiver ids: nodes are 0..N-1, the global orderer is
+/// kOrdererId. A message from a node to itself is a local enqueue —
+/// no wire, no latency, not counted.
+inline constexpr int kOrdererId = -1;
+
+struct NetworkConfig {
+  /// One-way message latency in simulated cycles, charged to the
+  /// receiving worker core. Default ~10us at the paper's 2.6GHz.
+  uint64_t latency_cycles = 26000;
+  /// Serialization/copy cost per payload byte, also charged to the
+  /// receiver (0 = latency only).
+  double cycles_per_byte = 0.5;
+};
+
+struct NetworkStats {
+  uint64_t messages = 0;       // inter-node sends (local enqueues excluded)
+  uint64_t bytes = 0;          // payload bytes across the wire
+  uint64_t latency_charged = 0;  // total stall cycles charged on receive
+};
+
+template <typename T>
+struct Envelope {
+  int from = 0;
+  int to = 0;
+  uint32_t wire_bytes = 0;  // 0 = local, nothing to pay on receive
+  T payload;
+};
+
+template <typename T>
+class Mailbox {
+ public:
+  void Push(Envelope<T> e) { q_.push_back(std::move(e)); }
+  bool Pop(Envelope<T>* out) {
+    if (q_.empty()) return false;
+    *out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+  size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+
+ private:
+  std::deque<Envelope<T>> q_;
+};
+
+/// Accounting front of the message layer. Send() stamps the envelope
+/// and counts it; ChargeReceive() returns the stall cycles the
+/// receiving core owes for one envelope (and accumulates the total).
+class Network {
+ public:
+  explicit Network(const NetworkConfig& config) : config_(config) {}
+
+  template <typename T>
+  void Send(Mailbox<T>* box, int from, int to, uint32_t bytes,
+            T payload) {
+    Envelope<T> e;
+    e.from = from;
+    e.to = to;
+    e.payload = std::move(payload);
+    if (from != to) {
+      e.wire_bytes = bytes;
+      ++stats_.messages;
+      stats_.bytes += bytes;
+    }
+    box->Push(std::move(e));
+  }
+
+  /// Stall cycles the receiver pays for `e`; 0 for local enqueues.
+  template <typename T>
+  uint64_t ChargeReceive(const Envelope<T>& e) {
+    if (e.wire_bytes == 0 && e.from == e.to) return 0;
+    const uint64_t cost =
+        config_.latency_cycles +
+        static_cast<uint64_t>(config_.cycles_per_byte *
+                              static_cast<double>(e.wire_bytes));
+    stats_.latency_charged += cost;
+    return cost;
+  }
+
+  const NetworkConfig& config() const { return config_; }
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  NetworkConfig config_;
+  NetworkStats stats_;
+};
+
+}  // namespace imoltp::dist
+
+#endif  // IMOLTP_DIST_MESSAGE_H_

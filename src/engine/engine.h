@@ -227,6 +227,15 @@ std::unique_ptr<Engine> CreateEngine(EngineKind kind,
                                      mcsim::MachineSim* machine,
                                      const EngineOptions& options);
 
+/// Parses a CLI engine name ("shore-mt", "dbms-d", "voltdb", "hyper",
+/// "dbms-m") — the single spelling authority for every tool that takes
+/// an --engine flag. Returns false on an unknown name.
+bool ParseEngineKind(const std::string& name, EngineKind* out);
+
+/// The valid ParseEngineKind spellings, space-separated, for error
+/// messages ("unknown engine: X (choices: ...)").
+const char* EngineKindChoices();
+
 }  // namespace imoltp::engine
 
 #endif  // IMOLTP_ENGINE_ENGINE_H_

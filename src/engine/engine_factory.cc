@@ -21,4 +21,17 @@ std::unique_ptr<Engine> CreateEngine(EngineKind kind,
   return nullptr;
 }
 
+bool ParseEngineKind(const std::string& name, EngineKind* out) {
+  if (name == "shore-mt") return *out = EngineKind::kShoreMt, true;
+  if (name == "dbms-d") return *out = EngineKind::kDbmsD, true;
+  if (name == "voltdb") return *out = EngineKind::kVoltDb, true;
+  if (name == "hyper") return *out = EngineKind::kHyPer, true;
+  if (name == "dbms-m") return *out = EngineKind::kDbmsM, true;
+  return false;
+}
+
+const char* EngineKindChoices() {
+  return "shore-mt dbms-d voltdb hyper dbms-m";
+}
+
 }  // namespace imoltp::engine

@@ -55,6 +55,15 @@ class MvccEngine::Ctx final : public TxnContext {
     e_->Exec(core_, e_->mvcc_op_);
     auto& slice = e_->tables_[table].slices[0];
     std::vector<uint8_t> version;
+    if (e_->mvcc_.ReadOwnWrite(core_, txn_id_,
+                               static_cast<uint64_t>(table), row,
+                               &version)) {
+      // Read-your-own-writes: the txn's staged image shadows every
+      // committed version.
+      std::memcpy(out, version.data(),
+                  e_->tables_[table].def.schema.row_bytes());
+      return Status::Ok();
+    }
     if (e_->mvcc_.Read(core_, txn_id_, static_cast<uint64_t>(table), row,
                        &version)) {
       // An older image is visible at this snapshot.
@@ -80,8 +89,17 @@ class MvccEngine::Ctx final : public TxnContext {
       e_->Exec(core_, e_->mvcc_op_);
       // Versioned update: build the new full-row image from the current
       // one (multiversioning copies rows; it never updates in place).
+      // "Current" means this transaction's own staged image when it
+      // already wrote the row — otherwise a second single-column update
+      // would rebuild from the committed image and silently drop the
+      // first one.
       std::vector<uint8_t> prior(rt.def.schema.row_bytes());
-      if (!slice.mem->ReadRow(core_, row, prior.data())) {
+      std::vector<uint8_t> own;
+      if (e_->mvcc_.ReadOwnWrite(core_, txn_id_,
+                                 static_cast<uint64_t>(table), row,
+                                 &own)) {
+        std::memcpy(prior.data(), own.data(), prior.size());
+      } else if (!slice.mem->ReadRow(core_, row, prior.data())) {
         return Status::NotFound();
       }
       next = prior;

@@ -33,6 +33,13 @@ mcsim::CodeRegion PartitionedEngine::CompiledRegion(int txn_type,
     // Compile on first use: code size and straight-line instruction
     // count grow with the procedure's statement count.
     RegionSpec spec = hyper_profile_.compiled_txn;
+    // Distinct module name per procedure: each type is its own compiled
+    // code object, and duplicate names would collide in the report's
+    // module_breakdown object keys. ModuleRegistry copies the name, so
+    // the local only has to outlive DefineRegion.
+    const std::string name =
+        std::string(spec.module) + "#" + std::to_string(txn_type);
+    spec.module = name.c_str();
     const uint32_t extra = statements > 1 ? statements - 1 : 0;
     spec.total_bytes += extra * hyper_profile_.per_statement_bytes;
     spec.touched_bytes += extra * hyper_profile_.per_statement_bytes;

@@ -3,68 +3,15 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/seed.h"
 #include "core/tpcb.h"
 #include "core/tpcc.h"
+#include "fault/fingerprint.h"
 #include "obs/json.h"
 
 namespace imoltp::fault {
 
 namespace {
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
-
-uint64_t FnvByte(uint64_t h, uint8_t b) {
-  return (h ^ b) * kFnvPrime;
-}
-
-uint64_t FnvMix(uint64_t h, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h = FnvByte(h, static_cast<uint8_t>(v >> (8 * i)));
-  }
-  return h;
-}
-
-uint64_t FnvBytes(uint64_t h, const uint8_t* p, size_t n) {
-  for (size_t i = 0; i < n; ++i) h = FnvByte(h, p[i]);
-  return h;
-}
-
-uint64_t FnvString(uint64_t h, const std::string& s) {
-  h = FnvMix(h, s.size());
-  return FnvBytes(h, reinterpret_cast<const uint8_t*>(s.data()),
-                  s.size());
-}
-
-/// Digest of the surviving log's replayable content. LSNs and txn ids
-/// are deliberately excluded: both come from process-wide counters that
-/// keep advancing across cycles, so only their order (already implied
-/// by record order) is deterministic, not their values.
-uint64_t FnvLog(uint64_t h, const std::vector<txn::LogRecord>& log) {
-  h = FnvMix(h, log.size());
-  for (const txn::LogRecord& r : log) {
-    h = FnvByte(h, static_cast<uint8_t>(r.op));
-    h = FnvMix(h, static_cast<uint16_t>(r.table));
-    h = FnvMix(h, static_cast<uint16_t>(r.column));
-    h = FnvMix(h, static_cast<uint16_t>(r.slice));
-    h = FnvMix(h, r.row);
-    h = FnvByte(h, r.torn ? 1 : 0);
-    h = FnvMix(h, r.payload.size());
-    h = FnvBytes(h, r.payload.data(), r.payload.size());
-    h = FnvMix(h, r.key.size());
-    h = FnvBytes(h, r.key.data(), r.key.size());
-  }
-  return h;
-}
-
-uint64_t FnvInvariants(uint64_t h, const InvariantReport& rep) {
-  h = FnvByte(h, rep.ok ? 1 : 0);
-  h = FnvMix(h, rep.checksums.size());
-  for (int64_t v : rep.checksums) {
-    h = FnvMix(h, static_cast<uint64_t>(v));
-  }
-  return h;
-}
 
 void InvariantsToJson(obs::JsonWriter& w, const InvariantReport& rep) {
   w.BeginObject();
@@ -107,9 +54,8 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
 
     // Fresh injector per cycle, seeded from the campaign seed and the
     // cycle index: re-running the campaign replays every schedule.
-    FaultInjector inj(opt.seed ^
-                      (0x9e3779b97f4a7c15ULL *
-                       static_cast<uint64_t>(c + 1)));
+    FaultInjector inj(DeriveSeed(opt.seed, static_cast<uint64_t>(c),
+                                 SeedStream::kChaosInjector));
     for (const auto& [name, point] : opt.points) inj.Arm(name, point);
 
     // Fresh workload per cycle: its history-id counters restart at
@@ -136,7 +82,8 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
     cfg.num_workers = opt.workers;
     cfg.warmup_txns = opt.warmup_txns;
     cfg.measure_txns = opt.measure_txns;
-    cfg.seed = opt.seed + 131 * static_cast<uint64_t>(c);
+    cfg.seed = DeriveSeed(opt.seed, static_cast<uint64_t>(c),
+                          SeedStream::kChaosRun);
     cfg.parallel_mode = opt.mode;
     cfg.retry = opt.retry;
     cfg.machine_config = opt.machine_config;

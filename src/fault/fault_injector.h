@@ -22,12 +22,13 @@ inline constexpr const char* kLogTruncateTail = "log.truncate_tail";
 inline constexpr const char* kLockConflict = "lock.conflict";
 inline constexpr const char* kCoreDeath = "core.death";
 inline constexpr const char* kTraceReadError = "trace.read_error";
+inline constexpr const char* kNodeDeath = "node.death";
 
 /// All the fault points the shipped code fires, for CLI validation.
 inline constexpr const char* kAllFaultPoints[] = {
     kCrashPreBody,   kCrashMidCommit, kCrashPostCommit,
     kLogTornRecord,  kLogTruncateTail, kLockConflict,
-    kCoreDeath,      kTraceReadError,
+    kCoreDeath,      kTraceReadError,  kNodeDeath,
 };
 
 inline bool IsKnownFaultPoint(const std::string& name) {

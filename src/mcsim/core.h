@@ -120,6 +120,18 @@ class CoreSim {
                                                 : default_cpi_);
   }
 
+  /// Charges `cycles` of off-core wait (e.g. simulated network latency
+  /// while a cross-node fragment waits for its ordering message) to
+  /// this core: the retirement clock advances with no instructions
+  /// retired, so waiting lowers IPC instead of inflating instruction
+  /// counts the way a busy-wait Retire() would.
+  void Stall(double cycles) {
+    if (!enabled_) return;
+    counters_.base_cycles += cycles;
+    counters_.per_module[module_].base_cycles += cycles;
+    if (sampler_ != nullptr) sampler_->MaybeSample(counters_);
+  }
+
   /// Records `n` branch mispredictions.
   void Mispredict(uint64_t n) {
     if (!enabled_) return;

@@ -26,7 +26,14 @@ namespace imoltp::obs {
 /// imoltp_diff) and the per-module sampled series
 /// (`timeseries.sampled_modules` + per-bucket `module_cycles`, present
 /// only when the sampler ran per-module).
-inline constexpr int kReportSchemaVersion = 5;
+/// v6 added the cluster documents emitted by `imoltp_cluster`: a
+/// top-level `cluster` section (deterministic outcome counts, network
+/// accounting, per-node stats, fingerprint, invariants, plus per-node
+/// `windows` carrying the standard window report) and the
+/// `cluster_sweep` document's top-level `sweep` section
+/// (`series` exact / `perf` tolerant). Single-run reports are
+/// unchanged in shape.
+inline constexpr int kReportSchemaVersion = 6;
 
 /// Top-Down-style decomposition of the modeled cycles (per worker):
 /// retiring (inherent CPI work), frontend (instruction-miss refill),

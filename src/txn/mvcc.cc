@@ -11,6 +11,26 @@ uint64_t MvccManager::Begin(mcsim::CoreSim* core) {
   return txn_id;
 }
 
+bool MvccManager::ReadOwnWrite(mcsim::CoreSim* core, uint64_t txn_id,
+                               uint64_t table_id, uint64_t row,
+                               std::vector<uint8_t>* image) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return false;
+  core->Retire(6);  // write-set probe
+  // Newest staged image wins (a row can be staged more than once).
+  const auto& writes = it->second.writes;
+  for (auto w = writes.rbegin(); w != writes.rend(); ++w) {
+    if (w->table_id == table_id && w->row == row) {
+      core->Read(reinterpret_cast<uint64_t>(w->data.data()),
+                 static_cast<uint32_t>(w->data.size()));
+      *image = w->data;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool MvccManager::Read(mcsim::CoreSim* core, uint64_t txn_id,
                        uint64_t table_id, uint64_t row,
                        std::vector<uint8_t>* image) {

@@ -56,6 +56,16 @@ class MvccManager {
   bool Read(mcsim::CoreSim* core, uint64_t txn_id, uint64_t table_id,
             uint64_t row, std::vector<uint8_t>* image);
 
+  /// Read-your-own-writes: if `txn_id` has already staged a write for
+  /// (table, row), copies its newest staged image into `*image` and
+  /// returns true. Callers must consult this BEFORE Read/ReadRow — a
+  /// transaction's second update of a row must build on its first, not
+  /// on the committed image (lost staged updates otherwise; TPC-C's
+  /// stock rows take two single-column updates per order line).
+  bool ReadOwnWrite(mcsim::CoreSim* core, uint64_t txn_id,
+                    uint64_t table_id, uint64_t row,
+                    std::vector<uint8_t>* image);
+
   /// Stages a full-row write. `prior_image` is the committed image being
   /// replaced (kept for older snapshots). kAborted on a pending write by
   /// another transaction.

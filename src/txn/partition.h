@@ -92,6 +92,45 @@ class PartitionManager {
   std::vector<std::atomic<int>> owners_;
 };
 
+/// Cluster-level partition ownership: which *node* owns each unit of a
+/// contiguously block-partitioned key domain (src/dist shards TPC-C by
+/// warehouse: node n owns warehouses [n*per_node, (n+1)*per_node)).
+/// The intra-node PartitionManager above routes a key to a worker core;
+/// this maps it to a node first — the forwarder's single-home vs
+/// multi-home classification is entirely a question over this map.
+class OwnershipMap {
+ public:
+  OwnershipMap(int nodes, uint64_t units_per_node)
+      : nodes_(nodes), units_per_node_(units_per_node) {}
+
+  int nodes() const { return nodes_; }
+  uint64_t units_per_node() const { return units_per_node_; }
+  uint64_t total_units() const {
+    return units_per_node_ * static_cast<uint64_t>(nodes_);
+  }
+
+  /// Owning node of a global unit (warehouse) id.
+  int OwnerOf(uint64_t unit) const {
+    const uint64_t n = unit / units_per_node_;
+    return n >= static_cast<uint64_t>(nodes_) ? nodes_ - 1
+                                              : static_cast<int>(n);
+  }
+
+  /// Node-local unit id (the warehouse id a node's own engine sees).
+  uint64_t LocalUnit(uint64_t unit) const {
+    return unit - static_cast<uint64_t>(OwnerOf(unit)) * units_per_node_;
+  }
+
+  /// Global unit id of `local` at `node`.
+  uint64_t GlobalUnit(int node, uint64_t local) const {
+    return static_cast<uint64_t>(node) * units_per_node_ + local;
+  }
+
+ private:
+  int nodes_;
+  uint64_t units_per_node_;
+};
+
 }  // namespace imoltp::txn
 
 #endif  // IMOLTP_TXN_PARTITION_H_

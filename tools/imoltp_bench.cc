@@ -19,7 +19,12 @@
 //   --engines=A,B,...    subset of shore-mt,dbms-d,voltdb,hyper,dbms-m
 //                        (default all five)
 //   --workloads=A,B,...  subset of micro,micro-rw,micro-string,tpcb,
-//                        tpcc (default tpcb,tpcc)
+//                        tpcc,tpcc-cluster (default tpcb,tpcc,
+//                        tpcc-cluster). tpcc-cluster runs the 3-node
+//                        src/dist cluster (deterministic mode only;
+//                        other modes skip the cell) and reports
+//                        cluster-wide averages; its host axis is
+//                        wall-clock-only.
 //   --modes=A,B,...      subset of serial,deterministic,free
 //                        (default deterministic)
 //   --workers=N          worker threads == partitions (default 2)
@@ -43,6 +48,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "dist/cluster.h"
 #include "obs/bench_json.h"
 #include "obs/host_metrics.h"
 #include "obs/report_json.h"
@@ -57,7 +63,7 @@ struct BenchFlags {
   std::string out;  // default derived from label
   std::vector<std::string> engines = {"shore-mt", "dbms-d", "voltdb",
                                       "hyper", "dbms-m"};
-  std::vector<std::string> workloads = {"tpcb", "tpcc"};
+  std::vector<std::string> workloads = {"tpcb", "tpcc", "tpcc-cluster"};
   std::vector<std::string> modes = {"deterministic"};
   int workers = 2;
   uint64_t txns = 2000;
@@ -222,6 +228,86 @@ bool RunCell(const BenchFlags& bench, const std::string& engine,
   return true;
 }
 
+/// Runs one distributed cell: a 3-node src/dist cluster at the bench's
+/// scale, reporting cluster-wide averages of the simulated metrics. The
+/// host axis is wall-clock-only (refs/sec stays 0 → imoltp_compare's
+/// timing fallback), because per-node machines count their references
+/// behind the cluster driver, not through the single-run host profiler.
+bool RunClusterCell(const BenchFlags& bench, const std::string& engine,
+                    obs::BenchCell* cell, std::string* error) {
+  dist::ClusterConfig cfg;
+  if (!engine::ParseEngineKind(engine, &cfg.engine_kind)) {
+    *error = "unknown engine: " + engine +
+             " (choices: " + engine::EngineKindChoices() + ")";
+    return false;
+  }
+  cfg.nodes = 3;
+  cfg.warehouses_per_node = bench.warehouses;
+  cfg.workers_per_node = bench.workers;
+  if (cfg.warehouses_per_node % cfg.workers_per_node != 0) {
+    *error = "--warehouses must be divisible by --workers for the "
+             "cluster cell";
+    return false;
+  }
+  cfg.warmup_per_node = bench.warmup;
+  cfg.txns_per_node = bench.txns;
+  cfg.multi_home_pct = 10;
+  cfg.seed = bench.seed;
+
+  const double cell_start = obs::MonotonicSeconds();
+  dist::Cluster cluster(cfg);
+  Status s = cluster.Create();
+  if (s.ok()) s = cluster.Run();
+  if (!s.ok()) {
+    *error = s.ToString();
+    return false;
+  }
+  if (!cluster.result().invariants.ok) {
+    *error = "cluster invariants violated: " +
+             (cluster.result().invariants.violations.empty()
+                  ? std::string("(no detail)")
+                  : cluster.result().invariants.violations[0]);
+    return false;
+  }
+
+  cell->id = engine + "/tpcc-cluster/n" + std::to_string(cfg.nodes) +
+             "/w" + std::to_string(bench.workers);
+  cell->engine = engine;
+  cell->workload = "tpcc-cluster";
+  cell->mode = "deterministic";
+  cell->workers = bench.workers;
+  cell->warmup_txns = bench.warmup;
+  cell->measure_txns = bench.txns;
+  cell->seed = bench.seed;
+
+  double ipc = 0.0, instr = 0.0, cycles = 0.0;
+  double stalls[6] = {};
+  int windows = 0;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    const dist::Node* node = cluster.node(n);
+    if (!node->has_window()) continue;
+    const mcsim::WindowReport& r = node->window();
+    ipc += r.ipc;
+    instr += r.instructions_per_txn;
+    cycles += r.cycles_per_txn;
+    for (int i = 0; i < 6; ++i) stalls[i] += r.stalls_per_kinstr.stalls[i];
+    ++windows;
+  }
+  if (windows > 0) {
+    cell->ipc = ipc / windows;
+    cell->instructions_per_txn = instr / windows;
+    cell->cycles_per_txn = cycles / windows;
+    for (int i = 0; i < 6; ++i) {
+      cell->stalls_per_kinstr[i] = stalls[i] / windows;
+    }
+  }
+  cell->committed = cluster.result().committed;
+  cell->aborts = cluster.result().aborted;
+  cell->wall_seconds = obs::MonotonicSeconds() - cell_start;
+  cell->total_wall_seconds = cell->wall_seconds;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +340,21 @@ int main(int argc, char** argv) {
         ++done;
         std::fprintf(stderr, "[%zu/%zu] %s / %s / %s ...\n", done, total,
                      engine.c_str(), workload.c_str(), mode.c_str());
+        if (workload == "tpcc-cluster") {
+          // The cluster driver is deterministic by construction; the
+          // mode axis does not apply. Run the cell once, under the
+          // deterministic label, and skip the other modes quietly.
+          if (mode != "deterministic") continue;
+          obs::BenchCell cell;
+          if (!RunClusterCell(bench, engine, &cell, &error)) {
+            std::fprintf(stderr, "%s: %s/%s failed: %s\n", argv[0],
+                         engine.c_str(), workload.c_str(), error.c_str());
+            ++failures;
+            continue;
+          }
+          matrix.cells.push_back(cell);
+          continue;
+        }
         obs::BenchCell cell;
         if (!RunCell(bench, engine, workload, mode, &cell, &error)) {
           std::fprintf(stderr, "%s: %s/%s/%s failed: %s\n", argv[0],

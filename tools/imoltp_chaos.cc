@@ -161,16 +161,13 @@ int main(int argc, char** argv) {
   }
 
   if (!tools::ParseEngine(engine_name, &opt.engine)) {
-    return Usage(argv[0], "unknown engine: " + engine_name);
+    return Usage(argv[0], "unknown engine: " + engine_name +
+                              " (choices: " +
+                              engine::EngineKindChoices() + ")");
   }
-  if (mode == "serial") {
-    opt.mode = core::ParallelMode::kSerial;
-  } else if (mode == "deterministic") {
-    opt.mode = core::ParallelMode::kDeterministic;
-  } else if (mode == "free") {
-    opt.mode = core::ParallelMode::kFree;
-  } else {
-    return Usage(argv[0], "unknown mode: " + mode);
+  if (!core::ParseParallelMode(mode, &opt.mode)) {
+    return Usage(argv[0], "unknown mode: " + mode + " (choices: " +
+                              core::ParallelModeChoices() + ")");
   }
 
   std::fprintf(stderr, "chaos: %s / %s, %d cycle(s), seed %llu\n",

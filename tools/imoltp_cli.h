@@ -145,13 +145,7 @@ inline uint64_t ParseSize(const char* s) {
 }
 
 inline bool ParseEngine(const std::string& s, engine::EngineKind* out) {
-  using engine::EngineKind;
-  if (s == "shore-mt") return *out = EngineKind::kShoreMt, true;
-  if (s == "dbms-d") return *out = EngineKind::kDbmsD, true;
-  if (s == "voltdb") return *out = EngineKind::kVoltDb, true;
-  if (s == "hyper") return *out = EngineKind::kHyPer, true;
-  if (s == "dbms-m") return *out = EngineKind::kDbmsM, true;
-  return false;
+  return engine::ParseEngineKind(s, out);
 }
 
 /// Parses argv into `flags`. On failure returns false and sets `error`
@@ -279,7 +273,8 @@ inline bool BuildExperiment(const Flags& flags,
                             std::string* error) {
   engine::EngineKind kind;
   if (!ParseEngine(flags.engine, &kind)) {
-    *error = "unknown engine: " + flags.engine;
+    *error = "unknown engine: " + flags.engine +
+             " (choices: " + engine::EngineKindChoices() + ")";
     return false;
   }
   cfg->engine = kind;
@@ -287,14 +282,9 @@ inline bool BuildExperiment(const Flags& flags,
   cfg->measure_txns = flags.txns;
   cfg->warmup_txns = flags.warmup;
   cfg->seed = flags.seed;
-  if (flags.mode == "serial") {
-    cfg->parallel_mode = core::ParallelMode::kSerial;
-  } else if (flags.mode == "deterministic") {
-    cfg->parallel_mode = core::ParallelMode::kDeterministic;
-  } else if (flags.mode == "free") {
-    cfg->parallel_mode = core::ParallelMode::kFree;
-  } else {
-    *error = "unknown mode: " + flags.mode;
+  if (!core::ParseParallelMode(flags.mode, &cfg->parallel_mode)) {
+    *error = "unknown mode: " + flags.mode +
+             " (choices: " + core::ParallelModeChoices() + ")";
     return false;
   }
   cfg->retry.max_attempts = flags.retry_attempts;
@@ -339,7 +329,8 @@ inline bool BuildExperiment(const Flags& flags,
                                            : index::IndexKind::kBTreeCc;
     *workload = std::make_unique<core::TpccBenchmark>(tcfg);
   } else {
-    *error = "unknown workload: " + flags.workload;
+    *error = "unknown workload: " + flags.workload +
+             " (choices: micro micro-rw micro-string tpcb tpcc)";
     return false;
   }
   return true;

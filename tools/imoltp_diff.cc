@@ -54,6 +54,15 @@
 //                                 throughput / RSS measure the simulator
 //                                 process, never deterministic (use
 //                                 imoltp_compare for trajectories)
+//   cluster                       exact — cluster outcome counts, net
+//                                 accounting, fingerprint, invariants
+//                                 are bit-identical per seed
+//   cluster.windows,
+//   cluster.*throughput/cycles    tolerant — per-node window reports
+//                                 and throughput carry cycle-model
+//                                 (ASLR-jittered) values
+//   sweep / sweep.perf            exact series, tolerant perf (same
+//                                 split for sweep documents)
 //   everything else               default rtol (0.02)
 //
 // When either report has meta.trace.replayed == true, latency_cycles,
@@ -132,6 +141,19 @@ const ToleranceRule kBuiltinRules[] = {
     // deterministic, never comparable. Use imoltp_compare for host
     // throughput trajectories.
     {"host", -1.0, 0.0},
+    // Schema v6: cluster documents. Outcome counts, fingerprints,
+    // network accounting, and invariants are deterministic (same-seed
+    // cluster runs are bit-identical) — exact. The per-node window
+    // reports and throughput derive from the cycle model's
+    // address-hashed miss counts, so they inherit the usual ASLR
+    // jitter; they live under distinct key prefixes precisely so these
+    // rules can hold everything else exact.
+    {"cluster", 0.0, 0.0},
+    {"cluster.windows", 0.10, 1000.0},
+    {"cluster.max_window_cycles", 0.10, 0.0},
+    {"cluster.throughput_per_mcycle", 0.10, 0.0},
+    {"sweep", 0.0, 0.0},
+    {"sweep.perf", 0.10, 100.0},
 };
 
 bool PrefixMatches(const std::string& path, const std::string& prefix) {
