@@ -281,6 +281,12 @@ void ExperimentRunner::RunPhase(Workload* workload, ParallelMode mode,
         }
       }
     }
+    // Checkpoint cadence: one tick per worker-transaction boundary (a
+    // no-op unless the engine was built with checkpointing enabled).
+    // A crashed process captures and truncates nothing further.
+    if (inj == nullptr || !inj->crash_pending()) {
+      engine_->CheckpointTick(w);
+    }
   };
 
   const PhaseSinks shared{&latency_, &aborts_, &breakdown_, &retry_stats_,

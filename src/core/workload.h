@@ -1,6 +1,7 @@
 #ifndef IMOLTP_CORE_WORKLOAD_H_
 #define IMOLTP_CORE_WORKLOAD_H_
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -8,6 +9,49 @@
 #include "engine/engine.h"
 
 namespace imoltp::core {
+
+/// The shipped benchmark vocabulary. Every tool that takes a
+/// --workload flag parses it through ParseWorkload so unknown names
+/// are rejected in one place, with one canonical choices list.
+enum class WorkloadKind {
+  kMicro,
+  kMicroRw,
+  kMicroString,
+  kTpcb,
+  kTpcc,
+};
+
+inline const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kMicro:
+      return "micro";
+    case WorkloadKind::kMicroRw:
+      return "micro-rw";
+    case WorkloadKind::kMicroString:
+      return "micro-string";
+    case WorkloadKind::kTpcb:
+      return "tpcb";
+    case WorkloadKind::kTpcc:
+      return "tpcc";
+  }
+  return "?";
+}
+
+/// Canonical choices list for CLI error messages.
+inline const char* WorkloadChoices() {
+  return "micro micro-rw micro-string tpcb tpcc";
+}
+
+inline bool ParseWorkload(const std::string& name, WorkloadKind* out) {
+  if (name == "micro") return *out = WorkloadKind::kMicro, true;
+  if (name == "micro-rw") return *out = WorkloadKind::kMicroRw, true;
+  if (name == "micro-string") {
+    return *out = WorkloadKind::kMicroString, true;
+  }
+  if (name == "tpcb") return *out = WorkloadKind::kTpcb, true;
+  if (name == "tpcc") return *out = WorkloadKind::kTpcc, true;
+  return false;
+}
 
 /// A benchmark: table definitions plus a transaction generator. Bodies
 /// are written once against engine::TxnContext and run unchanged on all

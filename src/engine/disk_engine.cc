@@ -132,10 +132,14 @@ class DiskEngine::Ctx final : public TxnContext {
                          obs::SpanKind::kLogAppend);
     mcsim::ScopedModule mod(core_, e_->log_.module);
     e_->Exec(core_, e_->log_);
+    const auto& before_img = undo.back().image;
     e_->logs_[core_->core_id()]->LogUpdate(
         core_, txn_id_, static_cast<int16_t>(table), row,
         static_cast<int16_t>(column), value,
-        schema.column_width(column));
+        schema.column_width(column), /*slice=*/0,
+        e_->ckpt_logging() ? before_img.data() : nullptr,
+        e_->ckpt_logging() ? static_cast<uint32_t>(before_img.size())
+                           : 0);
     dirty = true;
     return Status::Ok();
   }
@@ -171,7 +175,7 @@ class DiskEngine::Ctx final : public TxnContext {
                            obs::SpanKind::kIndexProbe);
       mcsim::ScopedModule mod(core_, e_->btree_.module);
       e_->Exec(core_, e_->btree_);
-      s = slice.primary->Insert(core_, key, rid);
+      s = e_->PrimaryInsert(core_, slice, key, rid);
       if (!s.ok()) return s;
     }
     if (!slice.secondaries.empty()) {
@@ -225,7 +229,9 @@ class DiskEngine::Ctx final : public TxnContext {
                            obs::SpanKind::kIndexProbe);
       mcsim::ScopedModule mod(core_, e_->btree_.module);
       e_->Exec(core_, e_->btree_);
-      if (!slice.primary->Remove(core_, key)) return Status::NotFound();
+      if (!e_->PrimaryRemove(core_, slice, key)) {
+        return Status::NotFound();
+      }
       e_->RemoveSecondaries(core_, e_->tables_[table], slice,
                             before.data());
     }
@@ -242,7 +248,9 @@ class DiskEngine::Ctx final : public TxnContext {
     e_->Exec(core_, e_->log_);
     e_->logs_[core_->core_id()]->Append(
         core_, txn::LogOp::kDelete, txn_id_, static_cast<int16_t>(table),
-        row, -1, nullptr, 0, key.data(), key.size());
+        row, -1, nullptr, 0, key.data(), key.size(), /*slice=*/0,
+        e_->ckpt_logging() ? before.data() : nullptr,
+        e_->ckpt_logging() ? schema.row_bytes() : 0);
     EngineBase::UndoEntry u;
     u.kind = EngineBase::UndoEntry::Kind::kDeletedRow;
     u.table = table;
@@ -368,7 +376,7 @@ Status DiskEngine::Execute(int worker, const TxnRequest& request,
       obs::ScopedSpan span(&spans_, core,
                            obs::SpanKind::kStorageAccess);
       mcsim::ScopedModule mod(core, heap_bp_.module);
-      ApplyUndo(core, ctx.undo);
+      ApplyUndo(core, ctx.undo, logs_[core->core_id()].get(), txn_id);
     }
     {
       obs::ScopedSpan span(&spans_, core,

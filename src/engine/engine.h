@@ -15,6 +15,7 @@
 #include "obs/span.h"
 #include "storage/schema.h"
 #include "storage/table.h"
+#include "txn/checkpoint.h"
 #include "txn/log_manager.h"
 
 namespace imoltp::engine {
@@ -177,6 +178,11 @@ struct EngineOptions {
   /// Wired into every LogManager, the 2PL lock table, and the engines'
   /// crash points. Null ⇒ no fault checks at all.
   fault::FaultInjector* fault_injector = nullptr;
+
+  /// Fuzzy checkpointing cadence/retention. Disabled by default; when
+  /// enabled, the engines also log before-images and compensation
+  /// records so recovery can roll back losers captured mid-flight.
+  txn::CheckpointPolicy checkpoint;
 };
 
 /// One OLTP engine archetype bound to a simulated machine. Workers map
@@ -221,6 +227,37 @@ class Engine {
   /// kCommand records (VoltDB-style command logging) are not physically
   /// replayable and are skipped.
   virtual Status Replay(const std::vector<txn::LogRecord>& log) = 0;
+
+  /// Advances the fuzzy checkpoint state machine after `worker` retired
+  /// a transaction. No-op unless options.checkpoint.enabled.
+  virtual void CheckpointTick(int /*worker*/) {}
+
+  /// Checkpoint-aware recovery: restores the newest usable checkpoint
+  /// from `device` (torn pages discard a checkpoint in favor of the
+  /// previous complete one), replays the retained `log` from the
+  /// truncation anchor, and rolls back losers with before-images. Falls
+  /// back to plain Replay when no checkpoint is usable — unless the log
+  /// was truncated (`log_truncation_lsn` > 0), which makes full replay
+  /// unsound and recovery fails with an error. Call on a freshly
+  /// created database.
+  virtual Status Recover(const std::vector<txn::CheckpointImage>& device,
+                         const std::vector<txn::LogRecord>& log,
+                         uint64_t log_truncation_lsn,
+                         txn::RecoveryStats* stats) = 0;
+
+  /// The live checkpoint manager (null when checkpointing is disabled).
+  virtual const txn::CheckpointManager* checkpoints() const {
+    return nullptr;
+  }
+
+  /// Highest truncation LSN across the per-worker logs (0 = never
+  /// truncated). Recovery inputs carry this alongside FlushedLog().
+  virtual uint64_t LogTruncationLsn() const = 0;
+
+  /// Lifetime record count across all per-worker logs, including
+  /// truncated records — what a full no-checkpoint replay would have
+  /// had to process.
+  virtual uint64_t AppendedLogRecords() const = 0;
 };
 
 std::unique_ptr<Engine> CreateEngine(EngineKind kind,

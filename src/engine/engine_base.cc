@@ -17,6 +17,9 @@ EngineBase::EngineBase(mcsim::MachineSim* machine,
         std::make_unique<txn::LogManager>(options_.log_buffer_bytes));
     logs_.back()->set_fault_injector(options_.fault_injector);
   }
+  if (options_.checkpoint.enabled) {
+    ckpt_ = std::make_unique<txn::CheckpointManager>(options_.checkpoint);
+  }
 }
 
 mcsim::CodeRegion EngineBase::DefineRegion(const RegionSpec& spec) {
@@ -146,6 +149,26 @@ Status EngineBase::CreateDatabase(const std::vector<TableDef>& defs) {
     tables_.push_back(std::move(rt));
   }
 
+  if (ckpt_ != nullptr) {
+    for (TableRt& rt : tables_) {
+      for (Slice& slice : rt.slices) {
+        slice.journal_mu = std::make_unique<std::mutex>();
+        // Initial population is regenerable (CreateDatabase rebuilds
+        // it deterministically): checkpoints only carry pages that
+        // diverged from it.
+        if (slice.disk != nullptr) slice.disk->MarkClean();
+      }
+    }
+    if (num_slices() == 1) {
+      // WAL rule for fuzzy capture: worker 0's capture thread can
+      // snapshot any worker's in-place effects, and only a worker's
+      // own thread may touch its log — so the log device runs
+      // synchronously (see LogManager::set_force).
+      for (auto& log : logs_) log->set_force(true);
+    }
+    journal_enabled_ = true;
+  }
+
   machine_->SetEnabled(true);
   WarmCaches();
   OnDatabaseReady();
@@ -228,49 +251,140 @@ bool EngineBase::SliceDelete(mcsim::CoreSim* core, Slice& slice,
                     : slice.mem->Delete(core, row);
 }
 
+void EngineBase::SliceRestore(mcsim::CoreSim* core, Slice& slice,
+                              storage::RowId row, const uint8_t* image,
+                              bool present) {
+  if (slice.disk != nullptr) {
+    if (present) {
+      slice.disk->Restore(core, row, image);
+    } else {
+      slice.disk->Delete(core, row);
+    }
+    return;
+  }
+  slice.mem->RestoreRow(core, row, image, present);
+}
+
+void EngineBase::JournalPrimary(Slice& slice, bool insert,
+                                const index::Key& key,
+                                storage::RowId rid) {
+  if (!journal_enabled_ || slice.journal_mu == nullptr) return;
+  txn::CheckpointJournalEntry e;
+  e.target = -1;
+  e.insert = insert;
+  e.key = key;
+  e.rid = rid;
+  std::lock_guard<std::mutex> lock(*slice.journal_mu);
+  slice.journal.push_back(e);
+}
+
+void EngineBase::JournalSecondary(Slice& slice, int16_t target,
+                                  bool insert, const index::Key& key,
+                                  storage::RowId rid) {
+  if (!journal_enabled_ || slice.journal_mu == nullptr) return;
+  txn::CheckpointJournalEntry e;
+  e.target = target;
+  e.insert = insert;
+  e.key = key;
+  e.rid = rid;
+  std::lock_guard<std::mutex> lock(*slice.journal_mu);
+  slice.journal.push_back(e);
+}
+
+Status EngineBase::PrimaryInsert(mcsim::CoreSim* core, Slice& slice,
+                                 const index::Key& key,
+                                 storage::RowId rid) {
+  const Status s = slice.primary->Insert(core, key, rid);
+  if (s.ok()) JournalPrimary(slice, /*insert=*/true, key, rid);
+  return s;
+}
+
+bool EngineBase::PrimaryRemove(mcsim::CoreSim* core, Slice& slice,
+                               const index::Key& key) {
+  const bool ok = slice.primary->Remove(core, key);
+  if (ok) JournalPrimary(slice, /*insert=*/false, key, 0);
+  return ok;
+}
+
 void EngineBase::InsertSecondaries(mcsim::CoreSim* core, TableRt& rt,
                                    Slice& slice, const uint8_t* row,
                                    storage::RowId rid) {
   for (size_t i = 0; i < slice.secondaries.size(); ++i) {
-    slice.secondaries[i]->Insert(
-        core, rt.def.secondaries[i].key_of(rt.def.schema, row), rid);
+    const index::Key key =
+        rt.def.secondaries[i].key_of(rt.def.schema, row);
+    slice.secondaries[i]->Insert(core, key, rid);
+    JournalSecondary(slice, static_cast<int16_t>(i), /*insert=*/true,
+                     key, rid);
   }
 }
 
 void EngineBase::RemoveSecondaries(mcsim::CoreSim* core, TableRt& rt,
                                    Slice& slice, const uint8_t* row) {
   for (size_t i = 0; i < slice.secondaries.size(); ++i) {
-    slice.secondaries[i]->Remove(
-        core, rt.def.secondaries[i].key_of(rt.def.schema, row));
+    const index::Key key =
+        rt.def.secondaries[i].key_of(rt.def.schema, row);
+    slice.secondaries[i]->Remove(core, key);
+    JournalSecondary(slice, static_cast<int16_t>(i), /*insert=*/false,
+                     key, 0);
   }
 }
 
 void EngineBase::ApplyUndo(mcsim::CoreSim* core,
-                           std::vector<UndoEntry>& undo) {
+                           std::vector<UndoEntry>& undo,
+                           txn::LogManager* log, uint64_t txn_id) {
+  // CLRs: redo-only compensation records, emitted when a checkpoint
+  // may have captured the transaction's in-place writes. Recovery
+  // replays them unconditionally, repeating this rollback.
+  const bool clr =
+      log != nullptr && ckpt_logging() && logs_physical();
   for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
     UndoEntry& u = *it;
     TableRt& rt = tables_[u.table];
     Slice& slice = rt.slices[u.slice];
+    const int16_t slice16 = static_cast<int16_t>(u.slice);
     switch (u.kind) {
       case UndoEntry::Kind::kColumnImage:
         SliceWriteColumn(core, slice, u.row, u.column, u.image.data(),
                          rt.def.schema);
+        if (clr) {
+          log->Append(core, txn::LogOp::kUpdate, txn_id,
+                      static_cast<int16_t>(u.table), u.row,
+                      static_cast<int16_t>(u.column), u.image.data(),
+                      static_cast<uint32_t>(u.image.size()), nullptr, 0,
+                      slice16, nullptr, 0, /*clr=*/true);
+        }
         break;
       case UndoEntry::Kind::kInsertedRow:
-        if (slice.primary != nullptr) slice.primary->Remove(core, u.key);
+        if (slice.primary != nullptr) PrimaryRemove(core, slice, u.key);
         if (!u.image.empty()) {
           RemoveSecondaries(core, rt, slice, u.image.data());
         }
         SliceDelete(core, slice, u.row);
+        if (clr) {
+          log->Append(core, txn::LogOp::kDelete, txn_id,
+                      static_cast<int16_t>(u.table), u.row, -1, nullptr,
+                      0, u.key.data(), u.key.size(), slice16,
+                      u.image.data(),
+                      static_cast<uint32_t>(u.image.size()),
+                      /*clr=*/true);
+        }
         break;
       case UndoEntry::Kind::kDeletedRow: {
         // Resurrect the row (possibly at a fresh slot) and re-index it.
         const storage::RowId rid =
             SliceAppend(core, slice, u.image.data());
         if (slice.primary != nullptr) {
-          slice.primary->Insert(core, u.key, rid);
+          PrimaryInsert(core, slice, u.key, rid);
         }
         InsertSecondaries(core, rt, slice, u.image.data(), rid);
+        if (clr) {
+          log->Append(core, txn::LogOp::kInsert, txn_id,
+                      static_cast<int16_t>(u.table), rid, -1,
+                      u.image.data(),
+                      static_cast<uint32_t>(u.image.size()),
+                      u.key.data(), u.key.size(), slice16, nullptr, 0,
+                      /*clr=*/true);
+        }
         break;
       }
     }
@@ -281,6 +395,20 @@ void EngineBase::ApplyUndo(mcsim::CoreSim* core,
 // ---------------------------------------------------------------------------
 // Recovery: merged stable log + REDO replay.
 // ---------------------------------------------------------------------------
+
+uint64_t EngineBase::LogTruncationLsn() const {
+  uint64_t lsn = 0;
+  for (const auto& log : logs_) {
+    lsn = std::max(lsn, log->truncation_lsn());
+  }
+  return lsn;
+}
+
+uint64_t EngineBase::AppendedLogRecords() const {
+  uint64_t n = 0;
+  for (const auto& log : logs_) n += log->appended_records();
+  return n;
+}
 
 std::vector<txn::LogRecord> EngineBase::StableLog() const {
   std::vector<txn::LogRecord> merged;
@@ -311,6 +439,14 @@ std::vector<txn::LogRecord> EngineBase::FlushedLog() const {
 }
 
 Status EngineBase::Replay(const std::vector<txn::LogRecord>& log) {
+  machine_->SetEnabled(false);
+  const Status result = RedoPass(log, nullptr);
+  machine_->SetEnabled(true);
+  return result;
+}
+
+Status EngineBase::RedoPass(const std::vector<txn::LogRecord>& log,
+                            txn::RecoveryStats* stats) {
   // A torn record (bad checksum on the device) ends the usable log:
   // recovery scans forward and stops at the first record that fails
   // verification, exactly like a real ARIES analysis pass.
@@ -329,22 +465,26 @@ Status EngineBase::Replay(const std::vector<txn::LogRecord>& log) {
   }
 
   // REDO pass, in LSN order, committed transactions only. Recovery runs
-  // outside any measurement window.
-  machine_->SetEnabled(false);
+  // outside any measurement window (the caller disabled the machine).
   mcsim::CoreSim* core = &machine_->core(0);
   Status result = Status::Ok();
   for (size_t i = 0; i < usable; ++i) {
     const txn::LogRecord& rec = log[i];
     if (rec.op == txn::LogOp::kCommit || rec.op == txn::LogOp::kAbort ||
-        rec.op == txn::LogOp::kCommand) {
+        rec.op == txn::LogOp::kCommand ||
+        rec.op == txn::LogOp::kCheckpointBegin ||
+        rec.op == txn::LogOp::kCheckpointEnd) {
       continue;  // kCommand is logical; physical REDO cannot replay it
     }
-    if (committed.count(rec.txn_id) == 0) continue;
+    // CLRs replay unconditionally: they repeat a rollback that already
+    // happened (checkpoint-enabled logs only).
+    if (!rec.clr && committed.count(rec.txn_id) == 0) continue;
     if (rec.table < 0 ||
         rec.table >= static_cast<int16_t>(tables_.size())) {
       result = Status::Internal("log record references unknown table");
       break;
     }
+    if (stats != nullptr) ++stats->replayed_records;
     TableRt& rt = tables_[rec.table];
     const int slice_idx =
         rec.slice >= 0 &&
@@ -363,34 +503,44 @@ Status EngineBase::Replay(const std::vector<txn::LogRecord>& log) {
         }
         break;
       case txn::LogOp::kInsert: {
-        const storage::RowId rid =
-            SliceAppend(core, slice, rec.payload.data());
+        // Placement replay: the record's RowId is the physical position
+        // the live run assigned; later records reference it, so the
+        // replayed row must land exactly there.
+        SliceRestore(core, slice, rec.row, rec.payload.data(),
+                     /*present=*/true);
         if (slice.primary != nullptr && !rec.key.empty()) {
-          const Status s = slice.primary->Insert(
-              core,
-              index::Key::FromBytes(rec.key.data(),
-                                    static_cast<uint32_t>(
-                                        rec.key.size())),
-              rid);
+          const index::Key k = index::Key::FromBytes(
+              rec.key.data(), static_cast<uint32_t>(rec.key.size()));
+          slice.primary->Remove(core, k);  // idempotent re-replay
+          const Status s = slice.primary->Insert(core, k, rec.row);
           if (!s.ok()) {
             result = s;
+          } else {
+            JournalPrimary(slice, /*insert=*/true, k, rec.row);
           }
         }
-        InsertSecondaries(core, rt, slice, rec.payload.data(), rid);
+        InsertSecondaries(core, rt, slice, rec.payload.data(), rec.row);
         break;
       }
       case txn::LogOp::kDelete: {
         if (!slice.secondaries.empty()) {
-          std::vector<uint8_t> image(rt.def.schema.row_bytes());
-          if (SliceRead(core, slice, rec.row, image.data())) {
-            RemoveSecondaries(core, rt, slice, image.data());
+          // Prefer the logged before-image (checkpoint-enabled logs);
+          // fall back to the current row contents.
+          if (rec.before.size() >= rt.def.schema.row_bytes()) {
+            RemoveSecondaries(core, rt, slice, rec.before.data());
+          } else {
+            std::vector<uint8_t> image(rt.def.schema.row_bytes());
+            if (SliceRead(core, slice, rec.row, image.data())) {
+              RemoveSecondaries(core, rt, slice, image.data());
+            }
           }
         }
         if (slice.primary != nullptr && !rec.key.empty()) {
-          slice.primary->Remove(
-              core, index::Key::FromBytes(
-                        rec.key.data(),
-                        static_cast<uint32_t>(rec.key.size())));
+          const index::Key k = index::Key::FromBytes(
+              rec.key.data(), static_cast<uint32_t>(rec.key.size()));
+          if (slice.primary->Remove(core, k)) {
+            JournalPrimary(slice, /*insert=*/false, k, 0);
+          }
         }
         SliceDelete(core, slice, rec.row);
         break;
@@ -400,7 +550,6 @@ Status EngineBase::Replay(const std::vector<txn::LogRecord>& log) {
     }
     if (!result.ok()) break;
   }
-  machine_->SetEnabled(true);
   return result;
 }
 

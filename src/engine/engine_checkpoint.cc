@@ -1,0 +1,430 @@
+// Fuzzy checkpoint capture and ARIES-style recovery for EngineBase
+// (docs/robustness.md, "Checkpointing & fuzzy recovery").
+//
+// Capture protocols:
+//  - Partitioned engines (num_slices() > 1): worker 0 opens the
+//    checkpoint on its cadence; each worker then captures ALL tables'
+//    slice of its own partition atomically at one of its transaction
+//    boundaries (transaction-consistent per partition under
+//    single-site execution). The last partition to contribute seals
+//    the checkpoint.
+//  - Non-partitioned engines: worker 0 walks a capture plan (the dirty
+//    pages at checkpoint begin) a few pages per transaction tick while
+//    the other workers keep running — a genuinely fuzzy snapshot.
+//    Before-images + CLRs in the log make it recoverable.
+//
+// The WAL rule: a captured page may hold effects of log records still
+// in the asynchronous ring, so capture flushes the worker's own log
+// first (partitioned), or the log runs in force-at-append mode
+// (non-partitioned, where any worker's in-flight effects can land in a
+// page the capture thread copies).
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/engine_base.h"
+
+namespace imoltp::engine {
+
+void EngineBase::CaptureSliceMeta(mcsim::CoreSim* core, int table,
+                                  int slice_idx,
+                                  txn::CheckpointSliceImage* out) {
+  (void)core;
+  Slice& slice = tables_[table].slices[slice_idx];
+  out->table = static_cast<int16_t>(table);
+  out->slice = static_cast<int16_t>(slice_idx);
+  out->num_rows =
+      slice.disk != nullptr ? slice.disk->num_rows() : slice.mem->num_rows();
+  if (slice.journal_mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*slice.journal_mu);
+    out->journal = slice.journal;  // prefix as of capture time
+  }
+}
+
+txn::CheckpointPage EngineBase::CapturePage(mcsim::CoreSim* core,
+                                            int table, int slice_idx,
+                                            uint64_t page_no) {
+  TableRt& rt = tables_[table];
+  Slice& slice = rt.slices[slice_idx];
+  txn::CheckpointPage pg;
+  pg.table = static_cast<int16_t>(table);
+  pg.slice = static_cast<int16_t>(slice_idx);
+  pg.page_no = page_no;
+  pg.row_bytes = rt.def.schema.row_bytes();
+  if (slice.disk != nullptr) {
+    const uint16_t slots = slice.disk->SlotsOnPage(core, page_no);
+    pg.rids.reserve(slots);
+    for (uint16_t s = 0; s < slots; ++s) {
+      pg.rids.push_back((page_no << 16) | s);
+    }
+  } else {
+    const uint64_t lo = page_no * storage::Table::kRowsPerCheckpointPage;
+    const uint64_t hi =
+        std::min(lo + storage::Table::kRowsPerCheckpointPage,
+                 slice.mem->num_rows());
+    for (uint64_t r = lo; r < hi; ++r) pg.rids.push_back(r);
+  }
+  pg.present.assign(pg.rids.size(), 0);
+  pg.images.assign(pg.rids.size() * pg.row_bytes, 0);
+  std::vector<uint8_t> buf(pg.row_bytes);
+  for (size_t i = 0; i < pg.rids.size(); ++i) {
+    if (SliceRead(core, slice, pg.rids[i], buf.data())) {
+      pg.present[i] = 1;
+      std::memcpy(pg.images.data() + i * pg.row_bytes, buf.data(),
+                  pg.row_bytes);
+    }
+  }
+  pg.Seal();
+  return pg;
+}
+
+void EngineBase::BeginCheckpoint(int worker) {
+  mcsim::CoreSim* core = &machine_->core(worker);
+  txn::CheckpointImage& img = ckpt_->Begin(0);
+  img.begin_lsn = logs_[worker]->Append(
+      core, txn::LogOp::kCheckpointBegin, 0, -1, img.id, -1, nullptr, 0);
+  logs_[worker]->FlushAll();
+  if (num_slices() > 1) {
+    slice_captured_.assign(static_cast<size_t>(num_slices()), 0);
+    return;
+  }
+  // Non-partitioned: freeze the capture plan now. Pages dirtied after
+  // this instant carry before-images in the retained log (begin_lsn
+  // precedes them), so the fuzzy copy stays recoverable.
+  capture_plan_.clear();
+  capture_next_ = 0;
+  img.slices.clear();
+  img.slices.reserve(tables_.size());
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    Slice& slice = tables_[t].slices[0];
+    txn::CheckpointSliceImage si;
+    CaptureSliceMeta(core, static_cast<int>(t), 0, &si);
+    img.slices.push_back(std::move(si));
+    const std::vector<uint64_t> pages = slice.disk != nullptr
+                                            ? slice.disk->DirtyPages()
+                                            : slice.mem->DirtyPages();
+    for (uint64_t p : pages) {
+      capture_plan_.push_back({static_cast<int>(t), p});
+    }
+  }
+}
+
+void EngineBase::FinishCheckpoint(int worker) {
+  mcsim::CoreSim* core = &machine_->core(worker);
+  txn::CheckpointImage* pending = ckpt_->pending();
+  const uint64_t begin_lsn = pending->begin_lsn;
+  uint8_t payload[8];
+  std::memcpy(payload, &begin_lsn, sizeof(payload));
+  const uint64_t end_lsn =
+      logs_[worker]->Append(core, txn::LogOp::kCheckpointEnd, 0, -1,
+                            pending->id, -1, payload, sizeof(payload));
+  logs_[worker]->FlushAll();
+  const uint64_t anchor = ckpt_->Complete(end_lsn);
+  ++ckpt_->stats().truncations;
+  // Publish the anchor; every worker truncates its own log on its next
+  // tick (a worker's log is only ever touched from its own thread).
+  truncate_anchor_.store(anchor, std::memory_order_release);
+  const uint64_t before = logs_[worker]->truncated_records();
+  logs_[worker]->Truncate(anchor);
+  ckpt_->stats().truncated_records +=
+      logs_[worker]->truncated_records() - before;
+}
+
+void EngineBase::CapturePartition(int worker,
+                                  txn::CheckpointImage* pending) {
+  mcsim::CoreSim* core = &machine_->core(worker);
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    TableRt& rt = tables_[t];
+    if (worker >= static_cast<int>(rt.slices.size())) continue;
+    Slice& slice = rt.slices[worker];
+    txn::CheckpointSliceImage si;
+    CaptureSliceMeta(core, static_cast<int>(t), worker, &si);
+    const std::vector<uint64_t> pages = slice.disk != nullptr
+                                            ? slice.disk->DirtyPages()
+                                            : slice.mem->DirtyPages();
+    si.pages.reserve(pages.size());
+    for (uint64_t p : pages) {
+      si.pages.push_back(CapturePage(core, static_cast<int>(t), worker, p));
+    }
+    pending->slices.push_back(std::move(si));
+  }
+}
+
+void EngineBase::CaptureStep(mcsim::CoreSim* core,
+                             txn::CheckpointImage* pending) {
+  const int step = std::max(1, ckpt_->policy().pages_per_step);
+  for (int i = 0;
+       i < step && capture_next_ < capture_plan_.size(); ++i) {
+    const CaptureUnit& u = capture_plan_[capture_next_++];
+    pending->slices[u.table].pages.push_back(
+        CapturePage(core, u.table, 0, u.page_no));
+  }
+}
+
+void EngineBase::CheckpointTick(int worker) {
+  if (ckpt_ == nullptr || tables_.empty()) return;
+  if (worker < 0 || worker >= static_cast<int>(logs_.size())) return;
+
+  // Deferred truncation: adopt the last completed checkpoint's anchor
+  // on this worker's own log (single-threaded access by construction).
+  const uint64_t anchor = truncate_anchor_.load(std::memory_order_acquire);
+  if (anchor > logs_[worker]->truncation_lsn()) {
+    const uint64_t before = logs_[worker]->truncated_records();
+    logs_[worker]->Truncate(anchor);
+    const uint64_t dropped = logs_[worker]->truncated_records() - before;
+    if (dropped > 0) {
+      std::lock_guard<std::mutex> lock(ckpt_mu_);
+      ckpt_->stats().truncated_records += dropped;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  const uint64_t every =
+      std::max<uint64_t>(1, ckpt_->policy().every_n_ticks);
+
+  if (num_slices() > 1) {
+    if (worker == 0) {
+      ++ticks_;
+      if (ckpt_->pending() == nullptr && ticks_ % every == 0) {
+        BeginCheckpoint(0);
+      }
+    }
+    txn::CheckpointImage* pending = ckpt_->pending();
+    if (pending != nullptr &&
+        worker < static_cast<int>(slice_captured_.size()) &&
+        slice_captured_[worker] == 0) {
+      // WAL rule: this partition's in-ring records must be durable
+      // before its pages are.
+      logs_[worker]->FlushAll();
+      CapturePartition(worker, pending);
+      slice_captured_[worker] = 1;
+      const bool all_captured =
+          std::all_of(slice_captured_.begin(), slice_captured_.end(),
+                      [](uint8_t c) { return c != 0; });
+      if (all_captured) FinishCheckpoint(worker);
+    }
+    return;
+  }
+
+  // Non-partitioned: worker 0 drives begin/capture/finish. The log
+  // runs force-at-append (set in CreateDatabase), so the WAL rule
+  // holds for pages that caught other workers' in-flight writes.
+  if (worker != 0) return;
+  ++ticks_;
+  txn::CheckpointImage* pending = ckpt_->pending();
+  if (pending == nullptr) {
+    if (ticks_ % every == 0) BeginCheckpoint(0);
+    return;
+  }
+  CaptureStep(&machine_->core(0), pending);
+  if (capture_next_ >= capture_plan_.size()) FinishCheckpoint(0);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+void EngineBase::RestorePage(mcsim::CoreSim* core,
+                             const txn::CheckpointPage& page,
+                             txn::RecoveryStats* stats) {
+  if (page.table < 0 ||
+      page.table >= static_cast<int16_t>(tables_.size())) {
+    return;
+  }
+  TableRt& rt = tables_[page.table];
+  if (page.row_bytes != rt.def.schema.row_bytes()) return;
+  const int slice_idx =
+      page.slice >= 0 &&
+              page.slice < static_cast<int16_t>(rt.slices.size())
+          ? page.slice
+          : 0;
+  Slice& slice = rt.slices[slice_idx];
+  for (size_t i = 0; i < page.rids.size(); ++i) {
+    const bool present = i < page.present.size() && page.present[i] != 0;
+    SliceRestore(core, slice, page.rids[i],
+                 page.images.data() + i * page.row_bytes, present);
+  }
+  ++stats->restored_pages;
+  stats->restored_bytes += page.images.size();
+}
+
+Status EngineBase::Recover(const std::vector<txn::CheckpointImage>& device,
+                           const std::vector<txn::LogRecord>& log,
+                           uint64_t log_truncation_lsn,
+                           txn::RecoveryStats* stats) {
+  txn::RecoveryStats local;
+  if (stats == nullptr) stats = &local;
+  stats->truncation_lsn = log_truncation_lsn;
+
+  const txn::CheckpointImage* ckpt =
+      txn::SelectRecoverable(device, stats);
+  if (ckpt == nullptr) {
+    if (log_truncation_lsn > 0) {
+      // The log's prefix is gone and no checkpoint survives to stand
+      // in for it. Nothing sound can be reconstructed.
+      return Status::Internal(
+          "log truncated to a checkpoint anchor but no complete, "
+          "checksum-clean checkpoint is available");
+    }
+    machine_->SetEnabled(false);
+    const Status s = RedoPass(log, stats);
+    machine_->SetEnabled(true);
+    return s;
+  }
+  stats->used_checkpoint = true;
+  stats->checkpoint_id = ckpt->id;
+
+  machine_->SetEnabled(false);
+  mcsim::CoreSim* core = &machine_->core(0);
+
+  // 1. Restore captured pages, then replay each slice's index journal
+  // (indexes expose no key iteration; the journal re-derives keys whose
+  // index mutations were truncated out of the log). Application is
+  // defensive — Remove before Insert — so entries repeated by the redo
+  // pass below are harmless.
+  for (const txn::CheckpointSliceImage& si : ckpt->slices) {
+    if (si.table < 0 ||
+        si.table >= static_cast<int16_t>(tables_.size())) {
+      continue;
+    }
+    TableRt& rt = tables_[si.table];
+    const int slice_idx =
+        si.slice >= 0 && si.slice < static_cast<int16_t>(rt.slices.size())
+            ? si.slice
+            : 0;
+    Slice& slice = rt.slices[slice_idx];
+    for (const txn::CheckpointPage& pg : si.pages) {
+      RestorePage(core, pg, stats);
+    }
+    for (const txn::CheckpointJournalEntry& e : si.journal) {
+      if (e.target < 0) {
+        if (slice.primary != nullptr) {
+          slice.primary->Remove(core, e.key);
+          if (e.insert) slice.primary->Insert(core, e.key, e.rid);
+        }
+      } else if (e.target <
+                 static_cast<int16_t>(slice.secondaries.size())) {
+        index::Index* sec = slice.secondaries[e.target].get();
+        sec->Remove(core, e.key);
+        if (e.insert) sec->Insert(core, e.key, e.rid);
+      }
+    }
+    stats->journal_entries += si.journal.size();
+    // Seed the recovered engine's own journal so its future
+    // checkpoints stay self-contained across chaos cycles.
+    if (slice.journal_mu != nullptr && !si.journal.empty()) {
+      std::lock_guard<std::mutex> jlock(*slice.journal_mu);
+      slice.journal.insert(slice.journal.end(), si.journal.begin(),
+                           si.journal.end());
+    }
+  }
+
+  // 2. REDO the retained log tail from the truncation anchor:
+  // committed transactions' records plus every CLR, in LSN order.
+  // Re-applying records older than a captured page is idempotent —
+  // placement replay lands rows exactly where the live run put them.
+  Status result = RedoPass(log, stats);
+  if (!result.ok()) {
+    machine_->SetEnabled(true);
+    return result;
+  }
+
+  // 3. UNDO losers: transactions with physical records in the usable
+  // log but no end record. A fuzzy page may have captured their
+  // in-place writes; roll them back from the logged before-images, in
+  // reverse LSN order. (A kAbort record proves the live rollback
+  // finished and its CLRs were redone above — not a loser. Engines
+  // that stage updates privately — MVCC — skip kUpdate undo: the
+  // loser's update never reached the table.)
+  size_t usable = log.size();
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (log[i].torn) {
+      usable = i;
+      break;
+    }
+  }
+  std::unordered_set<uint64_t> ended;
+  for (size_t i = 0; i < usable; ++i) {
+    if (log[i].op == txn::LogOp::kCommit ||
+        log[i].op == txn::LogOp::kAbort) {
+      ended.insert(log[i].txn_id);
+    }
+  }
+  std::unordered_set<uint64_t> losers;
+  for (size_t i = 0; i < usable; ++i) {
+    const txn::LogRecord& rec = log[i];
+    if (rec.clr || ended.count(rec.txn_id) != 0) continue;
+    if (rec.op == txn::LogOp::kUpdate ||
+        rec.op == txn::LogOp::kInsert ||
+        rec.op == txn::LogOp::kDelete) {
+      losers.insert(rec.txn_id);
+    }
+  }
+  for (size_t i = usable; i-- > 0;) {
+    const txn::LogRecord& rec = log[i];
+    if (rec.clr || losers.count(rec.txn_id) == 0) continue;
+    if (rec.table < 0 ||
+        rec.table >= static_cast<int16_t>(tables_.size())) {
+      continue;
+    }
+    TableRt& rt = tables_[rec.table];
+    const int slice_idx =
+        rec.slice >= 0 &&
+                rec.slice < static_cast<int16_t>(rt.slices.size())
+            ? rec.slice
+            : 0;
+    Slice& slice = rt.slices[slice_idx];
+    switch (rec.op) {
+      case txn::LogOp::kUpdate:
+        if (!updates_in_place() || rec.before.empty()) break;
+        if (rec.column >= 0) {
+          SliceWriteColumn(core, slice, rec.row, rec.column,
+                           rec.before.data(), rt.def.schema);
+        } else if (rec.before.size() >= rt.def.schema.row_bytes()) {
+          SliceWriteRow(core, slice, rec.row, rec.before.data(),
+                        rt.def.schema);
+        }
+        ++stats->undone_records;
+        break;
+      case txn::LogOp::kInsert: {
+        // The loser inserted this row; remove it wherever it landed.
+        // All operations are no-ops if the fuzzy capture missed it.
+        if (!rec.key.empty()) {
+          PrimaryRemove(core, slice,
+                        index::Key::FromBytes(
+                            rec.key.data(),
+                            static_cast<uint32_t>(rec.key.size())));
+        }
+        if (rec.payload.size() >= rt.def.schema.row_bytes()) {
+          RemoveSecondaries(core, rt, slice, rec.payload.data());
+        }
+        SliceDelete(core, slice, rec.row);
+        ++stats->undone_records;
+        break;
+      }
+      case txn::LogOp::kDelete: {
+        if (rec.before.size() < rt.def.schema.row_bytes()) break;
+        SliceRestore(core, slice, rec.row, rec.before.data(),
+                     /*present=*/true);
+        if (!rec.key.empty()) {
+          const index::Key k = index::Key::FromBytes(
+              rec.key.data(), static_cast<uint32_t>(rec.key.size()));
+          PrimaryRemove(core, slice, k);
+          PrimaryInsert(core, slice, k, rec.row);
+        }
+        InsertSecondaries(core, rt, slice, rec.before.data(), rec.row);
+        ++stats->undone_records;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  machine_->SetEnabled(true);
+  return Status::Ok();
+}
+
+}  // namespace imoltp::engine

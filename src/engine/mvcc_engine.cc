@@ -81,6 +81,7 @@ class MvccEngine::Ctx final : public TxnContext {
     auto& rt = e_->tables_[table];
     auto& slice = rt.slices[0];
     std::vector<uint8_t> next;
+    std::vector<uint8_t> prior_copy;
     {
       obs::ScopedSpan span(&e_->spans_, core_,
                            obs::SpanKind::kStorageAccess);
@@ -109,14 +110,16 @@ class MvccEngine::Ctx final : public TxnContext {
           core_, txn_id_, static_cast<uint64_t>(table), row, next.data(),
           static_cast<uint32_t>(next.size()), prior.data());
       if (!s.ok()) return s;
+      if (e_->ckpt_logging()) prior_copy = std::move(prior);
     }
     obs::ScopedSpan span(&e_->spans_, core_,
                          obs::SpanKind::kLogAppend);
     e_->Exec(core_, e_->log_);
-    e_->logs_[core_->core_id()]->LogUpdate(core_, txn_id_,
-                                           static_cast<int16_t>(table),
-                                           row, -1, next.data(),
-                                           rt.def.schema.row_bytes());
+    e_->logs_[core_->core_id()]->LogUpdate(
+        core_, txn_id_, static_cast<int16_t>(table), row, -1,
+        next.data(), rt.def.schema.row_bytes(), /*slice=*/0,
+        e_->ckpt_logging() ? prior_copy.data() : nullptr,
+        e_->ckpt_logging() ? rt.def.schema.row_bytes() : 0);
     return Status::Ok();
   }
 
@@ -137,7 +140,7 @@ class MvccEngine::Ctx final : public TxnContext {
                            obs::SpanKind::kIndexProbe);
       e_->Exec(core_, e_->index_op_);
       if (slice.primary != nullptr) {
-        const Status s = slice.primary->Insert(core_, key, rid);
+        const Status s = e_->PrimaryInsert(core_, slice, key, rid);
         if (!s.ok()) return s;
       }
       e_->InsertSecondaries(core_, rt, slice, row, rid);
@@ -179,7 +182,9 @@ class MvccEngine::Ctx final : public TxnContext {
       obs::ScopedSpan span(&e_->spans_, core_,
                            obs::SpanKind::kIndexProbe);
       e_->Exec(core_, e_->index_op_);
-      if (!slice.primary->Remove(core_, key)) return Status::NotFound();
+      if (!e_->PrimaryRemove(core_, slice, key)) {
+        return Status::NotFound();
+      }
       e_->RemoveSecondaries(core_, rt, slice, before.data());
     }
     {
@@ -192,7 +197,9 @@ class MvccEngine::Ctx final : public TxnContext {
     e_->Exec(core_, e_->log_);
     e_->logs_[core_->core_id()]->Append(
         core_, txn::LogOp::kDelete, txn_id_, static_cast<int16_t>(table),
-        row, -1, nullptr, 0, key.data(), key.size());
+        row, -1, nullptr, 0, key.data(), key.size(), /*slice=*/0,
+        e_->ckpt_logging() ? before.data() : nullptr,
+        e_->ckpt_logging() ? rt.def.schema.row_bytes() : 0);
     EngineBase::UndoEntry u;
     u.kind = EngineBase::UndoEntry::Kind::kDeletedRow;
     u.table = table;
@@ -275,7 +282,9 @@ Status MvccEngine::Execute(int worker, const TxnRequest& request,
 
   if (!s.ok()) {
     mvcc_.Abort(core, txn_id);
-    ApplyUndo(core, ctx.undo);  // inserts/deletes applied in place
+    // Inserts/deletes were applied in place; their undo emits CLRs
+    // under checkpointing.
+    ApplyUndo(core, ctx.undo, logs_[core->core_id()].get(), txn_id);
     logs_[core->core_id()]->LogAbort(core, txn_id);
     return s;
   }
@@ -287,7 +296,7 @@ Status MvccEngine::Execute(int worker, const TxnRequest& request,
   if (!s.ok()) {
     // Validation failure: staged updates vanish with the transaction,
     // but in-place inserts/deletes need explicit rollback.
-    ApplyUndo(core, ctx.undo);
+    ApplyUndo(core, ctx.undo, logs_[core->core_id()].get(), txn_id);
     logs_[core->core_id()]->LogAbort(core, txn_id);
     return s;
   }

@@ -25,6 +25,9 @@ class MvccEngine final : public EngineBase {
   index::IndexKind default_index_kind(const TableDef&) const override {
     return options_.dbms_m_index;
   }
+  /// MVCC stages updates privately until commit: a loser's kUpdate
+  /// never reached the table, so recovery must not undo it.
+  bool updates_in_place() const override { return false; }
 
  private:
   class Ctx;

@@ -123,11 +123,16 @@ class PartitionedEngine::Ctx final : public TxnContext {
       obs::ScopedSpan span(&e_->spans_, core_,
                            obs::SpanKind::kLogAppend);
       e_->Exec(core_, e_->log_);
+      const auto& before_img = undo.back().image;
       e_->logs_[core_->core_id()]->LogUpdate(
           core_, txn_id_, static_cast<int16_t>(table), row,
           static_cast<int16_t>(column), value,
           rt.def.schema.column_width(column),
-          static_cast<int16_t>(slice_));
+          static_cast<int16_t>(slice_),
+          e_->ckpt_logging() ? before_img.data() : nullptr,
+          e_->ckpt_logging()
+              ? static_cast<uint32_t>(before_img.size())
+              : 0);
     }
     dirty = true;
     return Status::Ok();
@@ -150,7 +155,7 @@ class PartitionedEngine::Ctx final : public TxnContext {
                            obs::SpanKind::kIndexProbe);
       if (!e_->compiled_) e_->Exec(core_, e_->index_op_);
       if (slice.primary != nullptr) {
-        const Status s = slice.primary->Insert(core_, key, rid);
+        const Status s = e_->PrimaryInsert(core_, slice, key, rid);
         if (!s.ok()) return s;
       }
       e_->InsertSecondaries(core_, rt, slice, row, rid);
@@ -196,7 +201,9 @@ class PartitionedEngine::Ctx final : public TxnContext {
       obs::ScopedSpan span(&e_->spans_, core_,
                            obs::SpanKind::kIndexProbe);
       if (!e_->compiled_) e_->Exec(core_, e_->index_op_);
-      if (!slice.primary->Remove(core_, key)) return Status::NotFound();
+      if (!e_->PrimaryRemove(core_, slice, key)) {
+        return Status::NotFound();
+      }
       e_->RemoveSecondaries(core_, rt, slice, before.data());
     }
     {
@@ -211,7 +218,9 @@ class PartitionedEngine::Ctx final : public TxnContext {
       e_->logs_[core_->core_id()]->Append(
           core_, txn::LogOp::kDelete, txn_id_,
           static_cast<int16_t>(table), row, -1, nullptr, 0, key.data(),
-          key.size(), static_cast<int16_t>(slice_));
+          key.size(), static_cast<int16_t>(slice_),
+          e_->ckpt_logging() ? before.data() : nullptr,
+          e_->ckpt_logging() ? rt.def.schema.row_bytes() : 0);
     }
     EngineBase::UndoEntry u;
     u.kind = EngineBase::UndoEntry::Kind::kDeletedRow;
@@ -336,7 +345,7 @@ Status PartitionedEngine::Execute(
     {
       obs::ScopedSpan span(&spans_, core,
                            obs::SpanKind::kStorageAccess);
-      ApplyUndo(core, ctx.undo);
+      ApplyUndo(core, ctx.undo, logs_[core->core_id()].get(), txn_id);
     }
     if (compiled_ && ctx.dirty) {
       obs::ScopedSpan span(&spans_, core, obs::SpanKind::kLogAppend);

@@ -32,6 +32,9 @@ class PartitionedEngine final : public EngineBase {
 
  protected:
   int num_slices() const override { return options_.num_partitions; }
+  /// VoltDB's command log carries no physical records: CLRs and loser
+  /// undo have nothing to compensate. HyPer logs physical redo.
+  bool logs_physical() const override { return compiled_; }
   index::IndexKind default_index_kind(const TableDef&) const override {
     return kind_ == EngineKind::kHyPer ? index::IndexKind::kArt
                                        : index::IndexKind::kBTreeCacheline;

@@ -30,8 +30,17 @@ void InvariantsToJson(obs::JsonWriter& w, const InvariantReport& rep) {
 }  // namespace
 
 StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
-  if (opt.workload != "tpcb" && opt.workload != "tpcc") {
-    return Status::InvalidArgument("chaos workload must be tpcb or tpcc");
+  core::WorkloadKind wkind;
+  if (!core::ParseWorkload(opt.workload, &wkind)) {
+    return Status::InvalidArgument(
+        "unknown chaos workload: " + opt.workload +
+        " (choices: " + core::WorkloadChoices() + ")");
+  }
+  if (wkind != core::WorkloadKind::kTpcb &&
+      wkind != core::WorkloadKind::kTpcc) {
+    return Status::InvalidArgument(
+        "chaos audits invariants only for tpcb and tpcc, not " +
+        opt.workload);
   }
   if (opt.cycles < 1) {
     return Status::InvalidArgument("chaos needs at least one cycle");
@@ -39,7 +48,7 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
   if (opt.workers < 1) {
     return Status::InvalidArgument("chaos needs at least one worker");
   }
-  if (opt.workload == "tpcc" &&
+  if (wkind == core::WorkloadKind::kTpcc &&
       opt.tpcc_warehouses % opt.workers != 0) {
     return Status::InvalidArgument(
         "warehouses must be divisible by workers");
@@ -63,7 +72,7 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
     std::unique_ptr<core::Workload> workload;
     core::TpcbBenchmark* tpcb = nullptr;
     core::TpccConfig tpcc_cfg;
-    if (opt.workload == "tpcb") {
+    if (wkind == core::WorkloadKind::kTpcb) {
       core::TpcbConfig cfg;
       cfg.nominal_bytes = opt.tpcb_nominal_bytes;
       cfg.num_partitions = opt.workers;
@@ -89,6 +98,7 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
     cfg.machine_config = opt.machine_config;
     cfg.engine_options.log_buffer_bytes = opt.log_buffer_bytes;
     cfg.engine_options.fault_injector = &inj;
+    cfg.engine_options.checkpoint = opt.checkpoint;
 
     auto runner = core::ExperimentRunner::Create(cfg, workload.get());
     if (!runner.ok()) return runner.status();
@@ -124,9 +134,44 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
     }
     cyc.log_records = log.size();
 
+    // The simulated checkpoint device: a copy of the retained complete
+    // checkpoints. The `ckpt.torn_page` point models the crash
+    // interrupting the checkpoint writer mid-page — one page of the
+    // newest complete checkpoint lands half-written on the copy (never
+    // in the live manager). Recovery must catch the bad checksum and
+    // fall back to the previous complete checkpoint.
+    std::vector<txn::CheckpointImage> device;
+    const txn::CheckpointManager* cm = live->checkpoints();
+    if (cm != nullptr) {
+      device = cm->DeviceImage();
+      cyc.checkpoints_completed = cm->stats().completed;
+      cyc.truncated_records = cm->stats().truncated_records;
+    }
+    cyc.appended_records = live->AppendedLogRecords();
+    cyc.log_truncation_lsn = live->LogTruncationLsn();
+    // Tearing requires a predecessor: truncation only runs after a
+    // checkpoint's device write is fsync'd, so a torn page in the only
+    // complete checkpoint would contradict the write barrier that
+    // allowed its truncation. With >= 2 retained, the newest can land
+    // torn (its fsync raced the crash) while the older one — whose
+    // begin LSN anchors the retained log — stays intact.
+    if (device.size() >= 2 && inj.Fires(kCkptTornPage)) {
+      txn::CheckpointImage& newest = device.back();
+      std::vector<txn::CheckpointPage*> pages;
+      for (txn::CheckpointSliceImage& si : newest.slices) {
+        for (txn::CheckpointPage& pg : si.pages) pages.push_back(&pg);
+      }
+      if (!pages.empty()) {
+        txn::TearPage(pages[inj.Uniform(pages.size())]);
+        ++cyc.torn_pages_injected;
+      }
+    }
+
     // Recovery: a brand-new machine and engine, repopulated from the
-    // same table definitions, REDOing the surviving log. Recovery
-    // itself is not under test, so it runs without the injector.
+    // same table definitions. With checkpointing: restore the newest
+    // usable checkpoint, REDO the retained tail, UNDO losers. Without:
+    // full-log REDO. Recovery itself is not under test, so it runs
+    // without the injector.
     mcsim::MachineConfig mc = opt.machine_config;
     mc.num_cores = opt.workers;
     mcsim::MachineSim machine2(mc);
@@ -137,7 +182,13 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
         engine::CreateEngine(opt.engine, &machine2, eopts);
     Status s = recovered->CreateDatabase(workload->Tables());
     if (!s.ok()) return s;
-    s = recovered->Replay(log);
+    if (cm != nullptr) {
+      s = recovered->Recover(device, log, cyc.log_truncation_lsn,
+                             &cyc.recovery);
+    } else {
+      s = recovered->Replay(log);
+      cyc.recovery.replayed_records = log.size();
+    }
     if (!s.ok()) return s;
 
     if (tpcb != nullptr) {
@@ -176,6 +227,19 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& opt) {
     fp = FnvMix(fp, cyc.retry.retry_rejections);
     fp = FnvString(fp, cyc.crash_point);
     fp = FnvMix(fp, cyc.dropped_records);
+    fp = FnvMix(fp, cyc.appended_records);
+    fp = FnvMix(fp, cyc.truncated_records);
+    fp = FnvMix(fp, cyc.log_truncation_lsn);
+    fp = FnvMix(fp, cyc.checkpoints_completed);
+    fp = FnvMix(fp, cyc.torn_pages_injected);
+    fp = FnvMix(fp, cyc.recovery.used_checkpoint ? 1u : 0u);
+    fp = FnvMix(fp, cyc.recovery.checkpoint_id);
+    fp = FnvMix(fp, cyc.recovery.checkpoints_discarded);
+    fp = FnvMix(fp, cyc.recovery.torn_pages);
+    fp = FnvMix(fp, cyc.recovery.restored_pages);
+    fp = FnvMix(fp, cyc.recovery.journal_entries);
+    fp = FnvMix(fp, cyc.recovery.replayed_records);
+    fp = FnvMix(fp, cyc.recovery.undone_records);
     fp = FnvLog(fp, log);
     fp = FnvInvariants(fp, cyc.recovered);
     if (cyc.live_checked) fp = FnvInvariants(fp, cyc.live);
@@ -196,7 +260,7 @@ std::string ChaosReportToJson(const ChaosOptions& opt,
                               const ChaosReport& report) {
   obs::JsonWriter w;
   w.BeginObject();
-  w.KeyValue("schema", "imoltp.chaos.v1");
+  w.KeyValue("schema", "imoltp.chaos.v2");
   w.Key("options");
   w.BeginObject();
   w.KeyValue("engine", engine::EngineKindName(opt.engine));
@@ -207,10 +271,18 @@ std::string ChaosReportToJson(const ChaosOptions& opt,
   w.KeyValue("measure_txns", opt.measure_txns);
   w.KeyValue("seed", opt.seed);
   w.KeyValue("mode", core::ParallelModeName(opt.mode));
+  w.KeyValue("invariant_only", opt.invariant_only);
   w.KeyValue("retry_max_attempts", opt.retry.max_attempts);
   w.KeyValue("retry_backoff_cycles", opt.retry.backoff_cycles);
   w.KeyValue("log_buffer_bytes",
              static_cast<uint64_t>(opt.log_buffer_bytes));
+  w.Key("checkpoint");
+  w.BeginObject();
+  w.KeyValue("enabled", opt.checkpoint.enabled);
+  w.KeyValue("every_n_ticks", opt.checkpoint.every_n_ticks);
+  w.KeyValue("pages_per_step", opt.checkpoint.pages_per_step);
+  w.KeyValue("retain", opt.checkpoint.retain);
+  w.EndObject();
   w.Key("points");
   w.BeginObject();
   for (const auto& [name, point] : opt.points) {
@@ -250,6 +322,25 @@ std::string ChaosReportToJson(const ChaosOptions& opt,
     w.KeyValue("crash_point", c.crash_point);
     w.KeyValue("log_records", c.log_records);
     w.KeyValue("dropped_records", c.dropped_records);
+    w.KeyValue("appended_records", c.appended_records);
+    w.KeyValue("truncated_records", c.truncated_records);
+    w.KeyValue("log_truncation_lsn", c.log_truncation_lsn);
+    w.KeyValue("checkpoints_completed", c.checkpoints_completed);
+    w.KeyValue("torn_pages_injected", c.torn_pages_injected);
+    w.Key("recovery");
+    w.BeginObject();
+    w.KeyValue("used_checkpoint", c.recovery.used_checkpoint);
+    w.KeyValue("checkpoint_id", c.recovery.checkpoint_id);
+    w.KeyValue("checkpoints_available", c.recovery.checkpoints_available);
+    w.KeyValue("checkpoints_discarded", c.recovery.checkpoints_discarded);
+    w.KeyValue("torn_pages", c.recovery.torn_pages);
+    w.KeyValue("restored_pages", c.recovery.restored_pages);
+    w.KeyValue("restored_bytes", c.recovery.restored_bytes);
+    w.KeyValue("journal_entries", c.recovery.journal_entries);
+    w.KeyValue("replayed_records", c.recovery.replayed_records);
+    w.KeyValue("undone_records", c.recovery.undone_records);
+    w.KeyValue("truncation_lsn", c.recovery.truncation_lsn);
+    w.EndObject();
     w.Key("recovered");
     InvariantsToJson(w, c.recovered);
     if (c.live_checked) {

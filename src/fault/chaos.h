@@ -9,6 +9,7 @@
 #include "core/experiment.h"
 #include "fault/fault_injector.h"
 #include "fault/invariants.h"
+#include "txn/checkpoint.h"
 
 namespace imoltp::fault {
 
@@ -41,6 +42,21 @@ struct ChaosOptions {
   /// the post-commit durability window the crashes land in.
   uint32_t log_buffer_bytes = 1u << 16;
 
+  /// Fuzzy checkpointing during each cycle: the engine captures
+  /// checkpoints on this cadence and truncates its WAL to the recovery
+  /// anchor, so recovery is checkpoint-restore + tail replay instead of
+  /// full-log REDO. The `ckpt.torn_page` fault point (armed via
+  /// `points`) tears one page of the newest complete checkpoint after
+  /// the crash — recovery must detect it via checksum and fall back to
+  /// the previous complete checkpoint.
+  txn::CheckpointPolicy checkpoint;
+
+  /// kFree campaigns: free-running interleavings are not
+  /// bit-reproducible, so the cross-run fingerprint gate is dropped —
+  /// but every conservation invariant is still audited on every cycle.
+  /// Recorded in the JSON so checkers know not to compare fingerprints.
+  bool invariant_only = false;
+
   mcsim::MachineConfig machine_config;
 };
 
@@ -53,6 +69,17 @@ struct ChaosCycleResult {
   std::string crash_point;  // "" = the run finished without a crash
   uint64_t log_records = 0;     // records fed to recovery
   uint64_t dropped_records = 0;  // seeded tail truncation (log surgery)
+  /// Checkpoint + truncation accounting (zero unless checkpointing was
+  /// enabled). `appended_records` is the untruncated log length a
+  /// full-replay recovery would have processed; the acceptance bar is
+  /// recovery.replayed_records strictly below it once a truncation
+  /// happened.
+  uint64_t appended_records = 0;
+  uint64_t truncated_records = 0;
+  uint64_t log_truncation_lsn = 0;
+  uint64_t checkpoints_completed = 0;
+  uint64_t torn_pages_injected = 0;
+  txn::RecoveryStats recovery;
   InvariantReport recovered;
   bool live_checked = false;  // live audit runs only without a crash
   InvariantReport live;

@@ -23,12 +23,16 @@ inline constexpr const char* kLockConflict = "lock.conflict";
 inline constexpr const char* kCoreDeath = "core.death";
 inline constexpr const char* kTraceReadError = "trace.read_error";
 inline constexpr const char* kNodeDeath = "node.death";
+/// The crash interrupted the checkpoint writer mid-page: one page of
+/// the newest complete checkpoint lands torn (bad checksum).
+inline constexpr const char* kCkptTornPage = "ckpt.torn_page";
 
 /// All the fault points the shipped code fires, for CLI validation.
 inline constexpr const char* kAllFaultPoints[] = {
-    kCrashPreBody,   kCrashMidCommit, kCrashPostCommit,
+    kCrashPreBody,   kCrashMidCommit,  kCrashPostCommit,
     kLogTornRecord,  kLogTruncateTail, kLockConflict,
     kCoreDeath,      kTraceReadError,  kNodeDeath,
+    kCkptTornPage,
 };
 
 inline bool IsKnownFaultPoint(const std::string& name) {

@@ -124,6 +124,43 @@ void RobustnessToJson(JsonWriter& w, const RobustnessInfo& r) {
   w.EndObject();
 }
 
+void RecoveryToJson(JsonWriter& w, const RecoveryInfo& r) {
+  w.BeginObject();
+  w.Key("checkpoint");
+  w.BeginObject();
+  w.KeyValue("enabled", r.checkpoint_enabled);
+  w.KeyValue("every_n_ticks", r.checkpoint_every_n_ticks);
+  w.KeyValue("pages_per_step", r.checkpoint_pages_per_step);
+  w.KeyValue("retain", r.checkpoint_retain);
+  w.KeyValue("begun", r.checkpoint.begun);
+  w.KeyValue("completed", r.checkpoint.completed);
+  w.KeyValue("captured_pages", r.checkpoint.captured_pages);
+  w.KeyValue("captured_bytes", r.checkpoint.captured_bytes);
+  w.KeyValue("truncations", r.checkpoint.truncations);
+  w.KeyValue("truncated_records", r.checkpoint.truncated_records);
+  w.EndObject();
+  w.KeyValue("log_truncation_lsn", r.log_truncation_lsn);
+  w.KeyValue("appended_log_records", r.appended_log_records);
+  w.KeyValue("recovered", r.recovered);
+  if (r.recovered) {
+    w.Key("stats");
+    w.BeginObject();
+    w.KeyValue("checkpoints_available", r.recovery.checkpoints_available);
+    w.KeyValue("checkpoints_discarded", r.recovery.checkpoints_discarded);
+    w.KeyValue("torn_pages", r.recovery.torn_pages);
+    w.KeyValue("used_checkpoint", r.recovery.used_checkpoint);
+    w.KeyValue("checkpoint_id", r.recovery.checkpoint_id);
+    w.KeyValue("restored_pages", r.recovery.restored_pages);
+    w.KeyValue("restored_bytes", r.recovery.restored_bytes);
+    w.KeyValue("journal_entries", r.recovery.journal_entries);
+    w.KeyValue("replayed_records", r.recovery.replayed_records);
+    w.KeyValue("undone_records", r.recovery.undone_records);
+    w.KeyValue("truncation_lsn", r.recovery.truncation_lsn);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
 }  // namespace
 
 void WindowReportToJson(JsonWriter& w, const mcsim::WindowReport& report,
@@ -217,7 +254,8 @@ std::string RunReportToJson(const RunInfo& info,
                             const LatencyHistogram* latency,
                             const SpanCollector* spans,
                             const RobustnessInfo* robustness,
-                            const HostPerf* host) {
+                            const HostPerf* host,
+                            const RecoveryInfo* recovery) {
   JsonWriter w;
   w.BeginObject();
   w.KeyValue("schema_version", kReportSchemaVersion);
@@ -321,6 +359,14 @@ std::string RunReportToJson(const RunInfo& info,
   if (robustness != nullptr) {
     w.Key("robustness");
     RobustnessToJson(w, *robustness);
+  }
+
+  // Checkpoint / recovery accounting (schema v7). Deterministic in
+  // serialized modes, so imoltp_diff compares it exactly. Absent unless
+  // checkpointing was enabled.
+  if (recovery != nullptr) {
+    w.Key("recovery");
+    RecoveryToJson(w, *recovery);
   }
 
   // Host-side self-observability (schema v5). Inherently

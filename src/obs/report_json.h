@@ -12,6 +12,7 @@
 #include "obs/host_metrics.h"
 #include "obs/json.h"
 #include "obs/span.h"
+#include "txn/checkpoint.h"
 
 namespace imoltp::obs {
 
@@ -33,7 +34,11 @@ namespace imoltp::obs {
 /// `cluster_sweep` document's top-level `sweep` section
 /// (`series` exact / `perf` tolerant). Single-run reports are
 /// unchanged in shape.
-inline constexpr int kReportSchemaVersion = 6;
+/// v7 added the top-level `recovery` section (fuzzy-checkpoint
+/// accounting — checkpoints begun/completed, captured pages/bytes, WAL
+/// truncation — plus the recovery stats when the run performed one;
+/// present only when checkpointing was enabled).
+inline constexpr int kReportSchemaVersion = 7;
 
 /// Top-Down-style decomposition of the modeled cycles (per worker):
 /// retiring (inherent CPI work), frontend (instruction-miss refill),
@@ -93,6 +98,23 @@ struct RobustnessInfo {
   std::vector<fault::FaultPointStats> fault_points;
 };
 
+/// Checkpoint / recovery section of the report (schema v7). Live runs
+/// fill the checkpoint half from the engine's CheckpointManager; a
+/// process that performed a recovery also fills `recovery` and sets
+/// `recovered`. Deterministic in serialized modes, so imoltp_diff
+/// compares it exactly.
+struct RecoveryInfo {
+  bool checkpoint_enabled = false;
+  uint64_t checkpoint_every_n_ticks = 0;
+  int checkpoint_pages_per_step = 0;
+  int checkpoint_retain = 0;
+  txn::CheckpointStats checkpoint;
+  uint64_t log_truncation_lsn = 0;
+  uint64_t appended_log_records = 0;
+  bool recovered = false;
+  txn::RecoveryStats recovery;
+};
+
 /// Serializes one WindowReport (IPC, both stall breakdowns, raw misses,
 /// module breakdown, cycle accounting) as a JSON object into `w`.
 /// `params` feeds the cycle-accounting decomposition.
@@ -109,7 +131,8 @@ std::string RunReportToJson(const RunInfo& info,
                             const LatencyHistogram* latency,
                             const SpanCollector* spans,
                             const RobustnessInfo* robustness = nullptr,
-                            const HostPerf* host = nullptr);
+                            const HostPerf* host = nullptr,
+                            const RecoveryInfo* recovery = nullptr);
 
 /// Writes `json` to `path` ("-" = stdout). Atomic via rename.
 Status WriteJsonFile(const std::string& path, const std::string& json);

@@ -1,5 +1,6 @@
 #include "storage/disk_heap_file.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace imoltp::storage {
@@ -35,6 +36,7 @@ RowId DiskHeapFile::Append(mcsim::CoreSim* core, const uint8_t* row) {
       core->Write(reinterpret_cast<uint64_t>(rec), schema_.row_bytes());
       pool_->UnfixPage(core, pid, /*dirty=*/true);
       num_rows_.fetch_add(1, std::memory_order_relaxed);
+      MarkDirty(append_page_);
       return (append_page_ << 16) | slot;
     }
     pool_->UnfixPage(core, pid, /*dirty=*/false);
@@ -72,6 +74,7 @@ bool DiskHeapFile::WriteColumn(mcsim::CoreSim* core, RowId row,
     core->Write(reinterpret_cast<uint64_t>(dst),
                 schema_.column_width(col));
     std::memcpy(dst, value, schema_.column_width(col));
+    MarkDirty(PageNo(row));
   }
   pool_->UnfixPage(core, pid, /*dirty=*/ok);
   return ok;
@@ -88,9 +91,62 @@ bool DiskHeapFile::Delete(mcsim::CoreSim* core, RowId row) {
     core->Write(reinterpret_cast<uint64_t>(page), 16);
     num_rows_.fetch_sub(1, std::memory_order_relaxed);
     if (PageNo(row) < append_page_) append_page_ = PageNo(row);
+    MarkDirty(PageNo(row));
   }
   pool_->UnfixPage(core, pid, /*dirty=*/ok);
   return ok;
+}
+
+bool DiskHeapFile::Restore(mcsim::CoreSim* core, RowId row,
+                           const uint8_t* image) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const PageId pid = GlobalPage(PageNo(row));
+  uint8_t* page = pool_->FixPage(core, pid);
+  if (page == nullptr) return false;
+  SlottedPage::Header* header =
+      reinterpret_cast<SlottedPage::Header*>(page);
+  if (header->page_bytes == 0) {
+    SlottedPage::Format(page, static_cast<uint16_t>(pool_->page_bytes()));
+  }
+  const bool existed = SlottedPage::Get(page, Slot(row)) != nullptr;
+  const bool ok =
+      SlottedPage::InsertAt(page, Slot(row), image,
+                            static_cast<uint16_t>(schema_.row_bytes()));
+  if (ok) {
+    const uint8_t* rec = SlottedPage::Get(page, Slot(row));
+    core->Write(reinterpret_cast<uint64_t>(rec), schema_.row_bytes());
+    if (!existed) num_rows_.fetch_add(1, std::memory_order_relaxed);
+    MarkDirty(PageNo(row));
+  }
+  pool_->UnfixPage(core, pid, /*dirty=*/ok);
+  return ok;
+}
+
+uint16_t DiskHeapFile::SlotsOnPage(mcsim::CoreSim* core,
+                                   uint64_t page_no) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const PageId pid = GlobalPage(page_no);
+  uint8_t* page = pool_->FixPage(core, pid);
+  if (page == nullptr) return 0;
+  SlottedPage::Header* header =
+      reinterpret_cast<SlottedPage::Header*>(page);
+  const uint16_t slots =
+      header->page_bytes == 0 ? 0 : SlottedPage::NumSlots(page);
+  core->Read(reinterpret_cast<uint64_t>(page), 16);
+  pool_->UnfixPage(core, pid, /*dirty=*/false);
+  return slots;
+}
+
+std::vector<uint64_t> DiskHeapFile::DirtyPages() const {
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  std::vector<uint64_t> pages(dirty_.begin(), dirty_.end());
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+void DiskHeapFile::MarkClean() {
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  dirty_.clear();
 }
 
 }  // namespace imoltp::storage

@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <shared_mutex>
+#include <unordered_set>
+#include <vector>
 
 #include "mcsim/core.h"
 #include "storage/buffer_pool.h"
@@ -41,6 +44,23 @@ class DiskHeapFile {
 
   bool Delete(mcsim::CoreSim* core, RowId row);
 
+  /// Places `image` at exactly `row` (page, slot) during recovery,
+  /// formatting the page if needed. Idempotent for an occupied slot of
+  /// the same size. Returns false if the page cannot hold the row.
+  bool Restore(mcsim::CoreSim* core, RowId row, const uint8_t* image);
+
+  /// Number of directory slots on `page_no` (the capture enumeration
+  /// bound; 0 for an untouched page).
+  uint16_t SlotsOnPage(mcsim::CoreSim* core, uint64_t page_no);
+
+  /// Sorted page numbers mutated since the last MarkClean().
+  std::vector<uint64_t> DirtyPages() const;
+
+  /// Clears dirty tracking — called once initial population is done, so
+  /// checkpoints only carry pages that diverged from the regenerable
+  /// initial state.
+  void MarkClean();
+
   uint64_t num_rows() const {
     return num_rows_.load(std::memory_order_relaxed);
   }
@@ -55,6 +75,11 @@ class DiskHeapFile {
     return (static_cast<uint64_t>(file_id_) << 40) | page_no;
   }
 
+  void MarkDirty(uint64_t page_no) {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.insert(page_no);
+  }
+
   BufferPool* pool_;
   uint32_t file_id_;
   Schema schema_;
@@ -62,6 +87,10 @@ class DiskHeapFile {
   std::shared_mutex mu_;
   std::atomic<uint64_t> num_rows_{0};
   uint64_t append_page_ = 0;  // first page with free space
+  // Checkpoint dirty-page table. Own mutex: WriteColumn mutates page
+  // contents under only the shared file lock.
+  mutable std::mutex dirty_mu_;
+  std::unordered_set<uint64_t> dirty_;
 };
 
 }  // namespace imoltp::storage

@@ -40,6 +40,45 @@ uint16_t SlottedPage::Insert(uint8_t* page, const uint8_t* record,
   return slot;
 }
 
+bool SlottedPage::InsertAt(uint8_t* page, uint16_t slot,
+                           const uint8_t* record, uint16_t length) {
+  Header* h = HeaderOf(page);
+  Slot* slots = Slots(page);
+
+  // Grow the directory through `slot`; intermediate entries stay
+  // never-used (offset 0) and read as absent until restored themselves.
+  while (h->num_slots <= slot) {
+    const uint32_t dir_end =
+        sizeof(Header) + (h->num_slots + 1u) * sizeof(Slot);
+    if (dir_end > h->data_start) return false;
+    slots[h->num_slots].offset = 0;
+    slots[h->num_slots].length = 0;
+    ++h->num_slots;
+  }
+
+  Slot& s = slots[slot];
+  if (s.offset != 0 && (s.length & kFreedBit) == 0) {
+    if (s.length != length) return false;
+    std::memcpy(page + s.offset, record, length);
+    return true;
+  }
+  if (s.offset != 0 && (s.length & ~kFreedBit) >= length) {
+    // Freed slot with enough space: reuse its record area.
+    s.length = length;
+    --h->free_slots;
+    std::memcpy(page + s.offset, record, length);
+    return true;
+  }
+  const uint32_t dir_end = sizeof(Header) + h->num_slots * sizeof(Slot);
+  if (dir_end + length > h->data_start) return false;
+  if (s.offset != 0) --h->free_slots;  // freed but too small; abandon it
+  h->data_start -= length;
+  s.offset = h->data_start;
+  s.length = length;
+  std::memcpy(page + h->data_start, record, length);
+  return true;
+}
+
 const uint8_t* SlottedPage::Get(const uint8_t* page, uint16_t slot,
                                 uint16_t* length) {
   const Header* h = HeaderOf(page);

@@ -43,6 +43,14 @@ class SlottedPage {
   static uint16_t Insert(uint8_t* page, const uint8_t* record,
                          uint16_t length);
 
+  /// Places a record at exactly `slot`, growing the directory through it
+  /// if needed (recovery placement: RowIds encode the slot, so restored
+  /// and replayed rows must land where the live run put them). An
+  /// occupied slot of the same length is overwritten in place, making
+  /// re-restore idempotent. Returns false if the page cannot hold it.
+  static bool InsertAt(uint8_t* page, uint16_t slot,
+                       const uint8_t* record, uint16_t length);
+
   /// Returns a pointer to the record in `slot`, or nullptr if the slot is
   /// invalid or free. `length` (optional) receives the record length.
   static const uint8_t* Get(const uint8_t* page, uint16_t slot,

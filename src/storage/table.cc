@@ -1,11 +1,13 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace imoltp::storage {
@@ -106,6 +108,7 @@ class HeapTable final : public Table {
     uint8_t* dst = schema_.ColumnPtr(slot, col);
     core->Write(reinterpret_cast<uint64_t>(dst), schema_.column_width(col));
     std::memcpy(dst, value, schema_.column_width(col));
+    dirty_.insert(CheckpointPageOf(row));
   }
 
   RowId Append(mcsim::CoreSim* core, const uint8_t* row) override {
@@ -113,7 +116,9 @@ class HeapTable final : public Table {
     uint8_t* slot = AllocateSlot();
     std::memcpy(slot, row, schema_.row_bytes());
     core->Write(reinterpret_cast<uint64_t>(slot), schema_.row_bytes());
-    return num_rows() - 1;
+    const RowId id = num_rows() - 1;
+    dirty_.insert(CheckpointPageOf(id));
+    return id;
   }
 
   bool Delete(mcsim::CoreSim* core, RowId row) override {
@@ -121,7 +126,31 @@ class HeapTable final : public Table {
     if (row >= num_rows() || deleted_[row]) return false;
     deleted_[row] = true;
     core->Write(reinterpret_cast<uint64_t>(SlotPtr(row)), 8);
+    dirty_.insert(CheckpointPageOf(row));
     return true;
+  }
+
+  std::vector<uint64_t> DirtyPages() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::vector<uint64_t> pages(dirty_.begin(), dirty_.end());
+    std::sort(pages.begin(), pages.end());
+    return pages;
+  }
+
+  void RestoreRow(mcsim::CoreSim* core, RowId row, const uint8_t* image,
+                  bool present) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    while (num_rows() <= row) {
+      AllocateSlot();
+      deleted_.back() = true;  // gap rows stay absent until restored
+    }
+    deleted_[row] = !present;
+    if (present) {
+      uint8_t* slot = SlotPtr(row);
+      std::memcpy(slot, image, schema_.row_bytes());
+      core->Write(reinterpret_cast<uint64_t>(slot), schema_.row_bytes());
+    }
+    dirty_.insert(CheckpointPageOf(row));
   }
 
  private:
@@ -153,6 +182,7 @@ class HeapTable final : public Table {
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<uint8_t[]>> segments_;
   std::vector<bool> deleted_;
+  std::unordered_set<uint64_t> dirty_;  // ctor population stays clean
 };
 
 // ---------------------------------------------------------------------------
@@ -228,6 +258,37 @@ class SparseTable final : public Table {
     o.deleted = true;
     core->Write(RowAddress(row), 8);
     return true;
+  }
+
+  std::vector<uint64_t> DirtyPages() const override {
+    // The overlay holds exactly the rows that diverged from the
+    // deterministic generator, so dirty pages fall out of its keys.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::unordered_set<uint64_t> pages;
+    for (const auto& [row, o] : overlay_) {
+      pages.insert(CheckpointPageOf(row));
+    }
+    std::vector<uint64_t> sorted(pages.begin(), pages.end());
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+  void RestoreRow(mcsim::CoreSim* core, RowId row, const uint8_t* image,
+                  bool present) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const uint64_t old_rows = num_rows_.load(std::memory_order_relaxed);
+    if (row >= old_rows) {
+      // Gap rows would otherwise read as generator-present; tombstone
+      // them until (unless) they are restored explicitly.
+      for (RowId r = old_rows; r < row; ++r) overlay_[r].deleted = true;
+      num_rows_.store(row + 1, std::memory_order_relaxed);
+    }
+    OverlayRow& o = overlay_[row];
+    o.deleted = !present;
+    if (present) {
+      o.bytes.assign(image, image + schema_.row_bytes());
+      core->Write(RowAddress(row), schema_.row_bytes());
+    }
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "mcsim/core.h"
@@ -51,6 +52,30 @@ class Table {
 
   /// Marks a row deleted. Returns false if it was absent already.
   virtual bool Delete(mcsim::CoreSim* core, RowId row) = 0;
+
+  /// Checkpoint page granularity for in-memory tables: 64 consecutive
+  /// RowIds per logical page (≈ a few KB of row data, the same order of
+  /// magnitude as a disk page).
+  static constexpr uint64_t kRowsPerCheckpointPage = 64;
+
+  /// Logical page a RowId belongs to for checkpoint capture.
+  static uint64_t CheckpointPageOf(RowId row) {
+    return row / kRowsPerCheckpointPage;
+  }
+
+  /// Sorted logical pages mutated since creation (initial population is
+  /// clean — recovery regenerates it deterministically, so a fuzzy
+  /// checkpoint only needs the pages that diverged). Never reset:
+  /// checkpoints are self-contained.
+  virtual std::vector<uint64_t> DirtyPages() const = 0;
+
+  /// Places a row image at exactly `row` during recovery, growing the
+  /// rid space if needed; `present == false` restores the row as
+  /// deleted. Rows allocated only to bridge a rid gap stay absent until
+  /// explicitly restored, so lost-tail inserts never resurface as
+  /// garbage.
+  virtual void RestoreRow(mcsim::CoreSim* core, RowId row,
+                          const uint8_t* image, bool present) = 0;
 
  protected:
   Table(std::string name, Schema schema)

@@ -6,8 +6,11 @@ uint64_t LogManager::Append(mcsim::CoreSim* core, LogOp op,
                             uint64_t txn_id, int16_t table, uint64_t row,
                             int16_t column, const void* payload,
                             uint32_t payload_bytes, const void* key,
-                            uint32_t key_bytes, int16_t slice) {
-  const uint32_t record_bytes = kHeaderBytes + payload_bytes + key_bytes;
+                            uint32_t key_bytes, int16_t slice,
+                            const void* before, uint32_t before_bytes,
+                            bool clr) {
+  const uint32_t record_bytes =
+      kHeaderBytes + payload_bytes + key_bytes + before_bytes;
   Reserve(record_bytes);
 
   // Critical-path work: format the record into the sequential buffer.
@@ -25,8 +28,12 @@ uint64_t LogManager::Append(mcsim::CoreSim* core, LogOp op,
   if (key != nullptr && key_bytes > 0) {
     std::memcpy(dst + kHeaderBytes + payload_bytes, key, key_bytes);
   }
+  if (before != nullptr && before_bytes > 0) {
+    std::memcpy(dst + kHeaderBytes + payload_bytes + key_bytes, before,
+                before_bytes);
+  }
   core->Write(reinterpret_cast<uint64_t>(dst), record_bytes);
-  core->Retire(18 + (payload_bytes + key_bytes) / 16);
+  core->Retire(18 + (payload_bytes + key_bytes + before_bytes) / 16);
   offset_ += Align8(record_bytes);
   bytes_logged_ += record_bytes;
 
@@ -42,6 +49,7 @@ uint64_t LogManager::Append(mcsim::CoreSim* core, LogOp op,
   rec.column = column;
   rec.slice = slice;
   rec.row = row;
+  rec.clr = clr;
   if (payload != nullptr && payload_bytes > 0) {
     rec.payload.assign(static_cast<const uint8_t*>(payload),
                        static_cast<const uint8_t*>(payload) +
@@ -51,7 +59,12 @@ uint64_t LogManager::Append(mcsim::CoreSim* core, LogOp op,
     rec.key.assign(static_cast<const uint8_t*>(key),
                    static_cast<const uint8_t*>(key) + key_bytes);
   }
+  if (before != nullptr && before_bytes > 0) {
+    rec.before.assign(static_cast<const uint8_t*>(before),
+                      static_cast<const uint8_t*>(before) + before_bytes);
+  }
   stable_.push_back(std::move(rec));
+  if (force_) flushed_records_ = stable_.size();
   return stable_.back().lsn;
 }
 

@@ -20,6 +20,9 @@ enum class LogOp : uint8_t {
   kCommit,
   kAbort,
   kCommand,  // logical command record (VoltDB-style command logging)
+  kCheckpointBegin,  // fuzzy checkpoint capture started (row = ckpt id)
+  kCheckpointEnd,    // checkpoint complete (row = ckpt id,
+                     // payload = 8-byte begin LSN of the same ckpt)
 };
 
 /// One recovery-grade WAL record. `lsn` is globally ordered across all
@@ -34,8 +37,17 @@ struct LogRecord {
   uint64_t row = 0;
   bool torn = false;  // injected torn write: record reached the device
                       // with a bad checksum; recovery must stop here
+  /// Compensation log record: a redo-only record written while rolling
+  /// a transaction back (ARIES-style). CLRs repeat the undo writes
+  /// during recovery REDO and are never themselves undone.
+  bool clr = false;
   std::vector<uint8_t> payload;  // after-image bytes
   std::vector<uint8_t> key;      // primary key bytes (insert/delete)
+  /// Before-image (column or full row, per `column`). Logged only when
+  /// fuzzy checkpointing is enabled: a checkpoint page can capture an
+  /// in-flight transaction's writes, and recovery needs before-images
+  /// to roll such losers back.
+  std::vector<uint8_t> before;
 };
 
 /// Asynchronous write-ahead logging. The paper configures every system
@@ -64,14 +76,18 @@ class LogManager {
                   int16_t table, uint64_t row, int16_t column,
                   const void* payload, uint32_t payload_bytes,
                   const void* key = nullptr, uint32_t key_bytes = 0,
-                  int16_t slice = 0);
+                  int16_t slice = 0, const void* before = nullptr,
+                  uint32_t before_bytes = 0, bool clr = false);
 
   /// Convenience wrappers.
   uint64_t LogUpdate(mcsim::CoreSim* core, uint64_t txn_id, int16_t table,
                      uint64_t row, int16_t column, const void* payload,
-                     uint32_t payload_bytes, int16_t slice = 0) {
+                     uint32_t payload_bytes, int16_t slice = 0,
+                     const void* before = nullptr,
+                     uint32_t before_bytes = 0, bool clr = false) {
     return Append(core, LogOp::kUpdate, txn_id, table, row, column,
-                  payload, payload_bytes, nullptr, 0, slice);
+                  payload, payload_bytes, nullptr, 0, slice, before,
+                  before_bytes, clr);
   }
   uint64_t LogCommit(mcsim::CoreSim* core, uint64_t txn_id) {
     return Append(core, LogOp::kCommit, txn_id, -1, 0, -1, nullptr, 0);
@@ -93,16 +109,65 @@ class LogManager {
   /// next flush (the paper's async-logging durability window).
   uint64_t flushed_records() const { return flushed_records_; }
 
+  /// Forces the asynchronous writer: everything appended so far becomes
+  /// durable. Called on every checkpoint capture tick — the WAL rule:
+  /// a captured page may hold effects of records still in the ring, and
+  /// those records must reach the device before the page does.
+  void FlushAll() {
+    if (flushed_records_ == stable_.size()) return;
+    flushed_records_ = stable_.size();
+    ++flushes_;
+  }
+
+  /// Force-at-append mode: every record is durable as soon as it is
+  /// written. The non-partitioned engines enable this under fuzzy
+  /// checkpointing — their capture thread can snapshot any worker's
+  /// in-place effects at any instant, and only the worker's own thread
+  /// may touch its log, so the WAL rule degenerates to a synchronous
+  /// log device. (Partitioned engines keep the asynchronous window:
+  /// capture is partition-local behind the worker's own FlushAll.)
+  void set_force(bool on) { force_ = on; }
+
   /// Attaches a fault injector; null detaches. When armed, the
   /// `log.torn_record` point marks appended records as torn.
   void set_fault_injector(fault::FaultInjector* injector) {
     fault_ = injector;
   }
 
-  /// Drops retained records (post-checkpoint truncation).
-  void Truncate() {
-    stable_.clear();
-    flushed_records_ = 0;
+  /// Drops retained records with `lsn < upto_lsn` (post-checkpoint
+  /// truncation to the recovery anchor). The truncation LSN is recorded
+  /// so recovery can distinguish a truncated log from an empty one —
+  /// both have zero records, but only one is allowed to start replay at
+  /// an LSN other than 0. Per-worker logs append in LSN order, so this
+  /// is a prefix erase.
+  void Truncate(uint64_t upto_lsn) {
+    size_t drop = 0;
+    while (drop < stable_.size() && stable_[drop].lsn < upto_lsn) {
+      ++drop;
+    }
+    if (drop > 0) {
+      stable_.erase(stable_.begin(),
+                    stable_.begin() + static_cast<ptrdiff_t>(drop));
+      truncated_records_ += drop;
+      flushed_records_ = flushed_records_ > drop
+                             ? flushed_records_ - drop
+                             : 0;
+    }
+    if (upto_lsn > truncation_lsn_) truncation_lsn_ = upto_lsn;
+  }
+
+  /// First LSN recovery may see: records below this were truncated away
+  /// behind a durable checkpoint. 0 = never truncated.
+  uint64_t truncation_lsn() const { return truncation_lsn_; }
+
+  /// Cumulative records dropped by Truncate().
+  uint64_t truncated_records() const { return truncated_records_; }
+
+  /// Records appended over the log's lifetime, including truncated
+  /// ones — the "untruncated log length" a full-replay recovery would
+  /// have had to process.
+  uint64_t appended_records() const {
+    return stable_.size() + truncated_records_;
   }
 
  private:
@@ -144,6 +209,9 @@ class LogManager {
   uint64_t bytes_logged_ = 0;
   uint64_t flushes_ = 0;
   uint64_t flushed_records_ = 0;
+  uint64_t truncated_records_ = 0;
+  uint64_t truncation_lsn_ = 0;
+  bool force_ = false;
   fault::FaultInjector* fault_ = nullptr;
   std::unique_ptr<uint8_t[]> buffer_;
   std::vector<LogRecord> stable_;

@@ -173,11 +173,17 @@ TEST(ChaosJsonTest, ReportSerializes) {
   const auto result = RunChaos(opt);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const std::string json = ChaosReportToJson(opt, *result);
-  EXPECT_NE(json.find("\"schema\":\"imoltp.chaos.v1\""),
+  EXPECT_NE(json.find("\"schema\":\"imoltp.chaos.v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
   EXPECT_NE(json.find("\"crash_point\""), std::string::npos);
   EXPECT_NE(json.find("crash.mid_commit"), std::string::npos);
+  // v2: checkpoint/recovery accounting is present even when
+  // checkpointing is off (zeros), so consumers see a stable shape.
+  EXPECT_NE(json.find("\"invariant_only\""), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery\""), std::string::npos);
+  EXPECT_NE(json.find("\"replayed_records\""), std::string::npos);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "engine/engine.h"
 #include "mcsim/machine.h"
+#include "txn/checkpoint.h"
 
 namespace imoltp::engine {
 namespace {
@@ -331,6 +332,266 @@ TEST_P(RecoveryTest, TornRecordEndsTheUsableLog) {
 
 INSTANTIATE_TEST_SUITE_P(
     ReplayableEngines, RecoveryTest, ::testing::ValuesIn(kReplayable),
+    [](const ::testing::TestParamInfo<EngineKind>& i) {
+      std::string n = EngineKindName(i.param);
+      for (char& c : n) {
+        if (c == '-' || c == ' ') c = '_';
+      }
+      return n;
+    });
+
+// Checkpoint-aware recovery: the engine runs with fuzzy checkpointing
+// enabled, the test drives the capture state machine via CheckpointTick
+// and recovers a fresh instance from (device image, retained log,
+// truncation anchor) instead of a full replay.
+class CheckpointRecoveryTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  static constexpr uint64_t kRows = 3000;
+
+  void Create(const txn::CheckpointPolicy& policy) {
+    EngineOptions opts;
+    opts.checkpoint = policy;
+    machine_ = std::make_unique<mcsim::MachineSim>(NoTlb());
+    engine_ = CreateEngine(GetParam(), machine_.get(), opts);
+    ASSERT_TRUE(engine_->CreateDatabase({SimpleTable(kRows)}).ok());
+  }
+
+  /// One committed single-row update followed by a checkpoint tick —
+  /// the cadence the experiment driver provides at every transaction
+  /// boundary.
+  void UpdateAndTick(uint64_t key, int64_t value) {
+    TxnRequest req;
+    req.key_space = kRows;
+    ASSERT_TRUE(engine_
+                    ->Execute(0, req,
+                              [&](TxnContext& ctx) {
+                                storage::RowId rid;
+                                Status st = ctx.Probe(
+                                    0, index::Key::FromUint64(key), &rid);
+                                if (!st.ok()) return st;
+                                return ctx.Update(0, rid, 1, &value);
+                              })
+                    .ok());
+    engine_->CheckpointTick(0);
+  }
+
+  /// Checkpoint ticks with no transaction in between — an idle worker
+  /// still advances capture and (eventually) begins new checkpoints.
+  void IdleTicks(int n) {
+    for (int i = 0; i < n; ++i) engine_->CheckpointTick(0);
+  }
+
+  /// Recovers a fresh instance from this engine's device image +
+  /// retained log and returns it (checkpointing disabled on the
+  /// recovered side; it only reads the inputs).
+  std::unique_ptr<Engine> Recover(std::vector<txn::CheckpointImage> device,
+                                  txn::RecoveryStats* stats,
+                                  Status* status = nullptr) {
+    fresh_machine_ = std::make_unique<mcsim::MachineSim>(NoTlb());
+    auto recovered =
+        CreateEngine(GetParam(), fresh_machine_.get(), EngineOptions());
+    EXPECT_TRUE(recovered->CreateDatabase({SimpleTable(kRows)}).ok());
+    const Status s =
+        recovered->Recover(std::move(device), engine_->StableLog(),
+                           engine_->LogTruncationLsn(), stats);
+    if (status != nullptr) {
+      *status = s;
+    } else {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
+    return recovered;
+  }
+
+  static int64_t ReadValue(Engine* engine, uint64_t key, bool* found) {
+    int64_t value = 0;
+    TxnRequest req;
+    req.key_space = kRows;
+    const Status s = engine->Execute(0, req, [&](TxnContext& ctx) {
+      storage::RowId rid;
+      Status st = ctx.Probe(0, index::Key::FromUint64(key), &rid);
+      if (!st.ok()) return st;
+      uint8_t row[16];
+      st = ctx.Read(0, rid, row);
+      if (!st.ok()) return st;
+      value = storage::TwoLongColumns().GetLong(row, 1);
+      return Status::Ok();
+    });
+    *found = s.ok();
+    return value;
+  }
+
+  std::unique_ptr<mcsim::MachineSim> machine_;
+  std::unique_ptr<mcsim::MachineSim> fresh_machine_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(CheckpointRecoveryTest, EmptyLogAndDeviceRecoverCleanly) {
+  // Recovery of a never-written instance is a clean no-op: nothing to
+  // restore, nothing to replay, initial population intact.
+  Create(txn::CheckpointPolicy{});  // disabled
+  txn::RecoveryStats stats;
+  auto recovered = Recover({}, &stats);
+  EXPECT_FALSE(stats.used_checkpoint);
+  EXPECT_EQ(stats.replayed_records, 0u);
+  EXPECT_EQ(stats.undone_records, 0u);
+  bool found = false;
+  ReadValue(recovered.get(), 42, &found);
+  EXPECT_TRUE(found);
+}
+
+TEST_P(CheckpointRecoveryTest, CheckpointedRoundTripReplaysOnlyTheTail) {
+  txn::CheckpointPolicy policy;
+  policy.enabled = true;
+  policy.every_n_ticks = 8;
+  Create(policy);
+  for (int64_t i = 0; i < 48; ++i) {
+    UpdateAndTick(100 + i, 20000 + i);
+  }
+  const txn::CheckpointManager* cm = engine_->checkpoints();
+  ASSERT_NE(cm, nullptr);
+  ASSERT_GE(cm->stats().completed, 1u);
+  ASSERT_GT(engine_->LogTruncationLsn(), 0u);
+
+  txn::RecoveryStats stats;
+  auto recovered = Recover(cm->DeviceImage(), &stats);
+  EXPECT_TRUE(stats.used_checkpoint);
+  // The whole point of the checkpoint: strictly fewer records replayed
+  // than the lifetime log.
+  EXPECT_LT(stats.replayed_records, engine_->AppendedLogRecords());
+  for (int64_t i = 0; i < 48; ++i) {
+    bool found = false;
+    EXPECT_EQ(ReadValue(recovered.get(), 100 + i, &found), 20000 + i);
+    EXPECT_TRUE(found) << i;
+  }
+}
+
+TEST_P(CheckpointRecoveryTest, CheckpointOnlyRecoveryNeedsNoTailReplay) {
+  // retain=1 anchors the log at the newest checkpoint's own begin LSN.
+  // After the last transaction, idle ticks complete a final checkpoint
+  // whose capture already holds every update — the retained tail is
+  // pure checkpoint markers and replays zero records.
+  txn::CheckpointPolicy policy;
+  policy.enabled = true;
+  policy.every_n_ticks = 4;
+  policy.retain = 1;
+  Create(policy);
+  for (int64_t i = 0; i < 12; ++i) {
+    UpdateAndTick(500 + i, 31000 + i);
+  }
+  const txn::CheckpointManager* cm = engine_->checkpoints();
+  ASSERT_NE(cm, nullptr);
+  const uint64_t completed_before = cm->stats().completed;
+  IdleTicks(64);  // at least one full begin→complete cycle, no new data
+  ASSERT_GT(cm->stats().completed, completed_before);
+  // Several completions at retain=1 mean the log was truncated more
+  // than once; repeated truncation must stay monotone and harmless.
+  EXPECT_GE(cm->stats().truncations, 2u);
+  ASSERT_GT(engine_->LogTruncationLsn(), 0u);
+
+  txn::RecoveryStats stats;
+  auto recovered = Recover(cm->DeviceImage(), &stats);
+  EXPECT_TRUE(stats.used_checkpoint);
+  EXPECT_EQ(stats.replayed_records, 0u)
+      << "tail past the final checkpoint should be markers only";
+  for (int64_t i = 0; i < 12; ++i) {
+    bool found = false;
+    EXPECT_EQ(ReadValue(recovered.get(), 500 + i, &found), 31000 + i);
+    EXPECT_TRUE(found) << i;
+  }
+}
+
+TEST_P(CheckpointRecoveryTest, CrashDuringCaptureUsesPreviousCheckpoint) {
+  // Slow the capture rate down and crash while the second checkpoint is
+  // still pending: the device holds only the first complete checkpoint,
+  // and recovery restores it + replays the tail — including the updates
+  // the dead capture had not reached.
+  txn::CheckpointPolicy policy;
+  policy.enabled = true;
+  policy.every_n_ticks = 8;
+  policy.pages_per_step = 1;
+  Create(policy);
+  const txn::CheckpointManager* cm = engine_->checkpoints();
+  ASSERT_NE(cm, nullptr);
+  int64_t i = 0;
+  while (cm->stats().begun < 2 && i < 256) {
+    UpdateAndTick(700 + i, 45000 + i);
+    ++i;
+  }
+  ASSERT_GE(cm->stats().begun, 2u);
+  ASSERT_EQ(cm->stats().completed, 1u);
+  const auto device = cm->DeviceImage();
+  ASSERT_EQ(device.size(), 1u);  // the pending capture never lands
+
+  txn::RecoveryStats stats;
+  auto recovered = Recover(device, &stats);
+  EXPECT_TRUE(stats.used_checkpoint);
+  EXPECT_EQ(stats.checkpoint_id, device[0].id);
+  for (int64_t k = 0; k < i; ++k) {
+    bool found = false;
+    EXPECT_EQ(ReadValue(recovered.get(), 700 + k, &found), 45000 + k);
+    EXPECT_TRUE(found) << k;
+  }
+}
+
+TEST_P(CheckpointRecoveryTest, TornPageFallsBackToPreviousCheckpoint) {
+  txn::CheckpointPolicy policy;
+  policy.enabled = true;
+  policy.every_n_ticks = 4;
+  Create(policy);
+  for (int64_t i = 0; i < 32; ++i) {
+    UpdateAndTick(900 + i, 52000 + i);
+  }
+  const txn::CheckpointManager* cm = engine_->checkpoints();
+  ASSERT_NE(cm, nullptr);
+  std::vector<txn::CheckpointImage> device = cm->DeviceImage();
+  ASSERT_GE(device.size(), 2u);
+  txn::CheckpointImage& newest = device.back();
+  txn::CheckpointPage* victim = nullptr;
+  for (auto& slice : newest.slices) {
+    if (!slice.pages.empty()) victim = &slice.pages.front();
+  }
+  ASSERT_NE(victim, nullptr) << "newest checkpoint captured no pages";
+  txn::TearPage(victim);
+  ASSERT_TRUE(newest.AnyTorn());
+
+  txn::RecoveryStats stats;
+  auto recovered = Recover(device, &stats);
+  EXPECT_TRUE(stats.used_checkpoint);
+  EXPECT_GE(stats.torn_pages, 1u);
+  EXPECT_EQ(stats.checkpoints_discarded, 1u);
+  EXPECT_EQ(stats.checkpoint_id, device[device.size() - 2].id)
+      << "should have fallen back to the previous complete checkpoint";
+  // The retained log reaches back to the oldest retained checkpoint's
+  // begin LSN, so the fallback loses nothing.
+  for (int64_t i = 0; i < 32; ++i) {
+    bool found = false;
+    EXPECT_EQ(ReadValue(recovered.get(), 900 + i, &found), 52000 + i);
+    EXPECT_TRUE(found) << i;
+  }
+}
+
+TEST_P(CheckpointRecoveryTest, TruncatedLogWithoutCheckpointIsAnError) {
+  // Once the log has been truncated, a full replay is unsound — if no
+  // checksum-clean checkpoint survives either, recovery must refuse
+  // rather than silently produce a hole.
+  txn::CheckpointPolicy policy;
+  policy.enabled = true;
+  policy.every_n_ticks = 4;
+  Create(policy);
+  for (int64_t i = 0; i < 16; ++i) {
+    UpdateAndTick(1200 + i, 61000 + i);
+  }
+  ASSERT_GT(engine_->LogTruncationLsn(), 0u);
+  txn::RecoveryStats stats;
+  Status status;
+  Recover({}, &stats, &status);  // the checkpoint device burned down
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(stats.used_checkpoint);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReplayableEngines, CheckpointRecoveryTest,
+    ::testing::ValuesIn(kReplayable),
     [](const ::testing::TestParamInfo<EngineKind>& i) {
       std::string n = EngineKindName(i.param);
       for (char& c : n) {

@@ -296,8 +296,30 @@ TEST_F(LogTest, StableLogRetainsRecordsInLsnOrder) {
 TEST_F(LogTest, TruncateDropsRetainedRecords) {
   LogManager log;
   log.LogCommit(core_, 1);
-  log.Truncate();
+  const uint64_t anchor = log.LogCommit(core_, 2);
+  log.LogCommit(core_, 3);
+  log.Truncate(anchor);
+  ASSERT_EQ(log.stable_log().size(), 2u);
+  EXPECT_EQ(log.stable_log()[0].lsn, anchor);
+  EXPECT_EQ(log.truncated_records(), 1u);
+  EXPECT_EQ(log.appended_records(), 3u);
+}
+
+TEST_F(LogTest, TruncateRecordsPositionEvenWhenLogDrainsEmpty) {
+  // A fully truncated log must not look like a never-written log:
+  // recovery needs the anchor LSN to know replay legitimately starts
+  // past 0.
+  LogManager log;
+  log.LogCommit(core_, 1);
+  const uint64_t last = log.LogCommit(core_, 2);
+  log.Truncate(last + 1);
   EXPECT_TRUE(log.stable_log().empty());
+  EXPECT_EQ(log.truncation_lsn(), last + 1);
+  EXPECT_EQ(log.truncated_records(), 2u);
+  // Double truncation to an older anchor is a no-op and must not move
+  // the recorded position backwards.
+  log.Truncate(last);
+  EXPECT_EQ(log.truncation_lsn(), last + 1);
 }
 
 // ---------------------------------------------------------------------------

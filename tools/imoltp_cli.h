@@ -68,6 +68,13 @@ struct Flags {
   // "lock.conflict=0.05,crash.mid_commit=@200").
   uint64_t chaos_seed = 0;
   std::string chaos_points;
+
+  // Fuzzy checkpointing (docs/robustness.md): a non-zero
+  // --checkpoint-every enables it; the other two tune the capture rate
+  // and the retention depth of the simulated checkpoint device.
+  uint64_t checkpoint_every = 0;  // worker-0 transaction ticks; 0 = off
+  int checkpoint_pages = 0;       // pages captured per tick (0 = default)
+  int checkpoint_retain = 0;      // complete checkpoints kept (0 = default)
 };
 
 /// Parses a --chaos-points spec into (point, config) pairs. Returns
@@ -220,6 +227,22 @@ inline bool ParseCommandLine(int argc, char* const* argv, Flags* flags,
       std::vector<std::pair<std::string, fault::FaultPointConfig>> parsed;
       if (!ParseChaosPoints(v, &parsed, error)) return false;
       flags->chaos_points = v;
+    } else if (const char* v = value("--checkpoint-every=")) {
+      int every = 0;
+      if (!parse_positive_int(v, "--checkpoint-every", &every)) {
+        return false;
+      }
+      flags->checkpoint_every = static_cast<uint64_t>(every);
+    } else if (const char* v = value("--checkpoint-pages=")) {
+      if (!parse_positive_int(v, "--checkpoint-pages",
+                              &flags->checkpoint_pages)) {
+        return false;
+      }
+    } else if (const char* v = value("--checkpoint-retain=")) {
+      if (!parse_positive_int(v, "--checkpoint-retain",
+                              &flags->checkpoint_retain)) {
+        return false;
+      }
     } else if (const char* v = value("--json=")) {
       if (*v == '\0') {
         *error = "--json= needs a file path (or - for stdout)";
@@ -301,37 +324,60 @@ inline bool BuildExperiment(const Flags& flags,
   }
   cfg->sampler.per_module =
       flags.sample_modules || !flags.timeline_out.empty();
+  if (flags.checkpoint_every > 0) {
+    cfg->engine_options.checkpoint.enabled = true;
+    cfg->engine_options.checkpoint.every_n_ticks = flags.checkpoint_every;
+    if (flags.checkpoint_pages > 0) {
+      cfg->engine_options.checkpoint.pages_per_step =
+          flags.checkpoint_pages;
+    }
+    if (flags.checkpoint_retain > 0) {
+      cfg->engine_options.checkpoint.retain = flags.checkpoint_retain;
+    }
+  }
   cfg->engine_options.compilation = flags.compilation;
   cfg->engine_options.dbms_m_index = flags.index == "btree"
                                          ? index::IndexKind::kBTreeCc
                                          : index::IndexKind::kHash;
 
-  if (flags.workload.rfind("micro", 0) == 0) {
-    core::MicroConfig mcfg;
-    mcfg.nominal_bytes = flags.db_bytes;
-    mcfg.rows_per_txn = flags.rows;
-    mcfg.read_write = flags.workload == "micro-rw";
-    mcfg.string_columns = flags.workload == "micro-string";
-    mcfg.num_partitions = flags.workers;
-    *workload = std::make_unique<core::MicroBenchmark>(mcfg);
-  } else if (flags.workload == "tpcb") {
-    core::TpcbConfig tcfg;
-    tcfg.nominal_bytes = flags.db_bytes;
-    tcfg.num_partitions = flags.workers;
-    *workload = std::make_unique<core::TpcbBenchmark>(tcfg);
-  } else if (flags.workload == "tpcc") {
-    core::TpccConfig tcfg;
-    tcfg.warehouses = flags.warehouses;
-    tcfg.num_partitions = flags.workers;
-    // TPC-C range-scans; DBMS M uses its B-tree unless hash was forced.
-    cfg->engine_options.dbms_m_index = flags.index == "hash"
-                                           ? index::IndexKind::kHash
-                                           : index::IndexKind::kBTreeCc;
-    *workload = std::make_unique<core::TpccBenchmark>(tcfg);
-  } else {
+  core::WorkloadKind wkind;
+  if (!core::ParseWorkload(flags.workload, &wkind)) {
     *error = "unknown workload: " + flags.workload +
-             " (choices: micro micro-rw micro-string tpcb tpcc)";
+             " (choices: " + core::WorkloadChoices() + ")";
     return false;
+  }
+  switch (wkind) {
+    case core::WorkloadKind::kMicro:
+    case core::WorkloadKind::kMicroRw:
+    case core::WorkloadKind::kMicroString: {
+      core::MicroConfig mcfg;
+      mcfg.nominal_bytes = flags.db_bytes;
+      mcfg.rows_per_txn = flags.rows;
+      mcfg.read_write = wkind == core::WorkloadKind::kMicroRw;
+      mcfg.string_columns = wkind == core::WorkloadKind::kMicroString;
+      mcfg.num_partitions = flags.workers;
+      *workload = std::make_unique<core::MicroBenchmark>(mcfg);
+      break;
+    }
+    case core::WorkloadKind::kTpcb: {
+      core::TpcbConfig tcfg;
+      tcfg.nominal_bytes = flags.db_bytes;
+      tcfg.num_partitions = flags.workers;
+      *workload = std::make_unique<core::TpcbBenchmark>(tcfg);
+      break;
+    }
+    case core::WorkloadKind::kTpcc: {
+      core::TpccConfig tcfg;
+      tcfg.warehouses = flags.warehouses;
+      tcfg.num_partitions = flags.workers;
+      // TPC-C range-scans; DBMS M uses its B-tree unless hash was
+      // forced.
+      cfg->engine_options.dbms_m_index = flags.index == "hash"
+                                             ? index::IndexKind::kHash
+                                             : index::IndexKind::kBTreeCc;
+      *workload = std::make_unique<core::TpccBenchmark>(tcfg);
+      break;
+    }
   }
   return true;
 }

@@ -141,6 +141,10 @@ const ToleranceRule kBuiltinRules[] = {
     // deterministic, never comparable. Use imoltp_compare for host
     // throughput trajectories.
     {"host", -1.0, 0.0},
+    // Schema v7: checkpoint / recovery accounting. Capture cadence,
+    // truncation counts, and replay/undo totals are deterministic in
+    // serialized modes — any drift is a real behavioral change.
+    {"recovery", 0.0, 0.0},
     // Schema v6: cluster documents. Outcome counts, fingerprints,
     // network accounting, and invariants are deterministic (same-seed
     // cluster runs are bit-identical) — exact. The per-node window

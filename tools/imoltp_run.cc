@@ -43,6 +43,11 @@
 //   --chaos-seed=N       arm the fault injector with this seed
 //   --chaos-points=SPEC  NAME=PROB[@NTH],... fault points to arm
 //                        (e.g. lock.conflict=0.05,crash.mid_commit=@90)
+//   --checkpoint-every=N enable fuzzy checkpointing, one every N
+//                        worker-0 transaction ticks (adds a `recovery`
+//                        section to the JSON report)
+//   --checkpoint-pages=N fuzzy capture rate (pages per tick)
+//   --checkpoint-retain=N  complete checkpoints kept on the device
 
 #include <cstdio>
 #include <functional>
@@ -79,9 +84,12 @@ int Usage(const char* argv0, const std::string& error) {
                "          [--retry=N] [--retry-backoff=N] "
                "[--retry-cap=N]\n"
                "          [--chaos-seed=N] [--chaos-points=SPEC]\n"
-               "engines: shore-mt dbms-d voltdb hyper dbms-m\n"
-               "workloads: micro micro-rw micro-string tpcb tpcc\n",
-               argv0);
+               "          [--checkpoint-every=N] [--checkpoint-pages=N]\n"
+               "          [--checkpoint-retain=N]\n"
+               "engines: %s\n"
+               "workloads: %s\n",
+               argv0, engine::EngineKindChoices(),
+               core::WorkloadChoices());
   return 2;
 }
 
@@ -228,10 +236,22 @@ int main(int argc, char** argv) {
     robustness.fault_seed = chaos_on ? fault_seed : 0;
     robustness.crash_point = injector.crash_point();
     robustness.fault_points = injector.Stats();
+    obs::RecoveryInfo recovery;
+    const txn::CheckpointManager* cm = runner.engine()->checkpoints();
+    if (cm != nullptr) {
+      recovery.checkpoint_enabled = true;
+      recovery.checkpoint_every_n_ticks = cm->policy().every_n_ticks;
+      recovery.checkpoint_pages_per_step = cm->policy().pages_per_step;
+      recovery.checkpoint_retain = cm->policy().retain;
+      recovery.checkpoint = cm->stats();
+      recovery.log_truncation_lsn = runner.engine()->LogTruncationLsn();
+      recovery.appended_log_records =
+          runner.engine()->AppendedLogRecords();
+    }
     const std::string json = obs::RunReportToJson(
         info, r, runner.machine()->config().cycle,
         &runner.latency_histogram(), &runner.spans(), &robustness,
-        &runner.host_perf());
+        &runner.host_perf(), cm != nullptr ? &recovery : nullptr);
     const Status s = obs::WriteJsonFile(flags.json_path, json);
     if (!s.ok()) {
       std::fprintf(stderr, "%s: %s\n", argv[0], s.ToString().c_str());
