@@ -7,21 +7,130 @@
 # sweep document must also self-compare clean, so the cluster_sweep
 # schema stays inside imoltp_diff's rule set.
 #
-# usage: check_cluster.sh IMOLTP_CLUSTER IMOLTP_DIFF [OUT_DIR]
+# MODE=tracing exercises the distributed-tracing layer instead
+# (docs/distributed.md, "Distributed tracing"):
+#   - zero observer effect: same-seed fingerprints are bit-identical
+#     with tracing off (--trace-sample=0), full (1), and sampled (4)
+#   - the traced report self-diffs clean, and a perturbed
+#     cluster.tracing.p99_net_order_share makes imoltp_diff exit 1
+#   - --timeline-out emits a whole-cluster Perfetto timeline that
+#     imoltp_timeline validate/info/render accept
+#   - the network+ordering share of the p99 critical path rises
+#     monotonically with --net-latency and with %-multi-home
+#
+# usage: check_cluster.sh IMOLTP_CLUSTER IMOLTP_DIFF [OUT_DIR] \
+#                         [MODE] [IMOLTP_TIMELINE]
 set -euo pipefail
 
 if [ "$#" -lt 2 ]; then
-  echo "usage: $0 IMOLTP_CLUSTER IMOLTP_DIFF [OUT_DIR]" >&2
+  echo "usage: $0 IMOLTP_CLUSTER IMOLTP_DIFF [OUT_DIR]" \
+       "[smoke|tracing] [IMOLTP_TIMELINE]" >&2
   exit 2
 fi
 
 imoltp_cluster=$1
 imoltp_diff=$2
 outdir=${3:-$(mktemp -d)}
+mode=${4:-smoke}
+imoltp_timeline=${5:-}
+mkdir -p "$outdir"
 
 flags=(--nodes=3 --warehouses-per-node=2 --workers-per-node=2
        --orders-per-district=50 --warmup=100 --txns=500
        --multi-home-pct=20 --seed=7)
+
+# Prints the first "p99_net_order_share" value of a JSON file (the run
+# report has exactly one, under cluster.tracing).
+share_of() {
+  grep -o '"p99_net_order_share": *[0-9.eE+-]*' "$1" |
+    head -1 | sed 's/.*: *//'
+}
+
+# Asserts a whitespace-separated series is nondecreasing and strictly
+# grew overall; $1 = label, rest = values.
+assert_monotonic() {
+  local label=$1
+  shift
+  echo "$label: $*"
+  echo "$*" | awk '{
+    for (i = 2; i <= NF; ++i) if ($i + 1e-9 < $(i-1)) exit 1
+    if (!($NF > $1)) exit 1
+  }' || { echo "FAIL: $label not monotonically increasing" >&2; exit 1; }
+}
+
+if [ "$mode" = "tracing" ]; then
+  if [ -z "$imoltp_timeline" ]; then
+    echo "usage: MODE=tracing needs IMOLTP_TIMELINE" >&2
+    exit 2
+  fi
+
+  # 1. Zero observer effect: off / full / 1-in-4 sampled tracing must
+  # leave the fingerprint untouched.
+  for sample in 0 1 4; do
+    "$imoltp_cluster" run "${flags[@]}" --trace-sample=$sample \
+        --fingerprint --json="$outdir/traced_$sample.json" \
+        2> "$outdir/traced_$sample.err"
+  done
+  fp_off=$(grep '^fingerprint:' "$outdir/traced_0.err")
+  fp_full=$(grep '^fingerprint:' "$outdir/traced_1.err")
+  fp_samp=$(grep '^fingerprint:' "$outdir/traced_4.err")
+  if [ -z "$fp_off" ] || [ "$fp_off" != "$fp_full" ] ||
+     [ "$fp_off" != "$fp_samp" ]; then
+    echo "FAIL: tracing perturbed the fingerprint:" >&2
+    echo "  off:     ${fp_off:-<missing>}" >&2
+    echo "  full:    ${fp_full:-<missing>}" >&2
+    echo "  sampled: ${fp_samp:-<missing>}" >&2
+    exit 1
+  fi
+  echo "tracing observer-free: ${fp_off} (off/full/sampled)"
+
+  # 2. The traced report self-diffs clean...
+  "$imoltp_diff" "$outdir/traced_1.json" "$outdir/traced_1.json"
+
+  # ...and a drifted p99 net+ordering share trips the tracing rules.
+  share=$(share_of "$outdir/traced_1.json")
+  perturbed=$(echo "$share" | awk '{ printf "%.12f", $1 + 0.2 }')
+  sed "s/\"p99_net_order_share\": *$share/\"p99_net_order_share\": $perturbed/" \
+      "$outdir/traced_1.json" > "$outdir/traced_perturbed.json"
+  if "$imoltp_diff" "$outdir/traced_1.json" \
+      "$outdir/traced_perturbed.json" > /dev/null 2>&1; then
+    echo "FAIL: perturbed p99_net_order_share diffed clean" >&2
+    exit 1
+  fi
+  echo "perturbed p99_net_order_share trips imoltp_diff (expected)"
+
+  # 3. The whole-cluster timeline validates and renders.
+  timeline="$outdir/cluster.timeline.json"
+  "$imoltp_cluster" run "${flags[@]}" --trace-sample=1 \
+      --timeline-out="$timeline" --json=/dev/null
+  "$imoltp_timeline" validate "$timeline"
+  "$imoltp_timeline" info "$timeline" > "$outdir/timeline_info.txt"
+  "$imoltp_timeline" render "$timeline" > "$outdir/timeline_render.txt"
+  grep -q '^kind=cluster' "$outdir/timeline_info.txt"
+  grep -q 'cross-node messages' "$outdir/timeline_info.txt"
+
+  # 4. Critical-path attribution responds to the network: the p99
+  # net+ordering share must rise monotonically with message latency...
+  shares=()
+  for lat in 2000 26000 200000; do
+    "$imoltp_cluster" run "${flags[@]}" --net-latency=$lat \
+        --trace-sample=1 --json="$outdir/lat_$lat.json" 2> /dev/null
+    shares+=("$(share_of "$outdir/lat_$lat.json")")
+  done
+  assert_monotonic "p99 net+order share vs net latency" "${shares[@]}"
+
+  # ...and with the multi-home percentage (the sweep's perf column,
+  # emitted in --sweep-pcts order).
+  sweep="$outdir/traced_sweep.json"
+  "$imoltp_cluster" sweep "${flags[@]}" --trace-sample=1 \
+      --sweep-pcts=10,50,100 --json="$sweep" 2> /dev/null
+  mapfile -t sweep_shares < <(
+    grep -o '"p99_net_order_share": *[0-9.eE+-]*' "$sweep" |
+      sed 's/.*: *//')
+  assert_monotonic "p99 net+order share vs multi-home pct" \
+      "${sweep_shares[@]}"
+  exec "$imoltp_diff" "$sweep" "$sweep"
+fi
 
 run_a="$outdir/cluster_a.json"
 run_b="$outdir/cluster_b.json"

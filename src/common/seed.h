@@ -17,6 +17,7 @@ enum class SeedStream : uint64_t {
   kNodeClient = 4,    // per-node client/generator RNG (dist cluster)
   kNodeEngine = 5,    // per-node engine-level randomness (dist cluster)
   kClusterFault = 6,  // cluster-level fault injector (dist cluster)
+  kTxnTrace = 7,      // distributed-trace ids (dist cluster tracing)
 };
 
 /// Derives a decorrelated child seed from `base` for (entity, stream).

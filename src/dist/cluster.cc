@@ -5,10 +5,16 @@
 #include "common/seed.h"
 #include "dist/cluster_invariants.h"
 #include "fault/fingerprint.h"
+#include "mcsim/counters.h"
 
 namespace imoltp::dist {
 
 namespace {
+
+/// Wire size of a participant's commit ack back to the home node (a
+/// bare header). Modeled by the tracing layer only — the driver never
+/// charges this hop, so the constant must not feed NetworkStats.
+constexpr uint32_t kAckWireBytes = 32;
 
 /// Nominal wire size of one routed transaction (request header plus
 /// parameters). Fixed constants, not sizeof(): byte accounting must not
@@ -28,7 +34,8 @@ Cluster::Cluster(const ClusterConfig& config)
                  static_cast<uint64_t>(config.warehouses_per_node)),
       forwarder_(&ownership_),
       network_(config.net),
-      injector_(DeriveSeed(config.seed, 0, SeedStream::kClusterFault)) {
+      injector_(DeriveSeed(config.seed, 0, SeedStream::kClusterFault)),
+      tracer_(config.trace, config.seed) {
   for (int n = 0; n < config_.nodes; ++n) {
     NodeConfig nc;
     nc.node_id = n;
@@ -53,6 +60,29 @@ Cluster::Cluster(const ClusterConfig& config)
 }
 
 Cluster::~Cluster() = default;
+
+double Cluster::CoreClock(Node* node, int worker) const {
+  return mcsim::SimulatedCycles(node->machine()->core(worker).counters(),
+                                config_.machine_config.cycle);
+}
+
+void Cluster::OrphanTrace(const DistTxn& t, bool forwarded) {
+  if (!t.trace.sampled) return;
+  TxnTrace tr;
+  tr.trace_id = t.trace.trace_id;
+  tr.origin = t.origin;
+  tr.seq = t.seq;
+  tr.global_seq = t.global_seq;
+  tr.multi_home = t.multi_home;
+  tr.terminal = TxnTraceTerminal::kOrphaned;
+  tr.assign_cycles = t.trace.assign_cycles;
+  // The stages the transaction reached before the death cut it off: a
+  // multi-home txn that made it to the orderer already paid the
+  // forward hop. Its node may be gone, so no clocks are read here.
+  if (forwarded) tr.forward_cycles =
+      static_cast<double>(network_.CostOf(WireBytes(t)));
+  tracer_.Finish(std::move(tr));
+}
 
 Status Cluster::Create() {
   for (auto& node : nodes_) {
@@ -154,40 +184,92 @@ void Cluster::ExecuteSingleHome(const DistTxn& t, bool measure) {
   engine::Engine* eng = nd->engine();
   core::TpccBenchmark* bench = nd->bench();
 
+  const bool tracing = measure && t.trace.sampled;
+  TxnTrace tr;
+  if (tracing) {
+    tr.trace_id = t.trace.trace_id;
+    tr.origin = t.origin;
+    tr.seq = t.seq;
+    tr.multi_home = false;
+    tr.assign_cycles = t.trace.assign_cycles;
+    // Everything between the sequencer stamp and this point — the
+    // round's multi-home dispatch plus earlier entries of the local
+    // queue draining on this core — is queueing delay.
+    tr.queue_cycles =
+        std::max(0.0, CoreClock(nd, worker) - t.trace.assign_cycles);
+  }
+  // Runs one fragment with clock reads around the engine call.
+  auto fragment = [&](int w, auto&& body) {
+    TxnTraceParticipant p;
+    if (tracing) {
+      p.node = home;
+      p.core = w;
+      p.exec_start = CoreClock(nd, w);
+    }
+    const Status fs = body();
+    if (tracing) {
+      p.exec_end = CoreClock(nd, w);
+      p.exec_cycles = p.exec_end - p.exec_start;
+      tr.participants.push_back(p);
+    }
+    return fs;
+  };
+
   Status s = Status::Ok();
   int fragments = 1;
   switch (t.type) {
     case B::kTxnNewOrder:
-      s = bench->ExecuteNewOrderHome(eng, worker, lw, t.no);
+      s = fragment(worker, [&] {
+        return bench->ExecuteNewOrderHome(eng, worker, lw, t.no);
+      });
       // A "remote" warehouse that lives on the home node: still
       // single-home (the forwarder's point); run the stock fragment
       // locally as a second engine call.
       if (s.ok() && t.no.remote_mask != 0) {
         const uint64_t rlw = ownership_.LocalUnit(t.remote_w);
-        s = bench->ExecuteNewOrderRemoteStock(eng, nd->WorkerFor(rlw),
-                                              rlw, t.no);
+        const int rw = nd->WorkerFor(rlw);
+        s = fragment(rw, [&] {
+          return bench->ExecuteNewOrderRemoteStock(eng, rw, rlw, t.no);
+        });
         ++fragments;
       }
       break;
     case B::kTxnPayment:
-      s = bench->ExecutePaymentHome(eng, worker, lw, t.pay);
+      s = fragment(worker, [&] {
+        return bench->ExecutePaymentHome(eng, worker, lw, t.pay);
+      });
       if (s.ok() && t.pay.customer_remote) {
         const uint64_t rlw = ownership_.LocalUnit(t.remote_w);
-        s = bench->ExecutePaymentCustomer(eng, nd->WorkerFor(rlw), rlw,
-                                          t.pay);
+        const int rw = nd->WorkerFor(rlw);
+        s = fragment(rw, [&] {
+          return bench->ExecutePaymentCustomer(eng, rw, rlw, t.pay);
+        });
         ++fragments;
       }
       break;
     case B::kTxnOrderStatus:
-      s = bench->ExecuteOrderStatus(eng, worker, lw, t.d, t.c,
-                                    t.name_bucket, t.by_name);
+      s = fragment(worker, [&] {
+        return bench->ExecuteOrderStatus(eng, worker, lw, t.d, t.c,
+                                         t.name_bucket, t.by_name);
+      });
       break;
     case B::kTxnDelivery:
-      s = bench->ExecuteDelivery(eng, worker, lw, t.carrier);
+      s = fragment(worker, [&] {
+        return bench->ExecuteDelivery(eng, worker, lw, t.carrier);
+      });
       break;
     default:
-      s = bench->ExecuteStockLevel(eng, worker, lw, t.d, t.threshold);
+      s = fragment(worker, [&] {
+        return bench->ExecuteStockLevel(eng, worker, lw, t.d,
+                                        t.threshold);
+      });
       break;
+  }
+
+  if (tracing) {
+    tr.terminal = s.ok() ? TxnTraceTerminal::kCommitted
+                         : TxnTraceTerminal::kAborted;
+    tracer_.Finish(std::move(tr));
   }
 
   if (!measure) return;
@@ -207,10 +289,18 @@ void Cluster::ExecuteMultiHome(
   using B = core::TpccBenchmark;
   for (int n : t.involved) {
     if (!nodes_[static_cast<size_t>(n)]->alive()) {
-      if (measure) ++result_.rejected_dead;
+      if (measure) {
+        ++result_.rejected_dead;
+        // Close the span instead of letting it vanish: the trace ends
+        // in the `aborted-by-node-death` terminal stage.
+        OrphanTrace(t, /*forwarded=*/true);
+      }
       return;
     }
   }
+
+  const bool tracing = measure && t.trace.sampled;
+  TxnTrace tr;
 
   // Home fragment first: it carries the transaction's commit decision
   // (district advance / W_YTD / history), so a home abort voids the
@@ -219,20 +309,62 @@ void Cluster::ExecuteMultiHome(
   Node* hn = nodes_[static_cast<size_t>(home)].get();
   const uint64_t lw = ownership_.LocalUnit(t.home_w);
   const int hworker = hn->WorkerFor(lw);
-  {
-    const uint64_t cost = network_.ChargeReceive(envelopes[0]);
-    hn->machine()->core(hworker).Stall(static_cast<double>(cost));
-    if (measure) hn->stats().stall_cycles += cost;
+  if (tracing) {
+    tr.trace_id = t.trace.trace_id;
+    tr.origin = t.origin;
+    tr.seq = t.seq;
+    tr.global_seq = t.global_seq;
+    tr.multi_home = true;
+    tr.assign_cycles = t.trace.assign_cycles;
+    // The forwarder→orderer hop: modeled at the same wire cost the
+    // ordered copies pay, but never charged by the driver — CostOf
+    // computes without accounting.
+    tr.forward_cycles = static_cast<double>(network_.CostOf(WireBytes(t)));
+    // Batch wait in the global orderer: the home core's clock has
+    // advanced past assign + forward by exactly the time this round's
+    // ordered predecessors spent executing ahead of us.
+    tr.dispatch_cycles = CoreClock(hn, hworker);
+    tr.order_wait_cycles = std::max(
+        0.0, tr.dispatch_cycles - (tr.assign_cycles + tr.forward_cycles));
   }
-  Status s = Status::Ok();
-  if (t.type == B::kTxnNewOrder) {
-    s = hn->bench()->ExecuteNewOrderHome(hn->engine(), hworker, lw, t.no);
-  } else {
-    s = hn->bench()->ExecutePaymentHome(hn->engine(), hworker, lw, t.pay);
-  }
+  // Runs one ordered-copy delivery + fragment at a participant,
+  // recording the deliver/exec chain when traced.
+  auto fragment = [&](Node* node, int w, const Envelope<DistTxn>& env,
+                      auto&& body) {
+    const uint64_t cost = network_.ChargeReceive(env);
+    node->machine()->core(w).Stall(static_cast<double>(cost));
+    if (measure) node->stats().stall_cycles += cost;
+    TxnTraceParticipant p;
+    if (tracing) {
+      p.node = node->node_id();
+      p.core = w;
+      p.deliver_cycles = static_cast<double>(cost);
+      p.exec_start = CoreClock(node, w);
+    }
+    const Status fs = body();
+    if (tracing) {
+      p.exec_end = CoreClock(node, w);
+      p.exec_cycles = p.exec_end - p.exec_start;
+      tr.participants.push_back(p);
+    }
+    return fs;
+  };
+
+  const Status s = fragment(hn, hworker, envelopes[0], [&] {
+    if (t.type == B::kTxnNewOrder) {
+      return hn->bench()->ExecuteNewOrderHome(hn->engine(), hworker, lw,
+                                              t.no);
+    }
+    return hn->bench()->ExecutePaymentHome(hn->engine(), hworker, lw,
+                                           t.pay);
+  });
   if (measure) ++hn->stats().fragments;
   if (!s.ok()) {
     if (measure) ++hn->stats().aborted;
+    if (tracing) {
+      tr.terminal = TxnTraceTerminal::kAborted;
+      tracer_.Finish(std::move(tr));
+    }
     return;
   }
 
@@ -241,21 +373,26 @@ void Cluster::ExecuteMultiHome(
     Node* node = nodes_[static_cast<size_t>(rn)].get();
     const uint64_t rlw = ownership_.LocalUnit(t.remote_w);
     const int rworker = node->WorkerFor(rlw);
-    const uint64_t cost = network_.ChargeReceive(envelopes[i]);
-    node->machine()->core(rworker).Stall(static_cast<double>(cost));
-    if (measure) node->stats().stall_cycles += cost;
-    Status rs = Status::Ok();
-    if (t.type == B::kTxnNewOrder) {
-      rs = node->bench()->ExecuteNewOrderRemoteStock(node->engine(),
-                                                     rworker, rlw, t.no);
-    } else {
-      rs = node->bench()->ExecutePaymentCustomer(node->engine(), rworker,
-                                                 rlw, t.pay);
-    }
+    const Status rs = fragment(node, rworker, envelopes[i], [&] {
+      if (t.type == B::kTxnNewOrder) {
+        return node->bench()->ExecuteNewOrderRemoteStock(
+            node->engine(), rworker, rlw, t.no);
+      }
+      return node->bench()->ExecutePaymentCustomer(node->engine(),
+                                                   rworker, rlw, t.pay);
+    });
     if (measure) {
       ++node->stats().fragments;
       if (!rs.ok()) ++node->stats().aborted;
     }
+  }
+
+  if (tracing) {
+    // Commit ack from the slowest participant back to the home node —
+    // the last hop of the critical path. Modeled only, like forward.
+    tr.ack_cycles = static_cast<double>(network_.CostOf(kAckWireBytes));
+    tr.terminal = TxnTraceTerminal::kCommitted;
+    tracer_.Finish(std::move(tr));
   }
 
   if (measure) {
@@ -299,20 +436,31 @@ Status Cluster::RunPhase(uint64_t per_node, bool measure) {
       Node* node = nodes_[n].get();
       if (!node->alive()) {
         if (measure) {
-          // Unexecuted stamped work dies with the node.
+          // Unexecuted stamped work dies with the node; their traces
+          // close as orphans so chaos runs still reconcile.
           DistTxn dropped;
           while (sequencers_[n].PopLocal(&dropped)) {
             ++result_.rejected_dead;
+            OrphanTrace(dropped, /*forwarded=*/false);
           }
         }
         remaining[n] = 0;
         continue;
       }
+      const bool tracing = measure && tracer_.enabled();
       const uint64_t batch = std::min(
           remaining[n], static_cast<uint64_t>(config_.batch_per_round));
       for (uint64_t i = 0; i < batch; ++i) {
         DistTxn t = GenerateTxn(static_cast<int>(n), &client_rngs_[n]);
-        sequencers_[n].Assign(&t);
+        // The trace context is born at the sequencer, stamped with the
+        // home worker core's clock (home node == origin: clients only
+        // generate transactions homed at their own node).
+        double now = 0.0;
+        if (tracing) {
+          const uint64_t lw = ownership_.LocalUnit(t.home_w);
+          now = CoreClock(node, node->WorkerFor(lw));
+        }
+        sequencers_[n].Assign(&t, tracing ? &tracer_ : nullptr, now);
         forwarder_.Classify(&t);
         if (measure) ++result_.generated;
         if (t.multi_home) {

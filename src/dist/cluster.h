@@ -12,6 +12,7 @@
 #include "dist/message.h"
 #include "dist/node.h"
 #include "dist/sequencer.h"
+#include "dist/txn_trace.h"
 #include "fault/fault_injector.h"
 #include "fault/invariants.h"
 #include "txn/partition.h"
@@ -55,6 +56,12 @@ struct ClusterConfig {
   uint64_t seed = 1;
   NetworkConfig net;
   ClusterChaosConfig chaos;
+
+  /// Distributed tracing (src/dist/txn_trace.h). Safe to enable on any
+  /// run: the tracer only reads core clocks and computes modeled costs,
+  /// so fingerprints and every simulated counter stay bit-identical
+  /// with tracing off, on, or sampled.
+  TxnTraceConfig trace;
 };
 
 /// Cluster-level outcome summary. Everything except the cycle-valued
@@ -113,6 +120,8 @@ class Cluster {
     return nodes_[static_cast<size_t>(i)].get();
   }
   const txn::OwnershipMap& ownership() const { return ownership_; }
+  const TxnTracer& tracer() const { return tracer_; }
+  const GlobalOrderer& orderer() const { return orderer_; }
 
  private:
   /// Draws one client transaction at `origin` (all RNG consumed here).
@@ -128,6 +137,13 @@ class Cluster {
                         bool measure);
   void ComputeFingerprint();
 
+  /// Current model-cycle clock of one node's worker core — the
+  /// timestamp source of the tracing layer (the same clock ScopedSpan
+  /// and the sampler read). Pure: no simulated state changes.
+  double CoreClock(Node* node, int worker) const;
+  /// Closes an in-flight trace as `aborted-by-node-death`.
+  void OrphanTrace(const DistTxn& t, bool forwarded);
+
   ClusterConfig config_;
   txn::OwnershipMap ownership_;
   Forwarder forwarder_;
@@ -138,6 +154,7 @@ class Cluster {
   std::vector<Sequencer> sequencers_;
   std::vector<Rng> client_rngs_;
   Mailbox<DistTxn> orderer_inbox_;
+  TxnTracer tracer_;
   uint64_t round_ = 0;
   ClusterResult result_;
 };

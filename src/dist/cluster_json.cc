@@ -109,6 +109,86 @@ void ChaosToJson(JsonWriter& w, const ClusterResult& r) {
   w.EndObject();
 }
 
+void HistCyclesToJson(JsonWriter& w, const char* key,
+                      const obs::LatencyHistogram& h) {
+  w.Key(key);
+  w.BeginObject();
+  w.KeyValue("p50", h.p50());
+  w.KeyValue("p99", h.p99());
+  w.KeyValue("mean", h.mean());
+  w.EndObject();
+}
+
+// The `cluster.tracing` section (schema v8). Counts first — exact
+// under the `cluster` diff rule, they ARE the determinism contract —
+// then the cycle-valued subtrees (`stages.cycles`,
+// `critical_path.cycles`, `p99_composition`, `p99_net_order_share`)
+// that get jitter-tolerant rules of their own.
+void TracingToJson(JsonWriter& w, const Cluster& cluster) {
+  const TxnTracer& tr = cluster.tracer();
+  w.Key("tracing");
+  w.BeginObject();
+  w.KeyValue("enabled", tr.enabled());
+  w.KeyValue("sample", tr.config().sample);
+  w.KeyValue("ring_capacity",
+             static_cast<uint64_t>(tr.config().ring_capacity));
+  w.KeyValue("traced", tr.traced());
+  w.KeyValue("committed", tr.committed());
+  w.KeyValue("aborted", tr.aborted());
+  w.KeyValue("orphaned", tr.orphaned());
+  w.KeyValue("single_home", tr.single_home());
+  w.KeyValue("multi_home", tr.multi_home());
+  w.KeyValue("dropped_ring", tr.dropped_ring());
+  w.KeyValue("order_batches", cluster.orderer().batches());
+  w.KeyValue("max_order_batch",
+             static_cast<uint64_t>(cluster.orderer().max_batch_size()));
+
+  w.Key("stages");
+  w.BeginObject();
+  w.Key("counts");
+  w.BeginObject();
+  for (int s = 0; s < kNumTraceStages; ++s) {
+    const auto stage = static_cast<TxnTraceStage>(s);
+    w.KeyValue(TxnTraceStageName(stage), tr.stage_count(stage));
+  }
+  w.EndObject();
+  w.Key("cycles");
+  w.BeginObject();
+  for (int s = 0; s < kNumTraceStages; ++s) {
+    const auto stage = static_cast<TxnTraceStage>(s);
+    HistCyclesToJson(w, TxnTraceStageName(stage), tr.stage_hist(stage));
+  }
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("critical_path");
+  w.BeginObject();
+  w.Key("counts");
+  w.BeginObject();
+  w.KeyValue("single_home", tr.critical_single_home().count());
+  w.KeyValue("multi_home", tr.critical_multi_home().count());
+  w.EndObject();
+  w.Key("cycles");
+  w.BeginObject();
+  HistCyclesToJson(w, "single_home", tr.critical_single_home());
+  HistCyclesToJson(w, "multi_home", tr.critical_multi_home());
+  w.EndObject();
+  w.EndObject();
+
+  const TraceTailComposition comp = tr.TailComposition();
+  w.KeyValue("p99_tail_traces", comp.tail_traces);
+  w.Key("p99_composition");
+  w.BeginObject();
+  w.KeyValue("forward", comp.forward);
+  w.KeyValue("order_wait", comp.order_wait);
+  w.KeyValue("deliver", comp.deliver);
+  w.KeyValue("exec", comp.exec);
+  w.KeyValue("ack", comp.ack);
+  w.EndObject();
+  w.KeyValue("p99_net_order_share", comp.net_order_share);
+  w.EndObject();
+}
+
 }  // namespace
 
 std::string ClusterReportToJson(Cluster* cluster) {
@@ -125,6 +205,7 @@ std::string ClusterReportToJson(Cluster* cluster) {
   CountsToJson(w, r);
   NetToJson(w, r.net);
   ChaosToJson(w, r);
+  TracingToJson(w, *cluster);
   w.KeyValue("fingerprint", HexFingerprint(r.fingerprint));
   InvariantsToJson(w, r.invariants);
 
@@ -194,6 +275,8 @@ std::string ClusterSweepToJson(const ClusterConfig& base,
     w.KeyValue("bytes", p.result.net.bytes);
     w.KeyValue("fingerprint", HexFingerprint(p.result.fingerprint));
     w.KeyValue("invariants_ok", p.result.invariants.ok);
+    w.KeyValue("traced", p.traced);
+    w.KeyValue("orphaned", p.orphaned);
     w.EndObject();
   }
   w.EndObject();
@@ -205,6 +288,8 @@ std::string ClusterSweepToJson(const ClusterConfig& base,
     w.BeginObject();
     w.KeyValue("max_window_cycles", p.result.max_window_cycles);
     w.KeyValue("throughput_per_mcycle", p.result.throughput_per_mcycle);
+    w.KeyValue("p99_critical_cycles", p.p99_critical_cycles);
+    w.KeyValue("p99_net_order_share", p.p99_net_order_share);
     w.EndObject();
   }
   w.EndObject();

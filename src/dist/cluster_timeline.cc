@@ -1,0 +1,173 @@
+#include "dist/cluster_timeline.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/txn_trace.h"
+#include "obs/json.h"
+#include "obs/timeline.h"
+
+namespace imoltp::dist {
+namespace {
+
+using obs::JsonWriter;
+
+/// Absolute model-cycle close time of one trace: the end of its last
+/// stage on the critical path (ack for multi-home, last fragment end
+/// otherwise).
+double TraceCloseCycles(const TxnTrace& t) {
+  double last_end = t.assign_cycles;
+  for (const TxnTraceParticipant& p : t.participants) {
+    last_end = std::max(last_end, p.exec_end);
+  }
+  if (t.multi_home) last_end += t.ack_cycles;
+  return last_end;
+}
+
+/// Per-arrow flow id: unique within one trace's fan-out and extremely
+/// unlikely to collide across traces (trace ids are DeriveSeed2 hashes).
+uint64_t FlowId(const TxnTrace& t, size_t participant_index) {
+  return t.trace_id ^ (0x9e3779b97f4a7c15ULL * (participant_index + 1));
+}
+
+}  // namespace
+
+std::string ClusterTimelineToJson(const Cluster& cluster,
+                                  double clock_ghz) {
+  const TxnTracer& tracer = cluster.tracer();
+
+  // Normalize absolute clocks to the earliest sequencer assign so the
+  // rendered window starts near t=0, mirroring TimelineToJson.
+  double origin = 0.0;
+  bool have_origin = false;
+  for (const TxnTrace& t : tracer.ring()) {
+    if (t.participants.empty()) continue;  // orphaned before execution
+    if (!have_origin || t.assign_cycles < origin) {
+      origin = t.assign_cycles;
+      have_origin = true;
+    }
+  }
+  const auto us = [&](double abs_cycles) {
+    return obs::TraceEventMicros(abs_cycles - origin, clock_ghz);
+  };
+  const auto dur_us = [&](double cycles) {
+    return obs::TraceEventMicros(cycles, clock_ghz);
+  };
+
+  // Lanes that actually carry spans: (node, worker core) pairs.
+  std::set<std::pair<int, int>> lanes;
+  for (const TxnTrace& t : tracer.ring()) {
+    for (const TxnTraceParticipant& p : t.participants) {
+      lanes.emplace(p.node, p.core);
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("displayTimeUnit", "ms");
+  w.Key("metadata");
+  w.BeginObject();
+  w.KeyValue("tool", "imoltp_timeline");
+  w.KeyValue("kind", "cluster");
+  w.KeyValue("nodes", cluster.num_nodes());
+  w.KeyValue("clock_ghz", clock_ghz);
+  w.KeyValue("trace_sample", tracer.config().sample);
+  w.KeyValue("traced", tracer.traced());
+  w.KeyValue("orphaned", tracer.orphaned());
+  w.KeyValue("dropped_ring", tracer.dropped_ring());
+  w.EndObject();
+
+  w.Key("traceEvents");
+  w.BeginArray();
+  std::set<int> named_nodes;
+  for (const auto& [node, core] : lanes) {
+    if (named_nodes.insert(node).second) {
+      const std::string label = "node " + std::to_string(node);
+      obs::WriteTraceMetadataEvent(w, "process_name", node, 0,
+                                   label.c_str());
+    }
+    const std::string thread = "worker " + std::to_string(core);
+    obs::WriteTraceMetadataEvent(w, "thread_name", node, core,
+                                 thread.c_str());
+  }
+
+  for (const TxnTrace& t : tracer.ring()) {
+    if (t.participants.empty()) continue;  // nothing ran; no spans
+    // The home fragment always executes first, so participants[0] is
+    // the home lane (== origin node) for both txn classes.
+    const TxnTraceParticipant& home = t.participants[0];
+
+    if (t.multi_home) {
+      // Home-lane stage spans: forward hop, then the multi-home batch
+      // wait up to the global-order dispatch, then the closing ack.
+      obs::WriteTraceSpanEvent(w, "forward", "trace", home.node,
+                               home.core, us(t.assign_cycles),
+                               dur_us(t.forward_cycles));
+      obs::WriteTraceSpanEvent(
+          w, "order_wait", "trace", home.node, home.core,
+          us(t.assign_cycles + t.forward_cycles),
+          dur_us(t.order_wait_cycles));
+      double slowest_end = home.exec_end;
+      for (const TxnTraceParticipant& p : t.participants) {
+        slowest_end = std::max(slowest_end, p.exec_end);
+      }
+      obs::WriteTraceSpanEvent(w, "ack", "trace", home.node, home.core,
+                               us(slowest_end), dur_us(t.ack_cycles));
+    } else {
+      obs::WriteTraceSpanEvent(w, "queue", "trace", home.node, home.core,
+                               us(t.assign_cycles),
+                               dur_us(t.queue_cycles));
+    }
+
+    for (size_t i = 0; i < t.participants.size(); ++i) {
+      const TxnTraceParticipant& p = t.participants[i];
+      if (t.multi_home) {
+        obs::WriteTraceSpanEvent(w, "deliver", "trace", p.node, p.core,
+                                 us(p.exec_start - p.deliver_cycles),
+                                 dur_us(p.deliver_cycles));
+      }
+      obs::WriteTraceSpanEvent(w, "exec", "trace", p.node, p.core,
+                               us(p.exec_start),
+                               dur_us(p.exec_cycles));
+
+      // Cross-node fan-out: one flow arrow per remote participant,
+      // from the home node's dispatch into the participant's delivery.
+      if (t.multi_home && p.node != home.node) {
+        const uint64_t flow = FlowId(t, i);
+        w.BeginObject();
+        w.KeyValue("name", "msg");
+        w.KeyValue("cat", "net");
+        w.KeyValue("ph", "s");
+        w.KeyValue("id", flow);
+        w.KeyValue("pid", home.node);
+        w.KeyValue("tid", home.core);
+        w.KeyValue("ts", us(t.dispatch_cycles));
+        w.EndObject();
+        w.BeginObject();
+        w.KeyValue("name", "msg");
+        w.KeyValue("cat", "net");
+        w.KeyValue("ph", "f");
+        w.KeyValue("id", flow);
+        w.KeyValue("pid", p.node);
+        w.KeyValue("tid", p.core);
+        w.KeyValue("ts", us(p.exec_start));
+        w.KeyValue("bp", "e");
+        w.EndObject();
+      }
+    }
+
+    // Per-node critical-path pulse: a counter sample at each trace's
+    // close, in kilo-cycles (keeps the track readable next to spans).
+    obs::WriteTraceCounterEvent(
+        w, "critical_kcycles", home.node, 0, us(TraceCloseCycles(t)),
+        {{"kcycles", t.critical_cycles / 1000.0}});
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace imoltp::dist

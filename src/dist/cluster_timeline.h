@@ -1,0 +1,31 @@
+#ifndef IMOLTP_DIST_CLUSTER_TIMELINE_H_
+#define IMOLTP_DIST_CLUSTER_TIMELINE_H_
+
+#include <string>
+
+#include "dist/cluster.h"
+
+namespace imoltp::dist {
+
+/// Renders a finished cluster run's distributed traces as Chrome
+/// trace-event JSON (Perfetto / chrome://tracing), one "process" lane
+/// per node and one thread row per worker core. Each ring-resident
+/// trace (src/dist/txn_trace.h) becomes its stage spans — queue/exec
+/// for single-home transactions; forward/order_wait on the home lane,
+/// deliver/exec on every participant lane and a closing ack for
+/// multi-home ones — and every remote participant of a multi-home
+/// transaction gets a flow arrow ("s" at the home node's dispatch, "f"
+/// at the participant's delivery), so cross-shard fan-out reads as
+/// arrows crossing node lanes. A per-node `critical_kcycles` counter
+/// track samples each closing trace's critical path. Timestamps are
+/// normalized to the earliest assign so the window starts near t=0.
+///
+/// The document passes obs::ValidateTimelineJson and is consumed by
+/// `imoltp_timeline validate|info|render` like the single-machine
+/// export (metadata kind="cluster" tells the tool which it is).
+std::string ClusterTimelineToJson(const Cluster& cluster,
+                                  double clock_ghz = 2.0);
+
+}  // namespace imoltp::dist
+
+#endif  // IMOLTP_DIST_CLUSTER_TIMELINE_H_

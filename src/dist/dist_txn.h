@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/tpcc.h"
+#include "dist/txn_trace.h"
 
 namespace imoltp::dist {
 
@@ -35,6 +36,12 @@ struct DistTxn {
 
   /// Participating nodes, home node first (filled by the forwarder).
   std::vector<int> involved;
+
+  /// Distributed-trace context (src/dist/txn_trace.h). Stamped at the
+  /// sequencer, piggybacked on every Envelope copy the Network routes —
+  /// how span records follow the transaction across nodes. Pure
+  /// observer payload: nothing branches on it, nothing fingerprints it.
+  TxnTraceContext trace;
 };
 
 }  // namespace imoltp::dist

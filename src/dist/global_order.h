@@ -29,12 +29,26 @@ class GlobalOrderer {
                        return a.origin < b.origin;
                      });
     for (DistTxn& t : *batch) t.global_seq = next_global_seq_++;
+    if (!batch->empty()) ++batches_;
+    last_batch_size_ = batch->size();
+    max_batch_size_ = std::max(max_batch_size_, batch->size());
   }
 
   uint64_t next_global_seq() const { return next_global_seq_; }
 
+  /// Batch accounting for the tracing layer: how many non-empty
+  /// multi-home batches were merged and how large they ran. The batch
+  /// size is what the `order_wait` trace stage grows with — each
+  /// dispatched transaction waits behind its batch predecessors.
+  uint64_t batches() const { return batches_; }
+  size_t last_batch_size() const { return last_batch_size_; }
+  size_t max_batch_size() const { return max_batch_size_; }
+
  private:
   uint64_t next_global_seq_ = 0;
+  uint64_t batches_ = 0;
+  size_t last_batch_size_ = 0;
+  size_t max_batch_size_ = 0;
 };
 
 }  // namespace imoltp::dist

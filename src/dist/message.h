@@ -84,14 +84,23 @@ class Network {
     box->Push(std::move(e));
   }
 
+  /// Modeled receive cost of a `bytes`-sized inter-node message,
+  /// WITHOUT accounting it. The tracing layer uses this to attribute
+  /// hops the driver never charges (forwarder→orderer, commit acks):
+  /// charging them through ChargeReceive would mutate
+  /// `latency_charged`, which imoltp_diff compares exactly — the
+  /// observer effect the tracing contract forbids.
+  uint64_t CostOf(uint32_t bytes) const {
+    return config_.latency_cycles +
+           static_cast<uint64_t>(config_.cycles_per_byte *
+                                 static_cast<double>(bytes));
+  }
+
   /// Stall cycles the receiver pays for `e`; 0 for local enqueues.
   template <typename T>
   uint64_t ChargeReceive(const Envelope<T>& e) {
     if (e.wire_bytes == 0 && e.from == e.to) return 0;
-    const uint64_t cost =
-        config_.latency_cycles +
-        static_cast<uint64_t>(config_.cycles_per_byte *
-                              static_cast<double>(e.wire_bytes));
+    const uint64_t cost = CostOf(e.wire_bytes);
     stats_.latency_charged += cost;
     return cost;
   }

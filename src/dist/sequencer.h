@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "dist/dist_txn.h"
+#include "dist/txn_trace.h"
 
 namespace imoltp::dist {
 
@@ -21,10 +22,20 @@ class Sequencer {
  public:
   explicit Sequencer(int node_id) : node_id_(node_id) {}
 
-  /// Stamps `t` with the node's next sequence number.
-  void Assign(DistTxn* t) {
+  /// Stamps `t` with the node's next sequence number. When a tracer is
+  /// supplied and samples this (origin, seq), the distributed-trace
+  /// context is born here — the sequencer is the first ordering point
+  /// every transaction passes — with `now_cycles` (the home core's
+  /// model clock) as the trace's start-of-life timestamp.
+  void Assign(DistTxn* t, const TxnTracer* tracer = nullptr,
+              double now_cycles = 0.0) {
     t->origin = node_id_;
     t->seq = next_seq_++;
+    if (tracer != nullptr && tracer->enabled()) {
+      t->trace.trace_id = tracer->MakeTraceId(t->origin, t->seq);
+      t->trace.sampled = tracer->Sampled(t->trace.trace_id);
+      t->trace.assign_cycles = now_cycles;
+    }
   }
 
   /// Enqueues a single-home transaction for local in-order execution.

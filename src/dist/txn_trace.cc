@@ -1,0 +1,128 @@
+#include "dist/txn_trace.h"
+
+#include <algorithm>
+
+namespace imoltp::dist {
+
+const char* TxnTraceStageName(TxnTraceStage stage) {
+  switch (stage) {
+    case TxnTraceStage::kQueue: return "queue";
+    case TxnTraceStage::kForward: return "forward";
+    case TxnTraceStage::kOrderWait: return "order_wait";
+    case TxnTraceStage::kDeliver: return "deliver";
+    case TxnTraceStage::kExec: return "exec";
+    case TxnTraceStage::kAck: return "ack";
+  }
+  return "?";
+}
+
+double TxnTrace::SlowestChain() const {
+  double slowest = 0.0;
+  for (const TxnTraceParticipant& p : participants) {
+    slowest = std::max(slowest, p.deliver_cycles + p.exec_cycles);
+  }
+  return slowest;
+}
+
+void TxnTracer::Finish(TxnTrace trace) {
+  if (trace.multi_home) {
+    trace.critical_cycles = trace.forward_cycles +
+                            trace.order_wait_cycles + trace.SlowestChain() +
+                            trace.ack_cycles;
+  } else {
+    trace.critical_cycles = trace.queue_cycles;
+    for (const TxnTraceParticipant& p : trace.participants) {
+      trace.critical_cycles += p.exec_cycles;
+    }
+  }
+
+  ++traced_;
+  switch (trace.terminal) {
+    case TxnTraceTerminal::kCommitted: ++committed_; break;
+    case TxnTraceTerminal::kAborted: ++aborted_; break;
+    case TxnTraceTerminal::kOrphaned: ++orphaned_; break;
+  }
+  if (trace.multi_home) ++multi_home_; else ++single_home_;
+
+  // Orphaned traces closed by node death carry whatever stages they
+  // reached; keep them out of the completed-stage histograms so the
+  // percentiles describe transactions that actually ran end to end.
+  if (trace.terminal == TxnTraceTerminal::kOrphaned) {
+    if (ring_.size() < config_.ring_capacity) {
+      ring_.push_back(std::move(trace));
+    } else {
+      ++dropped_ring_;
+    }
+    return;
+  }
+
+  if (trace.multi_home) {
+    stage_hist_[static_cast<int>(TxnTraceStage::kForward)].Add(
+        trace.forward_cycles);
+    stage_hist_[static_cast<int>(TxnTraceStage::kOrderWait)].Add(
+        trace.order_wait_cycles);
+    if (!trace.participants.empty()) {
+      stage_hist_[static_cast<int>(TxnTraceStage::kAck)].Add(
+          trace.ack_cycles);
+    }
+    critical_multi_.Add(trace.critical_cycles);
+  } else {
+    stage_hist_[static_cast<int>(TxnTraceStage::kQueue)].Add(
+        trace.queue_cycles);
+    critical_single_.Add(trace.critical_cycles);
+  }
+  for (const TxnTraceParticipant& p : trace.participants) {
+    if (trace.multi_home) {
+      stage_hist_[static_cast<int>(TxnTraceStage::kDeliver)].Add(
+          p.deliver_cycles);
+    }
+    stage_hist_[static_cast<int>(TxnTraceStage::kExec)].Add(
+        p.exec_cycles);
+  }
+
+  if (ring_.size() < config_.ring_capacity) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ++dropped_ring_;
+  }
+}
+
+TraceTailComposition TxnTracer::TailComposition() const {
+  TraceTailComposition comp;
+  if (critical_multi_.count() == 0) return comp;
+  const double p99 = critical_multi_.p99();
+  double total = 0.0;
+  for (const TxnTrace& t : ring_) {
+    if (!t.multi_home || t.critical_cycles < p99) continue;
+    ++comp.tail_traces;
+    comp.forward += t.forward_cycles;
+    comp.order_wait += t.order_wait_cycles;
+    comp.ack += t.ack_cycles;
+    // Of the slowest chain, split delivery from execution: both sit on
+    // the critical path.
+    double slowest = -1.0;
+    double deliver = 0.0, exec = 0.0;
+    for (const TxnTraceParticipant& p : t.participants) {
+      const double chain = p.deliver_cycles + p.exec_cycles;
+      if (chain > slowest) {
+        slowest = chain;
+        deliver = p.deliver_cycles;
+        exec = p.exec_cycles;
+      }
+    }
+    comp.deliver += deliver;
+    comp.exec += exec;
+    total += t.critical_cycles;
+  }
+  if (total <= 0.0) return comp;
+  comp.forward /= total;
+  comp.order_wait /= total;
+  comp.deliver /= total;
+  comp.exec /= total;
+  comp.ack /= total;
+  comp.net_order_share =
+      comp.forward + comp.order_wait + comp.deliver + comp.ack;
+  return comp;
+}
+
+}  // namespace imoltp::dist

@@ -1,0 +1,203 @@
+#ifndef IMOLTP_DIST_TXN_TRACE_H_
+#define IMOLTP_DIST_TXN_TRACE_H_
+
+// Distributed tracing for the dist cluster (docs/distributed.md,
+// "Distributed tracing"). Every transaction that enters a Sequencer can
+// carry a TxnTraceContext — a deterministic trace id derived from
+// (origin, seq) via DeriveSeed — which piggybacks on the DistTxn copies
+// the Network routes, so span records follow the transaction across
+// node boundaries for free. The cluster driver stamps simulated-cycle
+// timestamps at every hop (sequencer assign, forwarder routing, global
+// order dispatch, per-fragment delivery and execution) and closes each
+// trace into a TxnTrace record; the TxnTracer aggregates them into
+// per-stage histograms and critical-path composition.
+//
+// The contract that makes this safe to leave on: ZERO observer effect.
+// The tracer only reads core clocks and computes modeled costs — it
+// never draws RNG, never charges stalls, never mutates NetworkStats —
+// so same-seed runs stay bit-identical (FNV fingerprints and all
+// simulated counters) with tracing off, on, or sampled.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/seed.h"
+#include "obs/histogram.h"
+
+namespace imoltp::dist {
+
+/// In-flight trace state carried by a DistTxn (and therefore by every
+/// Envelope copy of it — the piggyback that propagates the context
+/// across Network hops). Created when the transaction enters its
+/// origin's Sequencer.
+struct TxnTraceContext {
+  uint64_t trace_id = 0;      // DeriveSeed2(seed, origin, seq, kTxnTrace)
+  bool sampled = false;       // false = hops skip all recording
+  double assign_cycles = 0.0; // home-core model clock at sequencer entry
+};
+
+/// Life stages of a traced transaction. Single-home txns pass through
+/// {queue, exec}; multi-home ones through {forward, order_wait,
+/// deliver, exec, ack}. All values are simulated cycles.
+enum class TxnTraceStage {
+  kQueue = 0,      // sequencer local-queue wait (single-home)
+  kForward,        // forwarder → global orderer wire hop (multi-home)
+  kOrderWait,      // multi-home batch wait in the GlobalOrderer
+  kDeliver,        // ordered-copy network delivery to one participant
+  kExec,           // one fragment's engine execution
+  kAck,            // participant → home commit ack (multi-home)
+};
+inline constexpr int kNumTraceStages = 6;
+const char* TxnTraceStageName(TxnTraceStage stage);
+
+/// How a traced transaction left the system. Orphaned = abandoned by
+/// node-death chaos (`aborted-by-node-death` terminal stage): a dead
+/// participant rejected the ordered copy, or the dead node's stamped
+/// local queue was drained unexecuted.
+enum class TxnTraceTerminal { kCommitted = 0, kAborted, kOrphaned };
+
+/// One fragment's share of a trace: where it ran and what it cost.
+/// exec_start/exec_end are absolute model-cycle clocks of that core
+/// (for the Perfetto export); deliver/exec are durations.
+struct TxnTraceParticipant {
+  int node = 0;
+  int core = 0;
+  double deliver_cycles = 0.0;  // network receive stall (0 single-home)
+  double exec_cycles = 0.0;
+  double exec_start = 0.0;
+  double exec_end = 0.0;
+};
+
+/// One closed per-transaction trace. `critical_cycles` is the critical
+/// path: queue + Σexec for single-home (fragments run sequentially on
+/// the home node); forward + order_wait + max over participants of
+/// (deliver + exec) + ack for multi-home (participants execute their
+/// fragments independently — SLOG has no 2PC — so the slowest chain
+/// gates the end-to-end span).
+struct TxnTrace {
+  uint64_t trace_id = 0;
+  int origin = 0;
+  uint64_t seq = 0;
+  uint64_t global_seq = 0;
+  bool multi_home = false;
+  TxnTraceTerminal terminal = TxnTraceTerminal::kCommitted;
+
+  double assign_cycles = 0.0;    // absolute, home core clock
+  double dispatch_cycles = 0.0;  // absolute, home core clock (multi-home)
+  double queue_cycles = 0.0;
+  double forward_cycles = 0.0;
+  double order_wait_cycles = 0.0;
+  double ack_cycles = 0.0;
+  std::vector<TxnTraceParticipant> participants;
+
+  double critical_cycles = 0.0;
+
+  /// The slowest participant chain (max deliver + exec); 0 when there
+  /// are no participants (orphaned before execution).
+  double SlowestChain() const;
+};
+
+struct TxnTraceConfig {
+  bool enabled = false;
+  /// Trace 1 in `sample` transactions (1 = every txn). The decision is
+  /// trace_id % sample == 0 — derived, not drawn, so sampling can never
+  /// perturb the client RNG streams.
+  uint64_t sample = 1;
+  /// Full TxnTrace records retained for the Perfetto export and the
+  /// p99 composition. Beyond the cap, records still aggregate into the
+  /// histograms but are dropped from the ring (counted) — a huge run
+  /// degrades to a truncated timeline, never to unbounded memory.
+  size_t ring_capacity = 1 << 16;
+};
+
+/// Aggregate composition of the p99 tail: per-stage share of the
+/// critical path over the multi-home traces at or above the p99
+/// critical-path latency. Shares sum to ~1 when any tail trace exists.
+struct TraceTailComposition {
+  double forward = 0.0;
+  double order_wait = 0.0;
+  double deliver = 0.0;
+  double exec = 0.0;
+  double ack = 0.0;
+  /// Communication share: everything except exec — the
+  /// network+ordering fraction the Hardware-Islands sweep pivots on.
+  double net_order_share = 0.0;
+  uint64_t tail_traces = 0;
+};
+
+/// Collects closed traces: bounded ring of full records plus unbounded
+/// (fixed-size) aggregate histograms. Single-threaded, like the cluster
+/// driver that feeds it.
+class TxnTracer {
+ public:
+  TxnTracer(const TxnTraceConfig& config, uint64_t cluster_seed)
+      : config_(config), cluster_seed_(cluster_seed) {}
+
+  const TxnTraceConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+
+  /// Deterministic trace id for (origin, seq) under this cluster seed.
+  uint64_t MakeTraceId(int origin, uint64_t seq) const {
+    return DeriveSeed2(cluster_seed_, static_cast<uint64_t>(origin), seq,
+                       SeedStream::kTxnTrace);
+  }
+
+  /// Whether a trace id falls inside the 1-in-N sample.
+  bool Sampled(uint64_t trace_id) const {
+    return config_.enabled && config_.sample > 0 &&
+           trace_id % config_.sample == 0;
+  }
+
+  /// Computes the critical path, aggregates, and retains the record
+  /// (ring permitting).
+  void Finish(TxnTrace trace);
+
+  uint64_t traced() const { return traced_; }
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+  uint64_t orphaned() const { return orphaned_; }
+  uint64_t single_home() const { return single_home_; }
+  uint64_t multi_home() const { return multi_home_; }
+  uint64_t dropped_ring() const { return dropped_ring_; }
+
+  const obs::LatencyHistogram& stage_hist(TxnTraceStage stage) const {
+    return stage_hist_[static_cast<int>(stage)];
+  }
+  uint64_t stage_count(TxnTraceStage stage) const {
+    return stage_hist_[static_cast<int>(stage)].count();
+  }
+  const obs::LatencyHistogram& critical_single_home() const {
+    return critical_single_;
+  }
+  const obs::LatencyHistogram& critical_multi_home() const {
+    return critical_multi_;
+  }
+
+  const std::vector<TxnTrace>& ring() const { return ring_; }
+
+  /// Stage composition of the multi-home p99 tail (ring-resident
+  /// traces with critical ≥ the histogram's p99).
+  TraceTailComposition TailComposition() const;
+
+ private:
+  TxnTraceConfig config_;
+  uint64_t cluster_seed_ = 0;
+
+  uint64_t traced_ = 0;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+  uint64_t orphaned_ = 0;
+  uint64_t single_home_ = 0;
+  uint64_t multi_home_ = 0;
+  uint64_t dropped_ring_ = 0;
+
+  obs::LatencyHistogram stage_hist_[kNumTraceStages];
+  obs::LatencyHistogram critical_single_;
+  obs::LatencyHistogram critical_multi_;
+  std::vector<TxnTrace> ring_;
+};
+
+}  // namespace imoltp::dist
+
+#endif  // IMOLTP_DIST_TXN_TRACE_H_

@@ -56,6 +56,7 @@ std::string BenchMatrixToJson(const BenchMatrix& matrix) {
     w.EndObject();
     w.KeyValue("committed", c.committed);
     w.KeyValue("aborts", c.aborts);
+    w.KeyValue("p99_net_order_share", c.p99_net_order_share);
     w.KeyValue("wall_seconds", c.wall_seconds);
     w.KeyValue("total_wall_seconds", c.total_wall_seconds);
     w.KeyValue("simulated_refs", c.simulated_refs);
@@ -127,6 +128,8 @@ StatusOr<BenchMatrix> ParseBenchMatrix(const std::string& json) {
     }
     c.committed = CountOr(entry.Find("committed"), 0);
     c.aborts = CountOr(entry.Find("aborts"), 0);
+    c.p99_net_order_share =
+        NumberOr(entry.Find("p99_net_order_share"), 0.0);
     c.wall_seconds = NumberOr(entry.Find("wall_seconds"), 0.0);
     c.total_wall_seconds =
         NumberOr(entry.Find("total_wall_seconds"), 0.0);

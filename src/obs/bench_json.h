@@ -43,6 +43,11 @@ struct BenchCell {
   std::array<double, 6> stalls_per_kinstr{};  // StallBreakdown order
   uint64_t committed = 0;
   uint64_t aborts = 0;
+  /// Cluster cells only: network+ordering share of the p99 multi-home
+  /// critical path (distributed tracing, docs/distributed.md). 0 for
+  /// single-machine cells and for baselines recorded before the column
+  /// existed (the parser defaults it — schema stays v1).
+  double p99_net_order_share = 0.0;
 
   // Host-side speed metrics (simulator self-observability).
   double wall_seconds = 0.0;        // measurement window

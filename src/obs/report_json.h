@@ -38,7 +38,14 @@ namespace imoltp::obs {
 /// accounting — checkpoints begun/completed, captured pages/bytes, WAL
 /// truncation — plus the recovery stats when the run performed one;
 /// present only when checkpointing was enabled).
-inline constexpr int kReportSchemaVersion = 7;
+/// v8 added distributed tracing to the cluster documents: the
+/// `cluster.tracing` section (trace counts, per-stage cycle
+/// percentiles, critical-path histograms, p99 tail composition and its
+/// network+ordering share) and the sweep tracing columns
+/// (`sweep.series.*.traced`/`orphaned` exact,
+/// `sweep.perf.*.p99_critical_cycles`/`p99_net_order_share` tolerant).
+/// Single-run reports are unchanged in shape.
+inline constexpr int kReportSchemaVersion = 8;
 
 /// Top-Down-style decomposition of the modeled cycles (per worker):
 /// retiring (inherent CPI work), frontend (instruction-miss refill),

@@ -10,21 +10,13 @@
 
 namespace imoltp::obs {
 
-namespace {
-
-/// Model cycles → trace-event microseconds at the configured clock.
-double ToMicros(double cycles, double clock_ghz) {
-  const double ghz = clock_ghz > 0 ? clock_ghz : 1.0;
-  return cycles / (ghz * 1000.0);
-}
-
-void MetadataEvent(JsonWriter& w, const char* name, int pid,
-                   const char* value) {
+void WriteTraceMetadataEvent(JsonWriter& w, const char* name, int pid,
+                             int tid, const char* value) {
   w.BeginObject();
   w.KeyValue("name", name);
   w.KeyValue("ph", "M");
   w.KeyValue("pid", pid);
-  w.KeyValue("tid", 0);
+  w.KeyValue("tid", tid);
   w.Key("args");
   w.BeginObject();
   w.KeyValue("name", value);
@@ -32,19 +24,49 @@ void MetadataEvent(JsonWriter& w, const char* name, int pid,
   w.EndObject();
 }
 
-void CounterEvent(JsonWriter& w, const char* name, int pid, double ts_us,
-                  const std::vector<std::pair<const char*, double>>& args) {
+void WriteTraceCounterEvent(
+    JsonWriter& w, const char* name, int pid, int tid, double ts_us,
+    const std::vector<std::pair<const char*, double>>& args) {
   w.BeginObject();
   w.KeyValue("name", name);
   w.KeyValue("ph", "C");
   w.KeyValue("pid", pid);
-  w.KeyValue("tid", 0);
+  w.KeyValue("tid", tid);
   w.KeyValue("ts", ts_us);
   w.Key("args");
   w.BeginObject();
   for (const auto& [key, value] : args) w.KeyValue(key, value);
   w.EndObject();
   w.EndObject();
+}
+
+void WriteTraceSpanEvent(JsonWriter& w, const char* name, const char* cat,
+                         int pid, int tid, double ts_us, double dur_us) {
+  w.BeginObject();
+  w.KeyValue("name", name);
+  w.KeyValue("cat", cat);
+  w.KeyValue("ph", "X");
+  w.KeyValue("pid", pid);
+  w.KeyValue("tid", tid);
+  w.KeyValue("ts", ts_us);
+  w.KeyValue("dur", dur_us);
+  w.EndObject();
+}
+
+namespace {
+
+double ToMicros(double cycles, double clock_ghz) {
+  return TraceEventMicros(cycles, clock_ghz);
+}
+
+void MetadataEvent(JsonWriter& w, const char* name, int pid,
+                   const char* value) {
+  WriteTraceMetadataEvent(w, name, pid, 0, value);
+}
+
+void CounterEvent(JsonWriter& w, const char* name, int pid, double ts_us,
+                  const std::vector<std::pair<const char*, double>>& args) {
+  WriteTraceCounterEvent(w, name, pid, 0, ts_us, args);
 }
 
 }  // namespace
@@ -122,15 +144,10 @@ std::string TimelineToJson(const TimelineOptions& options,
   if (recorder != nullptr) {
     for (int c = 0; c < recorder->num_cores(); ++c) {
       for (const TimelineEvent& e : recorder->events(c)) {
-        w.BeginObject();
-        w.KeyValue("name", SpanKindName(e.kind));
-        w.KeyValue("cat", "span");
-        w.KeyValue("ph", "X");
-        w.KeyValue("pid", c);
-        w.KeyValue("tid", 0);
-        w.KeyValue("ts", ToMicros(e.t0 - span_origin, options.clock_ghz));
-        w.KeyValue("dur", ToMicros(e.t1 - e.t0, options.clock_ghz));
-        w.EndObject();
+        WriteTraceSpanEvent(
+            w, SpanKindName(e.kind), "span", c, 0,
+            ToMicros(e.t0 - span_origin, options.clock_ghz),
+            ToMicros(e.t1 - e.t0, options.clock_ghz));
       }
     }
 

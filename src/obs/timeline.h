@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "mcsim/profiler.h"
+#include "obs/json.h"
 #include "obs/span.h"
 
 namespace imoltp::obs {
@@ -106,6 +108,32 @@ class TimelineRecorder {
   size_t capacity_;
   std::vector<Lane> lanes_;
 };
+
+// ---------------------------------------------------------------------
+// Shared trace-event emitters. Both timeline exporters — the
+// single-machine one below and the whole-cluster one in
+// src/dist/cluster_timeline.cc — speak the same Chrome trace-event
+// dialect through these helpers, so the ValidateTimelineJson contract
+// is enforced at one place.
+
+/// Model cycles → trace-event microseconds at the configured clock.
+inline double TraceEventMicros(double cycles, double clock_ghz) {
+  const double ghz = clock_ghz > 0 ? clock_ghz : 1.0;
+  return cycles / (ghz * 1000.0);
+}
+
+/// One "M" metadata event (process_name / thread_name labels).
+void WriteTraceMetadataEvent(JsonWriter& w, const char* name, int pid,
+                             int tid, const char* value);
+
+/// One "C" counter event with numeric args.
+void WriteTraceCounterEvent(
+    JsonWriter& w, const char* name, int pid, int tid, double ts_us,
+    const std::vector<std::pair<const char*, double>>& args);
+
+/// One complete "X" span event.
+void WriteTraceSpanEvent(JsonWriter& w, const char* name, const char* cat,
+                         int pid, int tid, double ts_us, double dur_us);
 
 /// Identity and clock of one exported timeline.
 struct TimelineOptions {

@@ -253,6 +253,10 @@ bool RunClusterCell(const BenchFlags& bench, const std::string& engine,
   cfg.txns_per_node = bench.txns;
   cfg.multi_home_pct = 10;
   cfg.seed = bench.seed;
+  // Trace every transaction: tracing is observer-free (same fingerprint
+  // on or off), and it supplies the cell's critical-path column.
+  cfg.trace.enabled = true;
+  cfg.trace.sample = 1;
 
   const double cell_start = obs::MonotonicSeconds();
   dist::Cluster cluster(cfg);
@@ -303,6 +307,8 @@ bool RunClusterCell(const BenchFlags& bench, const std::string& engine,
   }
   cell->committed = cluster.result().committed;
   cell->aborts = cluster.result().aborted;
+  cell->p99_net_order_share =
+      cluster.tracer().TailComposition().net_order_share;
   cell->wall_seconds = obs::MonotonicSeconds() - cell_start;
   cell->total_wall_seconds = cell->wall_seconds;
   return true;

@@ -34,6 +34,15 @@
 //   --no-recover            leave dead nodes dead (skips the
 //                           cross-node audit layers)
 //   --sweep-pcts=A,B,...    sweep series (default 0,10,50,100)
+//   --trace-sample=SPEC     distributed tracing: N or 1/N traces one in
+//                           N transactions (1 = all, 0 = off). Zero
+//                           observer effect: fingerprints are
+//                           bit-identical with tracing off/on/sampled.
+//   --trace-ring=N          full trace records kept for the timeline
+//                           export / p99 composition (default 65536)
+//   --timeline-out=FILE     write the whole-cluster Perfetto timeline
+//                           (run only; implies --trace-sample=1 unless
+//                           tracing was configured explicitly)
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,8 +50,10 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "dist/cluster.h"
 #include "dist/cluster_json.h"
+#include "dist/cluster_timeline.h"
 #include "tools/imoltp_cli.h"
 
 namespace {
@@ -63,9 +74,39 @@ int Usage(const char* argv0, const std::string& error = "") {
       "       [--multi-home-pct=P] [--batch=N] [--net-latency=CYC]\n"
       "       [--seed=S] [--json=FILE] [--fingerprint]\n"
       "       [--chaos-node-death=PROB[@NTH]] [--no-recover]\n"
-      "       [--sweep-pcts=A,B,...]\n",
+      "       [--sweep-pcts=A,B,...] [--trace-sample=N|1/N]\n"
+      "       [--trace-ring=N] [--timeline-out=FILE]\n",
       argv0);
+  // Same choice inventories every other tool's --help prints, so the
+  // valid spellings have one authority each.
+  std::fprintf(stderr, "engines: %s\n",
+               imoltp::engine::EngineKindChoices());
+  std::fprintf(stderr,
+               "per-node execution mode: deterministic (of: %s)\n",
+               imoltp::core::ParallelModeChoices());
+  std::fprintf(stderr, "fault points:");
+  for (const char* p : imoltp::fault::kAllFaultPoints) {
+    std::fprintf(stderr, " %s", p);
+  }
+  std::fprintf(stderr, " (this tool arms %s via --chaos-node-death)\n",
+               imoltp::fault::kNodeDeath);
   return 2;
+}
+
+// --trace-sample grammar: "N" or "1/N" (both mean: trace one in N
+// transactions); 0 disables tracing.
+bool ParseTraceSample(const char* v, uint64_t* out, std::string* error) {
+  const char* num = v;
+  if (num[0] == '1' && num[1] == '/') num += 2;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(num, &end, 10);
+  if (end == num || *end != '\0') {
+    *error = std::string("bad --trace-sample value: ") + v +
+             " (choices: N or 1/N, e.g. 1, 4, 1/16; 0 = off)";
+    return false;
+  }
+  *out = n;
+  return true;
 }
 
 bool ParsePcts(const std::string& spec, std::vector<int>* out,
@@ -114,6 +155,10 @@ int WriteOut(const std::string& path, const std::string& doc) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    Usage(argv[0]);
+    return 0;
+  }
   if (cmd != "run" && cmd != "sweep") {
     return Usage(argv[0], "unknown subcommand: " + cmd +
                               " (choices: run sweep)");
@@ -123,7 +168,9 @@ int main(int argc, char** argv) {
   std::string engine_name = "hyper";
   std::string json_path = "-";
   std::string sweep_spec = "0,10,50,100";
+  std::string timeline_path;
   bool print_fingerprint = false;
+  bool trace_flag_set = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -203,9 +250,37 @@ int main(int argc, char** argv) {
       cfg.chaos.recover = false;
     } else if (const char* v = value("--sweep-pcts=")) {
       sweep_spec = v;
+    } else if (const char* v = value("--trace-sample=")) {
+      uint64_t sample = 0;
+      std::string error;
+      if (!ParseTraceSample(v, &sample, &error)) {
+        return Usage(argv[0], error);
+      }
+      cfg.trace.enabled = sample > 0;
+      cfg.trace.sample = sample;
+      trace_flag_set = true;
+    } else if (const char* v = value("--trace-ring=")) {
+      int ring = 0;
+      if (!parse_int(v, "--trace-ring", 1, 1 << 24, &ring)) return 2;
+      cfg.trace.ring_capacity = static_cast<size_t>(ring);
+    } else if (const char* v = value("--timeline-out=")) {
+      if (*v == '\0') {
+        return Usage(argv[0], "--timeline-out= needs a file path");
+      }
+      timeline_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
     } else {
       return Usage(argv[0], "unknown flag: " + arg);
     }
+  }
+
+  // A requested timeline needs traces to draw; default to tracing
+  // everything unless the user dialed the sample themselves.
+  if (!timeline_path.empty() && !trace_flag_set) {
+    cfg.trace.enabled = true;
+    cfg.trace.sample = 1;
   }
 
   if (!imoltp::engine::ParseEngineKind(engine_name, &cfg.engine_kind)) {
@@ -244,6 +319,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invariant violation: %s\n", v.c_str());
       }
     }
+    if (!timeline_path.empty()) {
+      const int rc = WriteOut(
+          timeline_path, imoltp::dist::ClusterTimelineToJson(cluster));
+      if (rc != 0) return rc;
+    }
     const int rc =
         WriteOut(json_path, imoltp::dist::ClusterReportToJson(&cluster));
     if (rc != 0) return rc;
@@ -251,6 +331,9 @@ int main(int argc, char** argv) {
   }
 
   // sweep: one full cluster per percentage, everything else fixed.
+  if (!timeline_path.empty()) {
+    return Usage(argv[0], "--timeline-out only applies to `run`");
+  }
   std::vector<int> pcts;
   std::string error;
   if (!ParsePcts(sweep_spec, &pcts, &error)) return Usage(argv[0], error);
@@ -280,7 +363,18 @@ int main(int argc, char** argv) {
                      cluster.result().net.messages),
                  cluster.result().throughput_per_mcycle);
     all_ok = all_ok && cluster.result().invariants.ok;
-    points.push_back(SweepPoint{pct, cluster.result()});
+    SweepPoint point;
+    point.multi_home_pct = pct;
+    point.result = cluster.result();
+    if (cluster.tracer().enabled()) {
+      point.traced = cluster.tracer().traced();
+      point.orphaned = cluster.tracer().orphaned();
+      point.p99_critical_cycles =
+          cluster.tracer().critical_multi_home().p99();
+      point.p99_net_order_share =
+          cluster.tracer().TailComposition().net_order_share;
+    }
+    points.push_back(std::move(point));
   }
   const int rc = WriteOut(json_path, ClusterSweepToJson(cfg, points));
   if (rc != 0) return rc;

@@ -61,6 +61,11 @@
 //   cluster.*throughput/cycles    tolerant — per-node window reports
 //                                 and throughput carry cycle-model
 //                                 (ASLR-jittered) values
+//   cluster.tracing.*.cycles,
+//   cluster.tracing.p99_*         tolerant — trace stage/critical-path
+//                                 percentiles and the p99 composition
+//                                 shares are cycle-model values; trace
+//                                 counts stay exact under `cluster`
 //   sweep / sweep.perf            exact series, tolerant perf (same
 //                                 split for sweep documents)
 //   everything else               default rtol (0.02)
@@ -156,6 +161,17 @@ const ToleranceRule kBuiltinRules[] = {
     {"cluster.windows", 0.10, 1000.0},
     {"cluster.max_window_cycles", 0.10, 0.0},
     {"cluster.throughput_per_mcycle", 0.10, 0.0},
+    // Schema v8: distributed tracing. Trace COUNTS (traced, committed,
+    // orphaned, stage counts, ring drops) stay under the exact
+    // `cluster` rule above — they are part of the same-seed determinism
+    // contract. Only the cycle-valued subtrees are tolerant: stage and
+    // critical-path percentiles inherit the cycle model's ASLR jitter,
+    // and the p99 composition shares are ratios of them (atol 0.05 on
+    // a 0..1 share ≈ the windows rule's 1000-cycle floor).
+    {"cluster.tracing.stages.cycles", 0.10, 2000.0},
+    {"cluster.tracing.critical_path.cycles", 0.10, 2000.0},
+    {"cluster.tracing.p99_composition", 0.10, 0.05},
+    {"cluster.tracing.p99_net_order_share", 0.10, 0.05},
     {"sweep", 0.0, 0.0},
     {"sweep.perf", 0.10, 100.0},
 };

@@ -1,6 +1,14 @@
 // imoltp_timeline — inspects, validates, and renders the Perfetto
 // (Chrome trace-event) timelines written by `imoltp_run
-// --timeline-out=FILE` (docs/OBSERVABILITY.md).
+// --timeline-out=FILE` (docs/OBSERVABILITY.md) and the whole-cluster
+// ones written by `imoltp_cluster run --timeline-out=FILE`
+// (docs/distributed.md, "Distributed tracing"). Cluster timelines
+// (metadata kind="cluster") carry one lane per NODE instead of per
+// core: info/render label them accordingly, render shows each node's
+// critical-path sparkline (the critical_kcycles counter track), and
+// both report the cross-node message census (the "s"/"f" flow arrows
+// that link a multi-home transaction's home dispatch to its remote
+// deliveries).
 //
 //   imoltp_timeline validate run.timeline.json
 //   imoltp_timeline info run.timeline.json
@@ -42,8 +50,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s validate|info|render FILE\n"
-               "FILE is a timeline written by imoltp_run "
-               "--timeline-out=FILE\n",
+               "FILE is a timeline written by imoltp_run or "
+               "imoltp_cluster run, --timeline-out=FILE\n",
                argv0);
   return 2;
 }
@@ -85,6 +93,7 @@ struct CoreSummary {
   std::map<std::string, double> span_dur;   // kind -> total µs
   std::vector<double> ipc;                  // sampled ipc track, in order
   std::map<std::string, std::vector<double>> modules;  // mod:* tracks
+  std::vector<double> critical;  // critical_kcycles track (cluster)
 
   void Cover(double t) {
     if (!any) {
@@ -103,7 +112,16 @@ struct FlowSummary {
   uint64_t attempts = 0;       // attempt slices across all cores
   uint64_t committed = 0;      // attempts that committed
   int max_chain = 0;           // longest attempt chain
+  uint64_t net_arrows = 0;     // cluster cross-node message arrows
 };
+
+/// Whether a parsed timeline is a whole-cluster export (pid lanes are
+/// nodes, not cores).
+bool IsClusterTimeline(const JsonValue& root) {
+  const JsonValue* meta = root.Find("metadata");
+  if (meta == nullptr || !meta->is_object()) return false;
+  return StringOr(meta->Find("kind"), "") == "cluster";
+}
 
 std::map<int, CoreSummary> Summarize(const JsonValue& root,
                                      FlowSummary* flows = nullptr) {
@@ -114,6 +132,10 @@ std::map<int, CoreSummary> Summarize(const JsonValue& root,
   for (const JsonValue& e : events->array) {
     if (!e.is_object()) continue;
     const std::string ph = StringOr(e.Find("ph"), "");
+    if (ph == "s" && flows != nullptr &&
+        StringOr(e.Find("cat"), "") == "net") {
+      ++flows->net_arrows;  // one "s" per cross-node message
+    }
     if (ph != "X" && ph != "C") continue;
     const int pid = static_cast<int>(NumberOr(e.Find("pid"), 0));
     const double ts = NumberOr(e.Find("ts"), 0.0);
@@ -148,6 +170,10 @@ std::map<int, CoreSummary> Summarize(const JsonValue& root,
       if (name == "ipc") {
         core.ipc.push_back(
             args != nullptr ? NumberOr(args->Find("ipc"), 0.0) : 0.0);
+      } else if (name == "critical_kcycles") {
+        core.critical.push_back(
+            args != nullptr ? NumberOr(args->Find("kcycles"), 0.0)
+                            : 0.0);
       } else if (name.rfind("mod:", 0) == 0) {
         core.modules[name.substr(4)].push_back(
             args != nullptr ? NumberOr(args->Find("cycles"), 0.0) : 0.0);
@@ -166,6 +192,18 @@ std::map<int, CoreSummary> Summarize(const JsonValue& root,
 void PrintMeta(const JsonValue& root) {
   const JsonValue* meta = root.Find("metadata");
   if (meta == nullptr || !meta->is_object()) return;
+  if (IsClusterTimeline(root)) {
+    std::printf(
+        "kind=cluster nodes=%.0f clock_ghz=%g trace_sample=%.0f "
+        "traced=%.0f orphaned=%.0f dropped_ring=%.0f\n",
+        NumberOr(meta->Find("nodes"), 0.0),
+        NumberOr(meta->Find("clock_ghz"), 0.0),
+        NumberOr(meta->Find("trace_sample"), 0.0),
+        NumberOr(meta->Find("traced"), 0.0),
+        NumberOr(meta->Find("orphaned"), 0.0),
+        NumberOr(meta->Find("dropped_ring"), 0.0));
+    return;
+  }
   std::printf("engine=%s workload=%s clock_ghz=%g sample_every=%.0f\n",
               StringOr(meta->Find("engine"), "?").c_str(),
               StringOr(meta->Find("workload"), "?").c_str(),
@@ -196,16 +234,22 @@ int RunValidate(const char* argv0, const std::string& path,
 
 int RunInfo(const JsonValue& root) {
   PrintMeta(root);
+  const bool cluster = IsClusterTimeline(root);
+  const char* lane = cluster ? "node" : "core";
   FlowSummary flows;
   const std::map<int, CoreSummary> cores = Summarize(root, &flows);
   for (const auto& [pid, core] : cores) {
     std::printf(
-        "core %d: %llu spans, %llu counter events, %llu retry "
+        "%s %d: %llu spans, %llu counter events, %llu retry "
         "attempts, %.1f..%.1f us\n",
-        pid, static_cast<unsigned long long>(core.spans),
+        lane, pid, static_cast<unsigned long long>(core.spans),
         static_cast<unsigned long long>(core.counters),
         static_cast<unsigned long long>(core.attempts), core.t_min,
         core.t_max);
+  }
+  if (flows.net_arrows > 0) {
+    std::printf("cross-node messages: %llu flow arrows\n",
+                static_cast<unsigned long long>(flows.net_arrows));
   }
   if (flows.flows > 0) {
     std::printf("retry flows: %llu (%llu attempt slices, longest "
@@ -247,14 +291,23 @@ std::string Sparkline(const std::vector<double>& series, double* lo,
 
 int RunRender(const JsonValue& root) {
   PrintMeta(root);
+  const bool cluster = IsClusterTimeline(root);
   FlowSummary flows;
   const std::map<int, CoreSummary> cores = Summarize(root, &flows);
   for (const auto& [pid, core] : cores) {
-    std::printf("core %d (%.1f..%.1f us)\n", pid, core.t_min, core.t_max);
+    std::printf("%s %d (%.1f..%.1f us)\n", cluster ? "node" : "core",
+                pid, core.t_min, core.t_max);
     double lo, hi;
     if (!core.ipc.empty()) {
       const std::string line = Sparkline(core.ipc, &lo, &hi);
       std::printf("  ipc [%0.3f..%0.3f] %s\n", lo, hi, line.c_str());
+    }
+    // Cluster lanes: the node's per-trace critical-path pulse, in
+    // close order — tail spikes read as peaks.
+    if (!core.critical.empty()) {
+      const std::string line = Sparkline(core.critical, &lo, &hi);
+      std::printf("  critical path [%9.3g..%9.3g kcyc] %s\n", lo, hi,
+                  line.c_str());
     }
     for (const auto& [name, cycles] : core.modules) {
       if (cycles.empty()) continue;
@@ -269,6 +322,10 @@ int RunRender(const JsonValue& root) {
       std::printf("  retry attempts %llu\n",
                   static_cast<unsigned long long>(core.attempts));
     }
+  }
+  if (flows.net_arrows > 0) {
+    std::printf("cross-node messages: %llu flow arrows\n",
+                static_cast<unsigned long long>(flows.net_arrows));
   }
   if (flows.flows > 0) {
     std::printf(
